@@ -1,0 +1,40 @@
+// Shared helpers for the serving-figure benchmark binaries.
+
+#ifndef PENSIEVE_BENCH_BENCH_SERVING_COMMON_H_
+#define PENSIEVE_BENCH_BENCH_SERVING_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+
+namespace pensieve {
+
+// Number of conversations per experiment; override with PENSIEVE_BENCH_CONVS
+// for quicker smoke runs.
+inline int64_t BenchConversations(int64_t default_value = 300) {
+  const char* env = std::getenv("PENSIEVE_BENCH_CONVS");
+  if (env != nullptr) {
+    return std::strtoll(env, nullptr, 10);
+  }
+  return default_value;
+}
+
+inline void RunSystemsSweep(const std::string& title, const GpuCostModel& cost_model,
+                            const DatasetProfile& profile,
+                            const std::vector<SystemKind>& systems,
+                            const std::vector<double>& rates,
+                            const SweepOptions& base_options) {
+  std::printf("==== %s ====\n", title.c_str());
+  for (SystemKind kind : systems) {
+    std::vector<SweepPoint> points =
+        RateSweep(kind, cost_model, profile, rates, base_options);
+    PrintSweep(SystemKindName(kind), points);
+  }
+}
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_BENCH_BENCH_SERVING_COMMON_H_

@@ -1,0 +1,35 @@
+#include "src/common/interp.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pensieve {
+
+void InterpTable::AddPoint(double x, double y) {
+  if (!xs_.empty()) {
+    PENSIEVE_CHECK_GT(x, xs_.back());
+  }
+  xs_.push_back(x);
+  ys_.push_back(y);
+}
+
+double InterpTable::Eval(double x) const {
+  PENSIEVE_CHECK(!xs_.empty());
+  if (xs_.size() == 1) {
+    return ys_[0];
+  }
+  // Find the segment [i, i+1] to interpolate on, clamping to the end
+  // segments for extrapolation.
+  size_t hi = std::upper_bound(xs_.begin(), xs_.end(), x) - xs_.begin();
+  if (hi == 0) {
+    hi = 1;
+  } else if (hi == xs_.size()) {
+    hi = xs_.size() - 1;
+  }
+  const size_t lo = hi - 1;
+  const double slope = (ys_[hi] - ys_[lo]) / (xs_[hi] - xs_[lo]);
+  return ys_[lo] + slope * (x - xs_[lo]);
+}
+
+}  // namespace pensieve

@@ -1,0 +1,36 @@
+// Piecewise-linear interpolation table.
+//
+// The eviction policy's offline profiler (paper §4.3.1) measures attention
+// cost only at power-of-two context sizes and interpolates the rest; this is
+// the interpolator it uses.
+
+#ifndef PENSIEVE_SRC_COMMON_INTERP_H_
+#define PENSIEVE_SRC_COMMON_INTERP_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pensieve {
+
+class InterpTable {
+ public:
+  InterpTable() = default;
+
+  // Points must be added with strictly increasing x.
+  void AddPoint(double x, double y);
+
+  bool empty() const { return xs_.empty(); }
+  size_t size() const { return xs_.size(); }
+
+  // Piecewise-linear evaluation. Extrapolates linearly beyond both ends
+  // using the nearest segment slope (constant if only one point).
+  double Eval(double x) const;
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_COMMON_INTERP_H_

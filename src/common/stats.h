@@ -1,0 +1,58 @@
+// Streaming statistics accumulators used by the metrics layer and benches.
+
+#ifndef PENSIEVE_SRC_COMMON_STATS_H_
+#define PENSIEVE_SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pensieve {
+
+// Accumulates samples and answers mean / percentile / min / max queries.
+// Percentile queries sort a copy lazily; fine for offline metrics.
+class SampleStats {
+ public:
+  void Add(double value);
+  void Merge(const SampleStats& other);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Sum() const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  double Stddev() const;
+  // q in [0, 1]; linear interpolation between closest ranks.
+  double Percentile(double q) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+// first/last bucket. Used for quick distribution sanity checks in tests.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t num_buckets);
+
+  void Add(double value);
+
+  size_t bucket_count() const { return counts_.size(); }
+  size_t BucketCount(size_t i) const { return counts_[i]; }
+  double BucketLow(size_t i) const;
+  size_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_COMMON_STATS_H_

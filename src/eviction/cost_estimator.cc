@@ -1,0 +1,73 @@
+#include "src/eviction/cost_estimator.h"
+
+#include <chrono>
+
+#include "src/common/logging.h"
+#include "src/kernels/attention.h"
+#include "src/kvcache/kv_pool.h"
+#include "src/tensor/ops.h"
+
+namespace pensieve {
+
+ChunkCostEstimator ChunkCostEstimator::ProfileFromCostModel(const GpuCostModel& cost_model,
+                                                            int64_t chunk_size,
+                                                            int64_t max_context) {
+  PENSIEVE_CHECK_GT(chunk_size, 0);
+  InterpTable table;
+  for (int64_t ctx = chunk_size; ctx <= max_context; ctx *= 2) {
+    table.AddPoint(static_cast<double>(ctx),
+                   cost_model.ChunkRecomputeCost(chunk_size, ctx));
+  }
+  PENSIEVE_CHECK(!table.empty());
+  return ChunkCostEstimator(chunk_size, std::move(table));
+}
+
+ChunkCostEstimator ChunkCostEstimator::ProfileFromKernels(const ModelConfig& config,
+                                                          int64_t chunk_size,
+                                                          int64_t max_context) {
+  PENSIEVE_CHECK_GT(chunk_size, 0);
+  PENSIEVE_CHECK_LE(config.hidden_size, 512) << "kernel profiling is for tiny configs";
+  const int64_t num_blocks = (max_context + chunk_size - 1) / chunk_size + 1;
+  KvPool pool(num_blocks, chunk_size, /*num_layers=*/1, config.num_kv_heads,
+              config.head_dim);
+  // Populate the pool with arbitrary data; contents do not affect timing.
+  Tensor kv({config.num_kv_heads, config.head_dim});
+  FillNormal(kv, /*seed=*/7, 1.0f);
+  for (BlockId b = 0; b < num_blocks; ++b) {
+    for (int64_t slot = 0; slot < chunk_size; ++slot) {
+      pool.WriteToken(b, 0, slot, kv.data(), kv.data());
+    }
+  }
+  std::vector<BlockId> block_table;
+  for (BlockId b = 0; b < num_blocks; ++b) {
+    block_table.push_back(b);
+  }
+  Tensor query({chunk_size, config.num_heads, config.head_dim});
+  FillNormal(query, /*seed=*/11, 1.0f);
+  Tensor out({chunk_size, config.num_heads, config.head_dim});
+
+  InterpTable table;
+  for (int64_t ctx = chunk_size; ctx <= max_context; ctx *= 2) {
+    AttentionSubRequest sub;
+    sub.query_start = 0;
+    sub.query_len = chunk_size;
+    sub.context_len = ctx;
+    sub.block_table = &block_table;
+    const auto start = std::chrono::steady_clock::now();
+    constexpr int kReps = 3;
+    for (int rep = 0; rep < kReps; ++rep) {
+      MultiTokenPagedAttention(pool, /*layer=*/0, query, {sub}, /*scale=*/0.125f, &out);
+    }
+    const auto end = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(end - start).count() / kReps;
+    table.AddPoint(static_cast<double>(ctx), seconds);
+  }
+  return ChunkCostEstimator(chunk_size, std::move(table));
+}
+
+double ChunkCostEstimator::Cost(int64_t context_len) const {
+  return table_.Eval(static_cast<double>(context_len));
+}
+
+}  // namespace pensieve

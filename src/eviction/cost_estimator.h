@@ -1,0 +1,49 @@
+// Chunk-recomputation cost estimation (paper §4.3.1).
+//
+// The retention value of a chunk is V = Cost(s, l) / T. Cost is profiled
+// offline at power-of-two context sizes and interpolated elsewhere, exactly
+// as the paper does. Two profiling sources are provided: the analytical GPU
+// cost model (simulated serving) and wall-clock measurement of the real CPU
+// kernels (numeric mode / tests).
+
+#ifndef PENSIEVE_SRC_EVICTION_COST_ESTIMATOR_H_
+#define PENSIEVE_SRC_EVICTION_COST_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "src/common/interp.h"
+#include "src/model/model_config.h"
+#include "src/sim/cost_model.h"
+
+namespace pensieve {
+
+class ChunkCostEstimator {
+ public:
+  // Profiles Cost(chunk_size, l) for l in {chunk_size, 2*chunk_size, ...,
+  // max_context} restricted to powers of two (times chunk_size), using the
+  // analytical model.
+  static ChunkCostEstimator ProfileFromCostModel(const GpuCostModel& cost_model,
+                                                 int64_t chunk_size, int64_t max_context);
+
+  // Profiles by timing the real multi-token paged attention kernel on a
+  // scratch pool built from `config` (must be a tiny config).
+  static ChunkCostEstimator ProfileFromKernels(const ModelConfig& config,
+                                               int64_t chunk_size, int64_t max_context);
+
+  // Interpolated recomputation cost of a chunk whose last token has context
+  // length `context_len` (seconds).
+  double Cost(int64_t context_len) const;
+
+  int64_t chunk_size() const { return chunk_size_; }
+
+ private:
+  ChunkCostEstimator(int64_t chunk_size, InterpTable table)
+      : chunk_size_(chunk_size), table_(std::move(table)) {}
+
+  int64_t chunk_size_;
+  InterpTable table_;
+};
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_EVICTION_COST_ESTIMATOR_H_

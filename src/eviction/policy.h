@@ -1,0 +1,84 @@
+// Cache eviction policies (paper §4.3.1 and the Figure 14 ablation).
+//
+// A policy assigns each candidate chunk a score; the cache coordinator
+// evicts/drops candidates in ascending score order. Pensieve's policy is the
+// retention value V = Cost(s, l) / T: cheap-to-recompute chunks and chunks
+// of long-inactive conversations go first. The ablation baselines are
+// classic conversation-LRU and a cost-only policy.
+
+#ifndef PENSIEVE_SRC_EVICTION_POLICY_H_
+#define PENSIEVE_SRC_EVICTION_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/eviction/cost_estimator.h"
+
+namespace pensieve {
+
+struct ChunkCandidate {
+  int64_t conversation_id = 0;
+  int64_t chunk_index = 0;
+  // Context length of the chunk's last token (tokens it attends to).
+  int64_t context_len = 0;
+  // When the owning conversation was last active (virtual seconds).
+  double last_active = 0.0;
+};
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+  // Lower score = evicted earlier. `now` is the current virtual time.
+  virtual double Score(const ChunkCandidate& candidate, double now) const = 0;
+  virtual const char* name() const = 0;
+};
+
+// Pensieve's policy: V = Cost(s, l) / T.
+class RetentionValuePolicy final : public EvictionPolicy {
+ public:
+  explicit RetentionValuePolicy(ChunkCostEstimator estimator)
+      : estimator_(std::move(estimator)) {}
+  double Score(const ChunkCandidate& candidate, double now) const override;
+  const char* name() const override { return "retention-value"; }
+
+ private:
+  ChunkCostEstimator estimator_;
+};
+
+// Conversation-granularity LRU: least recently active conversation first;
+// leading chunks first within a conversation (required by the drop-prefix
+// mechanism anyway).
+class LruPolicy final : public EvictionPolicy {
+ public:
+  double Score(const ChunkCandidate& candidate, double now) const override;
+  const char* name() const override { return "lru"; }
+};
+
+// Ablation: pure recomputation cost, ignoring recency.
+class CostOnlyPolicy final : public EvictionPolicy {
+ public:
+  explicit CostOnlyPolicy(ChunkCostEstimator estimator)
+      : estimator_(std::move(estimator)) {}
+  double Score(const ChunkCandidate& candidate, double now) const override;
+  const char* name() const override { return "cost-only"; }
+
+ private:
+  ChunkCostEstimator estimator_;
+};
+
+// kRetentionValue — Pensieve's V = Cost/T, chunk granularity.
+// kLru            — LRU scoring, chunk granularity (ablation isolating the
+//                   scoring function from the granularity).
+// kConversationLru— classic LRU evicting entire conversations at once (the
+//                   paper's Figure 14 baseline; CachedAttention-style
+//                   granularity per Table 3).
+// kCostOnly       — pure recompute cost, ignoring recency (ablation).
+enum class EvictionPolicyKind { kRetentionValue, kLru, kConversationLru, kCostOnly };
+
+std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(EvictionPolicyKind kind,
+                                                   const ChunkCostEstimator& estimator);
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_EVICTION_POLICY_H_

@@ -1,0 +1,304 @@
+#include "src/kernels/attention.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/tensor/ops.h"
+
+namespace pensieve {
+
+namespace {
+
+// Validates shared preconditions and returns (num_heads, head_dim).
+std::pair<int64_t, int64_t> CheckQueryShape(const KvPool& pool, const Tensor& query,
+                                            Tensor* out) {
+  PENSIEVE_CHECK_EQ(query.rank(), 3u);
+  PENSIEVE_CHECK(out->SameShape(query));
+  const int64_t num_heads = query.dim(1);
+  const int64_t head_dim = query.dim(2);
+  PENSIEVE_CHECK_EQ(head_dim, pool.head_dim());
+  PENSIEVE_CHECK_EQ(num_heads % pool.num_kv_heads(), 0);
+  return {num_heads, head_dim};
+}
+
+// Streaming-softmax accumulator for one (query token, head) pair. Matches
+// the fused no-materialization formulation the real kernel uses (paper cites
+// FlashAttention [10]); avoids the O(context) score buffer.
+struct OnlineSoftmax {
+  float running_max = -std::numeric_limits<float>::infinity();
+  float running_sum = 0.0f;
+  std::vector<float> acc;
+
+  explicit OnlineSoftmax(int64_t head_dim) : acc(static_cast<size_t>(head_dim), 0.0f) {}
+
+  void Observe(float score, const float* value, int64_t head_dim) {
+    if (score > running_max) {
+      const float correction =
+          running_max == -std::numeric_limits<float>::infinity()
+              ? 0.0f
+              : std::exp(running_max - score);
+      for (int64_t d = 0; d < head_dim; ++d) {
+        acc[static_cast<size_t>(d)] *= correction;
+      }
+      running_sum *= correction;
+      running_max = score;
+    }
+    const float w = std::exp(score - running_max);
+    running_sum += w;
+    for (int64_t d = 0; d < head_dim; ++d) {
+      acc[static_cast<size_t>(d)] += w * value[d];
+    }
+  }
+
+  void Finalize(float* out, int64_t head_dim) const {
+    const float inv = running_sum > 0.0f ? 1.0f / running_sum : 0.0f;
+    for (int64_t d = 0; d < head_dim; ++d) {
+      out[d] = acc[static_cast<size_t>(d)] * inv;
+    }
+  }
+};
+
+float Dot(const float* a, const float* b, int64_t n) {
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+void CheckSubRequest(const KvPool& pool, const Tensor& query,
+                     const AttentionSubRequest& sub) {
+  PENSIEVE_CHECK(sub.block_table != nullptr);
+  PENSIEVE_CHECK_GE(sub.query_len, 1);
+  PENSIEVE_CHECK_GE(sub.context_len, sub.query_len);
+  PENSIEVE_CHECK_LE(sub.query_start + sub.query_len, query.dim(0));
+  const int64_t blocks_needed =
+      (sub.context_len + pool.block_size() - 1) / pool.block_size();
+  PENSIEVE_CHECK_GE(static_cast<int64_t>(sub.block_table->size()), blocks_needed);
+}
+
+}  // namespace
+
+void MultiTokenPagedAttention(const KvPool& pool, int64_t layer, const Tensor& query,
+                              const std::vector<AttentionSubRequest>& subs, float scale,
+                              Tensor* out) {
+  const auto [num_heads, head_dim] = CheckQueryShape(pool, query, out);
+  const int64_t group = num_heads / pool.num_kv_heads();
+  const int64_t block_size = pool.block_size();
+
+  for (const AttentionSubRequest& sub : subs) {
+    CheckSubRequest(pool, query, sub);
+    const std::vector<BlockId>& table = *sub.block_table;
+    for (int64_t j = 0; j < sub.query_len; ++j) {
+      // Causal mask, fused: token j sees positions [0, end_pos].
+      const int64_t end_pos = sub.context_len - sub.query_len + j;
+      const int64_t token_row = sub.query_start + j;
+      for (int64_t h = 0; h < num_heads; ++h) {
+        const int64_t kv_head = h / group;
+        const float* q = query.data() + (token_row * num_heads + h) * head_dim;
+        OnlineSoftmax softmax(head_dim);
+        // Walk the context block by block, mirroring the real kernel's
+        // block-granular loads from non-contiguous memory.
+        for (int64_t pos = 0; pos <= end_pos;) {
+          const int64_t block_idx = pos / block_size;
+          const int64_t slot_begin = pos % block_size;
+          const int64_t slot_end =
+              std::min(block_size, end_pos + 1 - block_idx * block_size);
+          const BlockId block = table[static_cast<size_t>(block_idx)];
+          const float* k_base = pool.TokenData(block, layer, /*kv=*/0, 0);
+          const float* v_base = pool.TokenData(block, layer, /*kv=*/1, 0);
+          const int64_t token_stride = pool.num_kv_heads() * head_dim;
+          for (int64_t slot = slot_begin; slot < slot_end; ++slot) {
+            const float* k = k_base + slot * token_stride + kv_head * head_dim;
+            const float* v = v_base + slot * token_stride + kv_head * head_dim;
+            softmax.Observe(Dot(q, k, head_dim) * scale, v, head_dim);
+          }
+          pos = block_idx * block_size + slot_end;
+        }
+        softmax.Finalize(out->data() + (token_row * num_heads + h) * head_dim, head_dim);
+      }
+    }
+  }
+}
+
+void SingleTokenPagedAttention(const KvPool& pool, int64_t layer, const Tensor& query,
+                               const std::vector<AttentionSubRequest>& subs, float scale,
+                               Tensor* out) {
+  for (const AttentionSubRequest& sub : subs) {
+    PENSIEVE_CHECK_EQ(sub.query_len, 1)
+        << "PagedAttention-style kernel is restricted to one input token per request";
+  }
+  // With query_len == 1 the causal mask is a no-op and the computation
+  // degenerates to the matrix-vector form of the multi-token kernel.
+  MultiTokenPagedAttention(pool, layer, query, subs, scale, out);
+}
+
+void ContiguousAttention(const Tensor& query,
+                         const std::vector<ContiguousAttentionRequest>& reqs, float scale,
+                         Tensor* out) {
+  PENSIEVE_CHECK_EQ(query.rank(), 3u);
+  PENSIEVE_CHECK(out->SameShape(query));
+  const int64_t num_heads = query.dim(1);
+  const int64_t head_dim = query.dim(2);
+
+  for (const ContiguousAttentionRequest& req : reqs) {
+    PENSIEVE_CHECK(req.keys != nullptr);
+    PENSIEVE_CHECK(req.values != nullptr);
+    PENSIEVE_CHECK_EQ(req.keys->rank(), 3u);
+    PENSIEVE_CHECK(req.keys->SameShape(*req.values));
+    const int64_t context_len = req.keys->dim(0);
+    const int64_t num_kv_heads = req.keys->dim(1);
+    PENSIEVE_CHECK_EQ(req.keys->dim(2), head_dim);
+    PENSIEVE_CHECK_EQ(num_heads % num_kv_heads, 0);
+    PENSIEVE_CHECK_GE(context_len, req.query_len);
+    const int64_t group = num_heads / num_kv_heads;
+    const int64_t kv_stride = num_kv_heads * head_dim;
+    for (int64_t j = 0; j < req.query_len; ++j) {
+      const int64_t end_pos = context_len - req.query_len + j;
+      const int64_t token_row = req.query_start + j;
+      for (int64_t h = 0; h < num_heads; ++h) {
+        const int64_t kv_head = h / group;
+        const float* q = query.data() + (token_row * num_heads + h) * head_dim;
+        OnlineSoftmax softmax(head_dim);
+        const float* k_base = req.keys->data() + kv_head * head_dim;
+        const float* v_base = req.values->data() + kv_head * head_dim;
+        for (int64_t pos = 0; pos <= end_pos; ++pos) {
+          softmax.Observe(Dot(q, k_base + pos * kv_stride, head_dim) * scale,
+                          v_base + pos * kv_stride, head_dim);
+        }
+        softmax.Finalize(out->data() + (token_row * num_heads + h) * head_dim, head_dim);
+      }
+    }
+  }
+}
+
+void CopyOutPagedAttention(const KvPool& pool, int64_t layer, const Tensor& query,
+                           const std::vector<AttentionSubRequest>& subs, float scale,
+                           Tensor* out) {
+  const auto [num_heads, head_dim] = CheckQueryShape(pool, query, out);
+  (void)num_heads;
+  const int64_t block_size = pool.block_size();
+  const int64_t token_stride = pool.num_kv_heads() * head_dim;
+
+  // The extra cost this straw-man models: materializing the whole context
+  // into contiguous buffers before attention can run.
+  std::vector<Tensor> key_bufs;
+  std::vector<Tensor> value_bufs;
+  std::vector<ContiguousAttentionRequest> dense;
+  key_bufs.reserve(subs.size());
+  value_bufs.reserve(subs.size());
+  dense.reserve(subs.size());
+  for (const AttentionSubRequest& sub : subs) {
+    CheckSubRequest(pool, query, sub);
+    Tensor keys({sub.context_len, pool.num_kv_heads(), head_dim});
+    Tensor values({sub.context_len, pool.num_kv_heads(), head_dim});
+    for (int64_t pos = 0; pos < sub.context_len; ++pos) {
+      const BlockId block = (*sub.block_table)[static_cast<size_t>(pos / block_size)];
+      const int64_t slot = pos % block_size;
+      std::memcpy(keys.data() + pos * token_stride,
+                  pool.TokenData(block, layer, /*kv=*/0, slot),
+                  static_cast<size_t>(token_stride) * sizeof(float));
+      std::memcpy(values.data() + pos * token_stride,
+                  pool.TokenData(block, layer, /*kv=*/1, slot),
+                  static_cast<size_t>(token_stride) * sizeof(float));
+    }
+    key_bufs.push_back(std::move(keys));
+    value_bufs.push_back(std::move(values));
+  }
+  for (size_t i = 0; i < subs.size(); ++i) {
+    dense.push_back(ContiguousAttentionRequest{subs[i].query_start, subs[i].query_len,
+                                               &key_bufs[i], &value_bufs[i]});
+  }
+  ContiguousAttention(query, dense, scale, out);
+}
+
+void MultiRoundPagedAttention(const KvPool& pool, int64_t layer, const Tensor& query,
+                              const std::vector<AttentionSubRequest>& subs, float scale,
+                              Tensor* out) {
+  // One single-token kernel invocation per prompt token: each round r
+  // processes the r-th token of every sub-request that still has one,
+  // mirroring how a serving system would loop PagedAttention over the
+  // prompt. Earlier tokens see a shortened context to preserve causality.
+  int64_t max_query_len = 0;
+  for (const AttentionSubRequest& sub : subs) {
+    CheckSubRequest(pool, query, sub);
+    max_query_len = std::max(max_query_len, sub.query_len);
+  }
+  for (int64_t round = 0; round < max_query_len; ++round) {
+    std::vector<AttentionSubRequest> round_subs;
+    std::vector<int64_t> round_rows;
+    for (const AttentionSubRequest& sub : subs) {
+      if (round >= sub.query_len) {
+        continue;
+      }
+      AttentionSubRequest single;
+      single.query_start = sub.query_start + round;
+      single.query_len = 1;
+      single.context_len = sub.context_len - sub.query_len + round + 1;
+      single.block_table = sub.block_table;
+      round_subs.push_back(single);
+      round_rows.push_back(single.query_start);
+    }
+    // The single-token kernel reads rows addressed by query_start directly
+    // from the shared Q/out tensors, so no repacking is needed.
+    SingleTokenPagedAttention(pool, layer, query, round_subs, scale, out);
+    (void)round_rows;
+  }
+}
+
+void NaiveMaskedAttention(const KvPool& pool, int64_t layer, const Tensor& query,
+                          const std::vector<AttentionSubRequest>& subs, float scale,
+                          Tensor* out) {
+  const auto [num_heads, head_dim] = CheckQueryShape(pool, query, out);
+  const int64_t group = num_heads / pool.num_kv_heads();
+  const int64_t block_size = pool.block_size();
+
+  for (const AttentionSubRequest& sub : subs) {
+    CheckSubRequest(pool, query, sub);
+    for (int64_t h = 0; h < num_heads; ++h) {
+      const int64_t kv_head = h / group;
+      // Materialize the full [query_len, context_len] score matrix with an
+      // explicit causal mask, then do a plain softmax + weighted sum.
+      Tensor scores({sub.query_len, sub.context_len});
+      for (int64_t j = 0; j < sub.query_len; ++j) {
+        const int64_t end_pos = sub.context_len - sub.query_len + j;
+        const float* q =
+            query.data() + ((sub.query_start + j) * num_heads + h) * head_dim;
+        for (int64_t pos = 0; pos < sub.context_len; ++pos) {
+          if (pos > end_pos) {
+            scores.at({j, pos}) = -std::numeric_limits<float>::infinity();
+            continue;
+          }
+          const BlockId block =
+              (*sub.block_table)[static_cast<size_t>(pos / block_size)];
+          const float* k =
+              pool.TokenData(block, layer, /*kv=*/0, pos % block_size) +
+              kv_head * head_dim;
+          scores.at({j, pos}) = Dot(q, k, head_dim) * scale;
+        }
+      }
+      SoftmaxRowsInPlace(scores);
+      for (int64_t j = 0; j < sub.query_len; ++j) {
+        float* o = out->data() + ((sub.query_start + j) * num_heads + h) * head_dim;
+        std::fill(o, o + head_dim, 0.0f);
+        for (int64_t pos = 0; pos < sub.context_len; ++pos) {
+          const float w = scores.at({j, pos});
+          if (w == 0.0f) {
+            continue;
+          }
+          const BlockId block =
+              (*sub.block_table)[static_cast<size_t>(pos / block_size)];
+          const float* v =
+              pool.TokenData(block, layer, /*kv=*/1, pos % block_size) +
+              kv_head * head_dim;
+          for (int64_t d = 0; d < head_dim; ++d) {
+            o[d] += w * v[d];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace pensieve

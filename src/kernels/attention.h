@@ -1,0 +1,96 @@
+// Attention kernels over the paged KV pool (paper §4.4).
+//
+// The centerpiece is MultiTokenPagedAttention: attention between a batch of
+// requests' *multiple* input tokens (ragged query sizes) and their contexts
+// stored in *non-contiguous* KV blocks, with fused causal masking and
+// grouped-query attention. It subsumes single-token (decode) attention as
+// the query_len == 1 special case, which is what enables Pensieve's unified
+// prefill+generation batches (§4.4.1).
+//
+// For the paper's Figure 12 comparison we also provide:
+//  * SingleTokenPagedAttention — vLLM PagedAttention semantics (one query
+//    token per request).
+//  * ContiguousAttention       — the "ideal" baseline over dense K/V.
+//  * CopyOutPagedAttention     — straw-man: gather the paged context into a
+//    contiguous buffer, then run ContiguousAttention.
+//  * MultiRoundPagedAttention  — straw-man: process the prompt one token at
+//    a time with the single-token kernel.
+//  * NaiveMaskedAttention      — O(n^2)-memory reference used by tests.
+//
+// Conventions. Q tensors are [num_tokens, num_heads, head_dim]; the KV pool
+// holds [num_kv_heads, head_dim] vectors per token per layer. All kernels
+// assume that the query tokens' own K/V have already been written to the
+// cache (Pensieve writes K/V before attention, paper Figure 8 step c).
+
+#ifndef PENSIEVE_SRC_KERNELS_ATTENTION_H_
+#define PENSIEVE_SRC_KERNELS_ATTENTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/kvcache/block.h"
+#include "src/kvcache/kv_pool.h"
+#include "src/tensor/tensor.h"
+
+namespace pensieve {
+
+// One attention work item. A request in its generation phase contributes a
+// query_len == 1 item; a prefill request contributes one item — or two items
+// sharing a block table when a dropped prefix is being recomputed alongside
+// the new prompt (paper §4.3.4): the prefix sub-request attends to itself
+// only (smaller context_len), the prompt sub-request attends to everything.
+struct AttentionSubRequest {
+  // Row offset of this sub-request's first query token in the batched Q.
+  int64_t query_start = 0;
+  int64_t query_len = 0;
+  // Number of KV tokens the *last* query token attends to, including itself.
+  // Query token j (0-based) attends to positions [0, context_len - query_len + j].
+  int64_t context_len = 0;
+  // GPU blocks covering at least ceil(context_len / block_size) chunks.
+  const std::vector<BlockId>* block_table = nullptr;
+};
+
+// Pensieve's kernel: batched, ragged multi-token attention over paged KV.
+// query/out: [total_query_tokens, num_heads, head_dim].
+void MultiTokenPagedAttention(const KvPool& pool, int64_t layer, const Tensor& query,
+                              const std::vector<AttentionSubRequest>& subs, float scale,
+                              Tensor* out);
+
+// vLLM-style decode kernel: every sub-request must have query_len == 1.
+void SingleTokenPagedAttention(const KvPool& pool, int64_t layer, const Tensor& query,
+                               const std::vector<AttentionSubRequest>& subs, float scale,
+                               Tensor* out);
+
+// Ideal baseline: context K/V are dense tensors [context_len, num_kv_heads,
+// head_dim] supplied per request (contiguous memory).
+struct ContiguousAttentionRequest {
+  int64_t query_start = 0;
+  int64_t query_len = 0;
+  const Tensor* keys = nullptr;    // [context_len, num_kv_heads, head_dim]
+  const Tensor* values = nullptr;  // same shape as keys
+};
+void ContiguousAttention(const Tensor& query,
+                         const std::vector<ContiguousAttentionRequest>& reqs, float scale,
+                         Tensor* out);
+
+// Straw-man 1: gathers each sub-request's paged context into freshly
+// allocated contiguous buffers, then runs ContiguousAttention.
+void CopyOutPagedAttention(const KvPool& pool, int64_t layer, const Tensor& query,
+                           const std::vector<AttentionSubRequest>& subs, float scale,
+                           Tensor* out);
+
+// Straw-man 2: runs the single-token kernel once per query token (per
+// sub-request), shrinking the context for earlier tokens to preserve
+// causality.
+void MultiRoundPagedAttention(const KvPool& pool, int64_t layer, const Tensor& query,
+                              const std::vector<AttentionSubRequest>& subs, float scale,
+                              Tensor* out);
+
+// Reference implementation materializing the full masked score matrix.
+void NaiveMaskedAttention(const KvPool& pool, int64_t layer, const Tensor& query,
+                          const std::vector<AttentionSubRequest>& subs, float scale,
+                          Tensor* out);
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_KERNELS_ATTENTION_H_

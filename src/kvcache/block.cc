@@ -1,0 +1,19 @@
+#include "src/kvcache/block.h"
+
+namespace pensieve {
+
+const char* ChunkLocationName(ChunkLocation loc) {
+  switch (loc) {
+    case ChunkLocation::kGpu:
+      return "GPU";
+    case ChunkLocation::kGpuAndCpu:
+      return "GPU+CPU";
+    case ChunkLocation::kCpu:
+      return "CPU";
+    case ChunkLocation::kDropped:
+      return "DROPPED";
+  }
+  return "?";
+}
+
+}  // namespace pensieve

@@ -1,0 +1,52 @@
+// Basic block/chunk vocabulary shared by the KV cache, kernels and scheduler.
+//
+// Pensieve manages the KV cache as fixed-size blocks ("chunks" in the paper,
+// 32 tokens by default). A conversation's cached context is an ordered list
+// of chunks, each of which lives on the GPU, on the CPU, on both (a clean
+// GPU copy whose CPU backup already exists, the paper's lazy-reclamation
+// state), or has been dropped and must be recomputed.
+
+#ifndef PENSIEVE_SRC_KVCACHE_BLOCK_H_
+#define PENSIEVE_SRC_KVCACHE_BLOCK_H_
+
+#include <cstdint>
+
+namespace pensieve {
+
+using BlockId = int32_t;
+inline constexpr BlockId kInvalidBlock = -1;
+
+// Default chunk size; the paper reports 32 tokens works well (§4.3.1).
+inline constexpr int64_t kDefaultBlockSize = 32;
+
+enum class ChunkLocation : uint8_t {
+  kGpu,        // resident only in GPU memory
+  kGpuAndCpu,  // resident in GPU memory with a clean CPU copy (swap-out done,
+               // GPU slot reclaimable for free)
+  kCpu,        // resident only in CPU memory
+  kDropped,    // evicted everywhere; recompute from raw tokens when needed
+};
+
+const char* ChunkLocationName(ChunkLocation loc);
+
+// One cached chunk of a conversation's context.
+struct Chunk {
+  ChunkLocation location = ChunkLocation::kDropped;
+  BlockId gpu_block = kInvalidBlock;
+  BlockId cpu_block = kInvalidBlock;
+  // Number of KV tokens stored (== block_size except possibly the last
+  // chunk of a conversation).
+  int64_t num_tokens = 0;
+
+  bool OnGpu() const {
+    return location == ChunkLocation::kGpu || location == ChunkLocation::kGpuAndCpu;
+  }
+  bool HasCpuCopy() const {
+    return location == ChunkLocation::kGpuAndCpu || location == ChunkLocation::kCpu;
+  }
+  bool Dropped() const { return location == ChunkLocation::kDropped; }
+};
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_KVCACHE_BLOCK_H_

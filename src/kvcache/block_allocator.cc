@@ -1,0 +1,41 @@
+#include "src/kvcache/block_allocator.h"
+
+#include "src/common/logging.h"
+
+namespace pensieve {
+
+BlockAllocator::BlockAllocator(int64_t num_blocks)
+    : capacity_(num_blocks), allocated_(static_cast<size_t>(num_blocks), false) {
+  PENSIEVE_CHECK_GE(num_blocks, 0);
+  free_list_.reserve(static_cast<size_t>(num_blocks));
+  // Hand out low block ids first: keeps numeric-mode pool accesses dense.
+  for (BlockId b = static_cast<BlockId>(num_blocks) - 1; b >= 0; --b) {
+    free_list_.push_back(b);
+  }
+}
+
+std::optional<BlockId> BlockAllocator::Allocate() {
+  if (free_list_.empty()) {
+    return std::nullopt;
+  }
+  BlockId b = free_list_.back();
+  free_list_.pop_back();
+  allocated_[static_cast<size_t>(b)] = true;
+  return b;
+}
+
+void BlockAllocator::Free(BlockId block) {
+  PENSIEVE_CHECK_GE(block, 0);
+  PENSIEVE_CHECK_LT(block, capacity_);
+  PENSIEVE_CHECK(allocated_[static_cast<size_t>(block)]) << "double free of block " << block;
+  allocated_[static_cast<size_t>(block)] = false;
+  free_list_.push_back(block);
+}
+
+bool BlockAllocator::IsAllocated(BlockId block) const {
+  PENSIEVE_CHECK_GE(block, 0);
+  PENSIEVE_CHECK_LT(block, capacity_);
+  return allocated_[static_cast<size_t>(block)];
+}
+
+}  // namespace pensieve

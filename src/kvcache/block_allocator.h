@@ -1,0 +1,40 @@
+// Free-list allocator for fixed-size KV cache blocks in one memory tier.
+
+#ifndef PENSIEVE_SRC_KVCACHE_BLOCK_ALLOCATOR_H_
+#define PENSIEVE_SRC_KVCACHE_BLOCK_ALLOCATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/kvcache/block.h"
+
+namespace pensieve {
+
+class BlockAllocator {
+ public:
+  explicit BlockAllocator(int64_t num_blocks);
+
+  // Returns a free block, or nullopt if the tier is exhausted.
+  std::optional<BlockId> Allocate();
+
+  void Free(BlockId block);
+
+  int64_t num_free() const { return static_cast<int64_t>(free_list_.size()); }
+  int64_t num_allocated() const { return capacity_ - num_free(); }
+  int64_t capacity() const { return capacity_; }
+  double FreeFraction() const {
+    return capacity_ == 0 ? 0.0
+                          : static_cast<double>(num_free()) / static_cast<double>(capacity_);
+  }
+  bool IsAllocated(BlockId block) const;
+
+ private:
+  int64_t capacity_;
+  std::vector<BlockId> free_list_;
+  std::vector<bool> allocated_;
+};
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_KVCACHE_BLOCK_ALLOCATOR_H_

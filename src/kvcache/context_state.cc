@@ -1,0 +1,122 @@
+#include "src/kvcache/context_state.h"
+
+#include "src/common/logging.h"
+
+namespace pensieve {
+
+int64_t ContextState::LeadingDroppedChunks() const {
+  int64_t n = 0;
+  while (n < num_chunks() && chunk(n).Dropped()) {
+    ++n;
+  }
+  return n;
+}
+
+int64_t ContextState::LeadingDroppedTokens() const {
+  int64_t n = 0;
+  int64_t tokens = 0;
+  while (n < num_chunks() && chunk(n).Dropped()) {
+    tokens += chunk(n).num_tokens;
+    ++n;
+  }
+  return tokens;
+}
+
+int64_t ContextState::TokensOnGpu() const {
+  int64_t t = 0;
+  for (const Chunk& c : chunks_) {
+    if (c.OnGpu()) {
+      t += c.num_tokens;
+    }
+  }
+  return t;
+}
+
+int64_t ContextState::TokensCpuOnly() const {
+  int64_t t = 0;
+  for (const Chunk& c : chunks_) {
+    if (c.location == ChunkLocation::kCpu) {
+      t += c.num_tokens;
+    }
+  }
+  return t;
+}
+
+int64_t ContextState::TokensDropped() const {
+  int64_t t = 0;
+  for (const Chunk& c : chunks_) {
+    if (c.Dropped()) {
+      t += c.num_tokens;
+    }
+  }
+  return t;
+}
+
+std::vector<int64_t> ContextState::CpuOnlyChunks() const {
+  std::vector<int64_t> idx;
+  for (int64_t i = 0; i < num_chunks(); ++i) {
+    if (chunk(i).location == ChunkLocation::kCpu) {
+      idx.push_back(i);
+    }
+  }
+  return idx;
+}
+
+bool ContextState::FullyOnGpu() const {
+  for (const Chunk& c : chunks_) {
+    if (!c.OnGpu()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int64_t ContextState::NumNewChunksForAppend(int64_t n) const {
+  PENSIEVE_CHECK_GE(n, 0);
+  int64_t room = 0;
+  if (!chunks_.empty()) {
+    room = block_size_ - chunks_.back().num_tokens;
+  }
+  const int64_t overflow = n - room;
+  if (overflow <= 0) {
+    return 0;
+  }
+  return (overflow + block_size_ - 1) / block_size_;
+}
+
+void ContextState::AppendTokens(int64_t n, const std::vector<BlockId>& new_gpu_blocks,
+                                std::vector<SlotRef>* slots) {
+  PENSIEVE_CHECK_EQ(static_cast<int64_t>(new_gpu_blocks.size()), NumNewChunksForAppend(n));
+  if (!chunks_.empty() && chunks_.back().num_tokens < block_size_) {
+    // The partial tail chunk receives tokens first; it must be GPU-resident
+    // and must not carry a (now stale) CPU copy — the cache invalidates the
+    // copy before calling us.
+    PENSIEVE_CHECK(n == 0 || chunks_.back().location == ChunkLocation::kGpu)
+        << "appending into a tail chunk in state "
+        << ChunkLocationName(chunks_.back().location);
+  }
+  size_t next_new_block = 0;
+  int64_t remaining = n;
+  while (remaining > 0) {
+    if (chunks_.empty() || chunks_.back().num_tokens == block_size_) {
+      Chunk c;
+      c.location = ChunkLocation::kGpu;
+      c.gpu_block = new_gpu_blocks[next_new_block++];
+      c.num_tokens = 0;
+      chunks_.push_back(c);
+    }
+    Chunk& tail = chunks_.back();
+    const int64_t take = std::min(remaining, block_size_ - tail.num_tokens);
+    if (slots != nullptr) {
+      for (int64_t i = 0; i < take; ++i) {
+        slots->push_back(SlotRef{num_chunks() - 1, tail.gpu_block, tail.num_tokens + i});
+      }
+    }
+    tail.num_tokens += take;
+    kv_len_ += take;
+    remaining -= take;
+  }
+  PENSIEVE_CHECK_EQ(next_new_block, new_gpu_blocks.size());
+}
+
+}  // namespace pensieve

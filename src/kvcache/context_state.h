@@ -1,0 +1,91 @@
+// Per-conversation cached-context bookkeeping.
+//
+// A conversation's processed context is an ordered list of chunks (paper
+// §4.3). Pensieve always evicts/drops from the leading end, so a typical
+// layout is: [dropped prefix][CPU-resident middle][GPU-resident tail]
+// (paper Figure 5). The drop-from-the-front invariant is enforced by the
+// two-tier cache mechanism; swap state (GPU/CPU) may interleave freely.
+
+#ifndef PENSIEVE_SRC_KVCACHE_CONTEXT_STATE_H_
+#define PENSIEVE_SRC_KVCACHE_CONTEXT_STATE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/kvcache/block.h"
+
+namespace pensieve {
+
+class ContextState {
+ public:
+  explicit ContextState(int64_t block_size) : block_size_(block_size) {}
+
+  int64_t block_size() const { return block_size_; }
+
+  int64_t num_chunks() const { return static_cast<int64_t>(chunks_.size()); }
+  const Chunk& chunk(int64_t i) const { return chunks_[static_cast<size_t>(i)]; }
+  Chunk& mutable_chunk(int64_t i) { return chunks_[static_cast<size_t>(i)]; }
+  std::vector<Chunk>& chunks() { return chunks_; }
+  const std::vector<Chunk>& chunks() const { return chunks_; }
+
+  // Total KV tokens represented (including dropped ones).
+  int64_t kv_len() const { return kv_len_; }
+
+  // First token position covered by chunk i.
+  int64_t ChunkStartToken(int64_t i) const { return i * block_size_; }
+  // Context length "seen" by the last token of chunk i (causal attention):
+  // all tokens up to and including the chunk itself.
+  int64_t ChunkContextLen(int64_t i) const {
+    return ChunkStartToken(i) + chunk(i).num_tokens;
+  }
+
+  // Length of the contiguous dropped prefix, in tokens.
+  int64_t LeadingDroppedTokens() const;
+  int64_t LeadingDroppedChunks() const;
+
+  // Token counts by residency.
+  int64_t TokensOnGpu() const;
+  int64_t TokensCpuOnly() const;
+  int64_t TokensDropped() const;
+
+  // Chunk indices (ascending) that are CPU-only: these must be swapped in
+  // before the conversation's next request can run.
+  std::vector<int64_t> CpuOnlyChunks() const;
+
+  // True when every non-dropped chunk is GPU-resident.
+  bool FullyOnGpu() const;
+
+  // Appends bookkeeping for `n` more tokens; newly needed chunks are created
+  // with the provided GPU blocks. The caller supplies exactly
+  // NumNewChunksForAppend(n) block ids. Returns per-token (block, slot)
+  // positions via *slots if non-null.
+  struct SlotRef {
+    int64_t chunk_index;
+    BlockId block;
+    int64_t slot;
+  };
+  int64_t NumNewChunksForAppend(int64_t n) const;
+  void AppendTokens(int64_t n, const std::vector<BlockId>& new_gpu_blocks,
+                    std::vector<SlotRef>* slots);
+
+  // Last-activity timestamp (seconds); drives the eviction policy's T.
+  double last_active() const { return last_active_; }
+  void set_last_active(double t) { last_active_ = t; }
+
+  // Pins prevent eviction while a request is actively using the context.
+  void Pin() { ++pin_count_; }
+  void Unpin() { --pin_count_; }
+  bool pinned() const { return pin_count_ > 0; }
+
+ private:
+  int64_t block_size_;
+  std::vector<Chunk> chunks_;
+  int64_t kv_len_ = 0;
+  double last_active_ = 0.0;
+  int pin_count_ = 0;
+};
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_KVCACHE_CONTEXT_STATE_H_

@@ -1,0 +1,62 @@
+#include "src/kvcache/kv_pool.h"
+
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace pensieve {
+
+KvPool::KvPool(int64_t num_blocks, int64_t block_size, int64_t num_layers,
+               int64_t num_kv_heads, int64_t head_dim)
+    : num_blocks_(num_blocks), block_size_(block_size), num_layers_(num_layers),
+      num_kv_heads_(num_kv_heads), head_dim_(head_dim),
+      token_stride_(num_kv_heads * head_dim),
+      block_stride_(num_layers * 2 * block_size * token_stride_),
+      data_(static_cast<size_t>(num_blocks * block_stride_), 0.0f) {
+  PENSIEVE_CHECK_GT(block_size, 0);
+  PENSIEVE_CHECK_GT(num_layers, 0);
+  PENSIEVE_CHECK_GT(num_kv_heads, 0);
+  PENSIEVE_CHECK_GT(head_dim, 0);
+}
+
+int64_t KvPool::Offset(BlockId block, int64_t layer, int kv, int64_t slot) const {
+  PENSIEVE_CHECK_GE(block, 0);
+  PENSIEVE_CHECK_LT(block, num_blocks_);
+  PENSIEVE_CHECK_GE(layer, 0);
+  PENSIEVE_CHECK_LT(layer, num_layers_);
+  PENSIEVE_CHECK_GE(kv, 0);
+  PENSIEVE_CHECK_LE(kv, 1);
+  PENSIEVE_CHECK_GE(slot, 0);
+  PENSIEVE_CHECK_LT(slot, block_size_);
+  return block * block_stride_ + ((layer * 2 + kv) * block_size_ + slot) * token_stride_;
+}
+
+float* KvPool::TokenData(BlockId block, int64_t layer, int kv, int64_t slot) {
+  return data_.data() + Offset(block, layer, kv, slot);
+}
+
+const float* KvPool::TokenData(BlockId block, int64_t layer, int kv, int64_t slot) const {
+  return data_.data() + Offset(block, layer, kv, slot);
+}
+
+void KvPool::WriteToken(BlockId block, int64_t layer, int64_t slot, const float* k,
+                        const float* v) {
+  std::memcpy(TokenData(block, layer, /*kv=*/0, slot), k,
+              static_cast<size_t>(token_stride_) * sizeof(float));
+  std::memcpy(TokenData(block, layer, /*kv=*/1, slot), v,
+              static_cast<size_t>(token_stride_) * sizeof(float));
+}
+
+void KvPool::CopyBlock(const KvPool& src, BlockId src_block, KvPool& dst,
+                       BlockId dst_block) {
+  PENSIEVE_CHECK_EQ(src.block_stride_, dst.block_stride_);
+  PENSIEVE_CHECK_GE(src_block, 0);
+  PENSIEVE_CHECK_LT(src_block, src.num_blocks_);
+  PENSIEVE_CHECK_GE(dst_block, 0);
+  PENSIEVE_CHECK_LT(dst_block, dst.num_blocks_);
+  std::memcpy(dst.data_.data() + dst_block * dst.block_stride_,
+              src.data_.data() + src_block * src.block_stride_,
+              static_cast<size_t>(src.block_stride_) * sizeof(float));
+}
+
+}  // namespace pensieve

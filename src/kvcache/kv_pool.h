@@ -1,0 +1,65 @@
+// Numeric-mode storage for KV tokens: a pool of fixed-size blocks holding
+// the Key and Value embeddings for every layer.
+//
+// Layout per block (row-major floats):
+//   [num_layers][2 (K=0, V=1)][block_size][num_kv_heads][head_dim]
+//
+// A conversation chunk occupies one block across all layers, matching the
+// paper's eviction granularity (a chunk's KV for all layers moves together;
+// the layer-by-layer pipelined restore of §4.3.3 is a *timing* detail that
+// the simulator models, not a layout one).
+
+#ifndef PENSIEVE_SRC_KVCACHE_KV_POOL_H_
+#define PENSIEVE_SRC_KVCACHE_KV_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/kvcache/block.h"
+
+namespace pensieve {
+
+class KvPool {
+ public:
+  KvPool(int64_t num_blocks, int64_t block_size, int64_t num_layers, int64_t num_kv_heads,
+         int64_t head_dim);
+
+  int64_t num_blocks() const { return num_blocks_; }
+  int64_t block_size() const { return block_size_; }
+  int64_t num_layers() const { return num_layers_; }
+  int64_t num_kv_heads() const { return num_kv_heads_; }
+  int64_t head_dim() const { return head_dim_; }
+
+  // Pointer to one token's K (kv = 0) or V (kv = 1) vector
+  // [num_kv_heads * head_dim] within a block.
+  float* TokenData(BlockId block, int64_t layer, int kv, int64_t slot);
+  const float* TokenData(BlockId block, int64_t layer, int kv, int64_t slot) const;
+
+  // Writes one token's K and V (each [num_kv_heads * head_dim]) for a layer.
+  void WriteToken(BlockId block, int64_t layer, int64_t slot, const float* k,
+                  const float* v);
+
+  // Copies the full contents of one block (all layers) between pools; used
+  // by the numeric swap path (GPU tier <-> CPU tier).
+  static void CopyBlock(const KvPool& src, BlockId src_block, KvPool& dst,
+                        BlockId dst_block);
+
+  // Bytes occupied by one block in this pool (fp32 substrate).
+  int64_t BlockBytes() const { return block_stride_ * static_cast<int64_t>(sizeof(float)); }
+
+ private:
+  int64_t Offset(BlockId block, int64_t layer, int kv, int64_t slot) const;
+
+  int64_t num_blocks_;
+  int64_t block_size_;
+  int64_t num_layers_;
+  int64_t num_kv_heads_;
+  int64_t head_dim_;
+  int64_t token_stride_;  // floats per token per layer per K-or-V
+  int64_t block_stride_;  // floats per block
+  std::vector<float> data_;
+};
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_KVCACHE_KV_POOL_H_

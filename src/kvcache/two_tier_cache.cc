@@ -1,0 +1,269 @@
+#include "src/kvcache/two_tier_cache.h"
+
+#include "src/common/logging.h"
+
+namespace pensieve {
+
+TwoTierKvCache::TwoTierKvCache(const KvCacheConfig& config)
+    : config_(config), gpu_allocator_(config.num_gpu_blocks),
+      cpu_allocator_(config.num_cpu_blocks) {
+  if (config.numeric) {
+    gpu_pool_ = std::make_unique<KvPool>(config.num_gpu_blocks, config.block_size,
+                                         config.num_layers, config.num_kv_heads,
+                                         config.head_dim);
+    cpu_pool_ = std::make_unique<KvPool>(config.num_cpu_blocks, config.block_size,
+                                         config.num_layers, config.num_kv_heads,
+                                         config.head_dim);
+  }
+}
+
+ContextState& TwoTierKvCache::GetOrCreate(ConversationId id) {
+  auto it = conversations_.find(id);
+  if (it == conversations_.end()) {
+    it = conversations_.emplace(id, ContextState(config_.block_size)).first;
+  }
+  return it->second;
+}
+
+ContextState* TwoTierKvCache::Find(ConversationId id) {
+  auto it = conversations_.find(id);
+  return it == conversations_.end() ? nullptr : &it->second;
+}
+
+const ContextState* TwoTierKvCache::Find(ConversationId id) const {
+  auto it = conversations_.find(id);
+  return it == conversations_.end() ? nullptr : &it->second;
+}
+
+ContextState& TwoTierKvCache::MustFind(ConversationId id) {
+  ContextState* state = Find(id);
+  PENSIEVE_CHECK(state != nullptr) << "unknown conversation " << id;
+  return *state;
+}
+
+void TwoTierKvCache::Release(ConversationId id) {
+  ContextState* state = Find(id);
+  if (state == nullptr) {
+    return;
+  }
+  for (Chunk& c : state->chunks()) {
+    if (c.OnGpu()) {
+      gpu_allocator_.Free(c.gpu_block);
+      if (c.location == ChunkLocation::kGpuAndCpu) {
+        --reclaimable_gpu_blocks_;
+      }
+    }
+    if (c.HasCpuCopy()) {
+      cpu_allocator_.Free(c.cpu_block);
+    }
+  }
+  conversations_.erase(id);
+}
+
+Status TwoTierKvCache::AppendTokenSlots(ConversationId id, int64_t n,
+                                        std::vector<ContextState::SlotRef>* slots) {
+  ContextState& state = GetOrCreate(id);
+  const int64_t new_chunks = state.NumNewChunksForAppend(n);
+  if (new_chunks > gpu_allocator_.num_free()) {
+    return Status::ResourceExhausted("GPU tier has no free blocks for append");
+  }
+  // Invalidate a stale CPU copy on the partial tail chunk we are extending.
+  if (n > 0 && state.num_chunks() > 0) {
+    Chunk& tail = state.mutable_chunk(state.num_chunks() - 1);
+    if (tail.num_tokens < config_.block_size) {
+      if (tail.location == ChunkLocation::kGpuAndCpu) {
+        cpu_allocator_.Free(tail.cpu_block);
+        tail.cpu_block = kInvalidBlock;
+        tail.location = ChunkLocation::kGpu;
+        --reclaimable_gpu_blocks_;
+      } else if (tail.location != ChunkLocation::kGpu) {
+        return Status::FailedPrecondition(
+            "cannot append into a tail chunk that is not GPU-resident");
+      }
+    }
+  }
+  std::vector<BlockId> blocks;
+  blocks.reserve(static_cast<size_t>(new_chunks));
+  for (int64_t i = 0; i < new_chunks; ++i) {
+    auto b = gpu_allocator_.Allocate();
+    PENSIEVE_CHECK(b.has_value());
+    blocks.push_back(*b);
+  }
+  state.AppendTokens(n, blocks, slots);
+  return Status::Ok();
+}
+
+Status TwoTierKvCache::SwapOut(ConversationId id, int64_t chunk_index) {
+  ContextState& state = MustFind(id);
+  PENSIEVE_CHECK_LT(chunk_index, state.num_chunks());
+  Chunk& c = state.mutable_chunk(chunk_index);
+  if (c.location != ChunkLocation::kGpu) {
+    return Status::FailedPrecondition("SwapOut requires a GPU-only chunk");
+  }
+  auto cpu_block = cpu_allocator_.Allocate();
+  if (!cpu_block.has_value()) {
+    return Status::ResourceExhausted("CPU tier full during swap-out");
+  }
+  c.cpu_block = *cpu_block;
+  if (cpu_pool_ != nullptr) {
+    KvPool::CopyBlock(*gpu_pool_, c.gpu_block, *cpu_pool_, c.cpu_block);
+  }
+  c.location = ChunkLocation::kGpuAndCpu;
+  ++reclaimable_gpu_blocks_;
+  ++counters_.swapped_out_chunks;
+  return Status::Ok();
+}
+
+Status TwoTierKvCache::ReclaimGpu(ConversationId id, int64_t chunk_index) {
+  ContextState& state = MustFind(id);
+  PENSIEVE_CHECK_LT(chunk_index, state.num_chunks());
+  Chunk& c = state.mutable_chunk(chunk_index);
+  if (c.location != ChunkLocation::kGpuAndCpu) {
+    return Status::FailedPrecondition("ReclaimGpu requires a clean CPU copy");
+  }
+  gpu_allocator_.Free(c.gpu_block);
+  c.gpu_block = kInvalidBlock;
+  c.location = ChunkLocation::kCpu;
+  --reclaimable_gpu_blocks_;
+  ++counters_.reclaimed_gpu_blocks;
+  return Status::Ok();
+}
+
+Status TwoTierKvCache::SwapIn(ConversationId id, int64_t chunk_index) {
+  ContextState& state = MustFind(id);
+  PENSIEVE_CHECK_LT(chunk_index, state.num_chunks());
+  Chunk& c = state.mutable_chunk(chunk_index);
+  if (c.location != ChunkLocation::kCpu) {
+    return Status::FailedPrecondition("SwapIn requires a CPU-only chunk");
+  }
+  auto gpu_block = gpu_allocator_.Allocate();
+  if (!gpu_block.has_value()) {
+    return Status::ResourceExhausted("GPU tier full during swap-in");
+  }
+  c.gpu_block = *gpu_block;
+  if (gpu_pool_ != nullptr) {
+    KvPool::CopyBlock(*cpu_pool_, c.cpu_block, *gpu_pool_, c.gpu_block);
+  }
+  c.location = ChunkLocation::kGpuAndCpu;
+  ++reclaimable_gpu_blocks_;
+  ++counters_.swapped_in_chunks;
+  return Status::Ok();
+}
+
+Status TwoTierKvCache::DropCpuCopy(ConversationId id, int64_t chunk_index) {
+  ContextState& state = MustFind(id);
+  PENSIEVE_CHECK_LT(chunk_index, state.num_chunks());
+  Chunk& c = state.mutable_chunk(chunk_index);
+  if (c.location != ChunkLocation::kGpuAndCpu) {
+    return Status::FailedPrecondition("DropCpuCopy requires a kGpuAndCpu chunk");
+  }
+  cpu_allocator_.Free(c.cpu_block);
+  c.cpu_block = kInvalidBlock;
+  c.location = ChunkLocation::kGpu;
+  --reclaimable_gpu_blocks_;
+  return Status::Ok();
+}
+
+Status TwoTierKvCache::DropChunk(ConversationId id, int64_t chunk_index) {
+  ContextState& state = MustFind(id);
+  PENSIEVE_CHECK_LT(chunk_index, state.num_chunks());
+  // Drop-from-the-front invariant: all earlier chunks must already be
+  // dropped, otherwise recomputation could not treat the dropped region as a
+  // context prefix (paper Figure 5).
+  for (int64_t i = 0; i < chunk_index; ++i) {
+    if (!state.chunk(i).Dropped()) {
+      return Status::FailedPrecondition("non-prefix chunk drop attempted");
+    }
+  }
+  Chunk& c = state.mutable_chunk(chunk_index);
+  if (c.Dropped()) {
+    return Status::FailedPrecondition("chunk already dropped");
+  }
+  if (c.OnGpu()) {
+    gpu_allocator_.Free(c.gpu_block);
+    if (c.location == ChunkLocation::kGpuAndCpu) {
+      --reclaimable_gpu_blocks_;
+    }
+    c.gpu_block = kInvalidBlock;
+  }
+  if (c.HasCpuCopy()) {
+    cpu_allocator_.Free(c.cpu_block);
+    c.cpu_block = kInvalidBlock;
+  }
+  c.location = ChunkLocation::kDropped;
+  ++counters_.dropped_chunks;
+  return Status::Ok();
+}
+
+Status TwoTierKvCache::RestoreDropped(ConversationId id, int64_t chunk_index) {
+  ContextState& state = MustFind(id);
+  PENSIEVE_CHECK_LT(chunk_index, state.num_chunks());
+  Chunk& c = state.mutable_chunk(chunk_index);
+  if (!c.Dropped()) {
+    return Status::FailedPrecondition("RestoreDropped requires a dropped chunk");
+  }
+  auto gpu_block = gpu_allocator_.Allocate();
+  if (!gpu_block.has_value()) {
+    return Status::ResourceExhausted("GPU tier full during dropped-chunk restore");
+  }
+  c.gpu_block = *gpu_block;
+  c.location = ChunkLocation::kGpu;
+  ++counters_.restored_chunks;
+  return Status::Ok();
+}
+
+std::vector<BlockId> TwoTierKvCache::GpuBlockTable(ConversationId id,
+                                                   int64_t first_chunk) const {
+  const ContextState* state = Find(id);
+  PENSIEVE_CHECK(state != nullptr);
+  std::vector<BlockId> table;
+  table.reserve(static_cast<size_t>(state->num_chunks() - first_chunk));
+  for (int64_t i = first_chunk; i < state->num_chunks(); ++i) {
+    const Chunk& c = state->chunk(i);
+    PENSIEVE_CHECK(c.OnGpu()) << "chunk " << i << " not GPU-resident ("
+                              << ChunkLocationName(c.location) << ")";
+    table.push_back(c.gpu_block);
+  }
+  return table;
+}
+
+void TwoTierKvCache::CheckInvariants() const {
+  int64_t gpu_in_use = 0;
+  int64_t cpu_in_use = 0;
+  int64_t reclaimable = 0;
+  for (const auto& [id, state] : conversations_) {
+    bool seen_non_dropped = false;
+    for (int64_t i = 0; i < state.num_chunks(); ++i) {
+      const Chunk& c = state.chunk(i);
+      if (c.Dropped()) {
+        PENSIEVE_CHECK(!seen_non_dropped)
+            << "conversation " << id << ": dropped chunk " << i
+            << " follows a resident chunk (prefix invariant violated)";
+        PENSIEVE_CHECK_EQ(c.gpu_block, kInvalidBlock);
+        PENSIEVE_CHECK_EQ(c.cpu_block, kInvalidBlock);
+        continue;
+      }
+      seen_non_dropped = true;
+      if (c.OnGpu()) {
+        PENSIEVE_CHECK(gpu_allocator_.IsAllocated(c.gpu_block));
+        ++gpu_in_use;
+      }
+      if (c.HasCpuCopy()) {
+        PENSIEVE_CHECK(cpu_allocator_.IsAllocated(c.cpu_block));
+        ++cpu_in_use;
+      }
+      if (c.location == ChunkLocation::kGpuAndCpu) {
+        ++reclaimable;
+      }
+      // Only the final chunk may be partial.
+      if (i + 1 < state.num_chunks()) {
+        PENSIEVE_CHECK_EQ(c.num_tokens, config_.block_size);
+      }
+    }
+  }
+  PENSIEVE_CHECK_EQ(gpu_in_use, gpu_allocator_.num_allocated());
+  PENSIEVE_CHECK_EQ(cpu_in_use, cpu_allocator_.num_allocated());
+  PENSIEVE_CHECK_EQ(reclaimable, reclaimable_gpu_blocks_);
+}
+
+}  // namespace pensieve

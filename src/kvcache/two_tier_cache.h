@@ -1,0 +1,149 @@
+// Two-tier (GPU + CPU) paged KV cache (paper §4.3).
+//
+// This class owns the block allocators for both tiers, the per-conversation
+// ContextState map, and — in numeric mode — the real KV pools whose contents
+// the swap operations copy. It implements the *mechanisms* (swap out/in,
+// lazy GPU reclamation, prefix dropping, dropped-chunk restore); *policy*
+// (which chunk, when) lives in src/eviction and the engine's cache
+// coordinator.
+//
+// Chunk lifecycle:
+//
+//             SwapOut              ReclaimGpu
+//   kGpu  ------------> kGpuAndCpu -----------> kCpu
+//    ^                      |  ^                 |
+//    |   DropCpuCopy        |  |     SwapIn      |
+//    +----------------------+  +-----------------+
+//    |                                            DropChunk
+//    +-- RestoreDropped <-- kDropped <------------+
+//
+// kGpuAndCpu is the paper's lazy-reclamation state: the chunk was copied to
+// the CPU ahead of time, but its GPU slot is only actually released
+// (ReclaimGpu) when the scheduler hands that slot to another conversation.
+
+#ifndef PENSIEVE_SRC_KVCACHE_TWO_TIER_CACHE_H_
+#define PENSIEVE_SRC_KVCACHE_TWO_TIER_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/kvcache/block.h"
+#include "src/kvcache/block_allocator.h"
+#include "src/kvcache/context_state.h"
+#include "src/kvcache/kv_pool.h"
+
+namespace pensieve {
+
+using ConversationId = int64_t;
+
+struct KvCacheConfig {
+  int64_t block_size = kDefaultBlockSize;
+  int64_t num_gpu_blocks = 0;
+  int64_t num_cpu_blocks = 0;
+  // Numeric mode: allocate real pools with this geometry.
+  bool numeric = false;
+  int64_t num_layers = 1;
+  int64_t num_kv_heads = 1;
+  int64_t head_dim = 1;
+};
+
+class TwoTierKvCache {
+ public:
+  explicit TwoTierKvCache(const KvCacheConfig& config);
+
+  int64_t block_size() const { return config_.block_size; }
+
+  BlockAllocator& gpu_allocator() { return gpu_allocator_; }
+  const BlockAllocator& gpu_allocator() const { return gpu_allocator_; }
+  BlockAllocator& cpu_allocator() { return cpu_allocator_; }
+  const BlockAllocator& cpu_allocator() const { return cpu_allocator_; }
+
+  // Null in simulated mode.
+  KvPool* gpu_pool() { return gpu_pool_.get(); }
+  KvPool* cpu_pool() { return cpu_pool_.get(); }
+
+  ContextState& GetOrCreate(ConversationId id);
+  ContextState* Find(ConversationId id);
+  const ContextState* Find(ConversationId id) const;
+  // Frees every block owned by the conversation and forgets it.
+  void Release(ConversationId id);
+
+  // All conversations currently tracked (for eviction scans).
+  const std::unordered_map<ConversationId, ContextState>& conversations() const {
+    return conversations_;
+  }
+
+  // GPU blocks that could be reclaimed instantly because a clean CPU copy
+  // exists (kGpuAndCpu chunks).
+  int64_t ReclaimableGpuBlocks() const { return reclaimable_gpu_blocks_; }
+  // Free + instantly reclaimable.
+  int64_t AvailableGpuBlocks() const {
+    return gpu_allocator_.num_free() + reclaimable_gpu_blocks_;
+  }
+
+  // --- Append path -------------------------------------------------------
+  // Appends n token slots on the GPU, allocating new blocks as needed (the
+  // caller must have ensured availability; fails with RESOURCE_EXHAUSTED
+  // otherwise, leaving state unchanged). If the tail chunk is partial and
+  // carries a CPU copy, the copy is invalidated (freed).
+  Status AppendTokenSlots(ConversationId id, int64_t n,
+                          std::vector<ContextState::SlotRef>* slots);
+
+  // --- Swap / drop mechanisms --------------------------------------------
+  // kGpu -> kGpuAndCpu. Copies data in numeric mode.
+  Status SwapOut(ConversationId id, int64_t chunk_index);
+  // kGpuAndCpu -> kCpu. Frees the GPU block (no data movement needed).
+  Status ReclaimGpu(ConversationId id, int64_t chunk_index);
+  // kCpu -> kGpuAndCpu. Allocates a GPU block; copies data in numeric mode.
+  Status SwapIn(ConversationId id, int64_t chunk_index);
+  // kGpuAndCpu -> kGpu. Frees the (still valid) CPU copy.
+  Status DropCpuCopy(ConversationId id, int64_t chunk_index);
+  // {kCpu, kGpu, kGpuAndCpu} -> kDropped, freeing all blocks. Only legal if
+  // every earlier chunk is already dropped (drop-from-the-front invariant).
+  Status DropChunk(ConversationId id, int64_t chunk_index);
+  // kDropped -> kGpu with a freshly allocated (zeroed in numeric mode) GPU
+  // block; the caller then recomputes the chunk's KV into it.
+  Status RestoreDropped(ConversationId id, int64_t chunk_index);
+
+  // Frees exactly one GPU block by downgrading some kGpuAndCpu chunk chosen
+  // by the caller. Convenience for the coordinator: equivalent to
+  // ReclaimGpu.
+  // (No extra method needed; coordinator calls ReclaimGpu directly.)
+
+  // Builds the GPU block table covering the conversation's chunks
+  // [first_chunk, num_chunks); every such chunk must be GPU-resident.
+  std::vector<BlockId> GpuBlockTable(ConversationId id, int64_t first_chunk = 0) const;
+
+  // --- Introspection / stats ---------------------------------------------
+  struct Counters {
+    int64_t swapped_out_chunks = 0;
+    int64_t swapped_in_chunks = 0;
+    int64_t dropped_chunks = 0;
+    int64_t restored_chunks = 0;
+    int64_t reclaimed_gpu_blocks = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+  // Internal-consistency audit used by tests: verifies allocator/refcount
+  // agreement and the drop-prefix invariant. Aborts on violation.
+  void CheckInvariants() const;
+
+ private:
+  ContextState& MustFind(ConversationId id);
+
+  KvCacheConfig config_;
+  BlockAllocator gpu_allocator_;
+  BlockAllocator cpu_allocator_;
+  std::unique_ptr<KvPool> gpu_pool_;
+  std::unique_ptr<KvPool> cpu_pool_;
+  std::unordered_map<ConversationId, ContextState> conversations_;
+  int64_t reclaimable_gpu_blocks_ = 0;
+  Counters counters_;
+};
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_KVCACHE_TWO_TIER_CACHE_H_

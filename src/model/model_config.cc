@@ -1,0 +1,164 @@
+#include "src/model/model_config.h"
+
+namespace pensieve {
+
+int64_t ModelConfig::ApproxParamCount() const {
+  const int64_t h = hidden_size;
+  const int64_t q_dim = num_heads * head_dim;
+  const int64_t kv_dim = num_kv_heads * head_dim;
+  // Attention: Wq [h, q_dim], Wk/Wv [h, kv_dim], Wo [q_dim, h].
+  int64_t attn = h * q_dim + 2 * h * kv_dim + q_dim * h;
+  // FFN: gated uses three matrices, plain uses two.
+  int64_t ffn = gated_ffn ? 3 * h * ffn_hidden : 2 * h * ffn_hidden;
+  int64_t per_layer = attn + ffn;
+  // Embedding (tied with LM head).
+  int64_t embed = vocab_size * h;
+  return num_layers * per_layer + embed;
+}
+
+double ModelConfig::NonAttentionFlopsPerToken() const {
+  const double h = static_cast<double>(hidden_size);
+  const double q_dim = static_cast<double>(num_heads * head_dim);
+  const double kv_dim = static_cast<double>(num_kv_heads * head_dim);
+  const double f = static_cast<double>(ffn_hidden);
+  // 2 FLOPs per multiply-accumulate.
+  double attn_proj = 2.0 * (h * q_dim + 2.0 * h * kv_dim + q_dim * h);
+  double ffn = gated_ffn ? 2.0 * 3.0 * h * f : 2.0 * 2.0 * h * f;
+  return static_cast<double>(num_layers) * (attn_proj + ffn);
+}
+
+double ModelConfig::AttentionFlopsPerToken(int64_t context_len) const {
+  const double q_dim = static_cast<double>(num_heads * head_dim);
+  // QK^T and softmax(A)V each cost 2 * q_dim FLOPs per (query, key) pair.
+  return static_cast<double>(num_layers) * 4.0 * q_dim *
+         static_cast<double>(context_len);
+}
+
+ModelConfig Opt13BConfig() {
+  ModelConfig c;
+  c.name = "opt-13b";
+  c.num_layers = 40;
+  c.hidden_size = 5120;
+  c.num_heads = 40;
+  c.num_kv_heads = 40;
+  c.head_dim = 128;
+  c.ffn_hidden = 4 * 5120;
+  c.vocab_size = 50272;
+  c.activation = Activation::kRelu;
+  c.norm = NormKind::kLayerNorm;
+  c.pos_embedding = PositionEmbedding::kLearned;
+  c.gated_ffn = false;
+  c.qkv_bias = true;
+  c.num_gpus = 1;
+  return c;
+}
+
+ModelConfig Opt66BConfig() {
+  ModelConfig c = Opt13BConfig();
+  c.name = "opt-66b";
+  c.num_layers = 64;
+  c.hidden_size = 9216;
+  c.num_heads = 72;
+  c.num_kv_heads = 72;
+  c.head_dim = 128;
+  c.ffn_hidden = 4 * 9216;
+  c.num_gpus = 4;
+  return c;
+}
+
+ModelConfig Llama2_13BConfig() {
+  ModelConfig c;
+  c.name = "llama2-13b";
+  c.num_layers = 40;
+  c.hidden_size = 5120;
+  c.num_heads = 40;
+  // The paper changes Llama 2-13B KV heads from 40 to 10 to exercise GQA
+  // (group size 4).
+  c.num_kv_heads = 10;
+  c.head_dim = 128;
+  c.ffn_hidden = 13824;
+  c.vocab_size = 32000;
+  c.activation = Activation::kSilu;
+  c.norm = NormKind::kRmsNorm;
+  c.pos_embedding = PositionEmbedding::kRotary;
+  c.gated_ffn = true;
+  c.qkv_bias = false;
+  c.num_gpus = 1;
+  return c;
+}
+
+ModelConfig Llama2_70BConfig() {
+  ModelConfig c = Llama2_13BConfig();
+  c.name = "llama2-70b";
+  c.num_layers = 80;
+  c.hidden_size = 8192;
+  c.num_heads = 64;
+  c.num_kv_heads = 8;  // GQA group size 8
+  c.head_dim = 128;
+  c.ffn_hidden = 28672;
+  c.num_gpus = 4;
+  return c;
+}
+
+ModelConfig TinyOptConfig() {
+  ModelConfig c;
+  c.name = "tiny-opt";
+  c.num_layers = 2;
+  c.hidden_size = 64;
+  c.num_heads = 4;
+  c.num_kv_heads = 4;
+  c.head_dim = 16;
+  c.ffn_hidden = 128;
+  c.vocab_size = 128;
+  c.max_context = 512;
+  c.activation = Activation::kRelu;
+  c.norm = NormKind::kLayerNorm;
+  c.pos_embedding = PositionEmbedding::kLearned;
+  c.gated_ffn = false;
+  c.qkv_bias = true;
+  c.num_gpus = 1;
+  c.bytes_per_value = 4;  // fp32 on the CPU substrate
+  return c;
+}
+
+ModelConfig TinyLlamaConfig() {
+  ModelConfig c;
+  c.name = "tiny-llama";
+  c.num_layers = 2;
+  c.hidden_size = 64;
+  c.num_heads = 4;
+  c.num_kv_heads = 2;  // exercises GQA (group size 2)
+  c.head_dim = 16;
+  c.ffn_hidden = 96;
+  c.vocab_size = 128;
+  c.max_context = 512;
+  c.activation = Activation::kSilu;
+  c.norm = NormKind::kRmsNorm;
+  c.pos_embedding = PositionEmbedding::kRotary;
+  c.gated_ffn = true;
+  c.qkv_bias = false;
+  c.num_gpus = 1;
+  c.bytes_per_value = 4;
+  return c;
+}
+
+bool ModelConfigByName(const std::string& name, ModelConfig* config) {
+  if (name == "opt-13b") {
+    *config = Opt13BConfig();
+  } else if (name == "opt-66b") {
+    *config = Opt66BConfig();
+  } else if (name == "llama2-13b") {
+    *config = Llama2_13BConfig();
+  } else if (name == "llama2-70b") {
+    *config = Llama2_70BConfig();
+  } else if (name == "tiny-opt") {
+    *config = TinyOptConfig();
+  } else if (name == "tiny-llama") {
+    *config = TinyLlamaConfig();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pensieve

@@ -1,0 +1,80 @@
+// Model architecture descriptions (paper Table 1) plus tiny validation models.
+//
+// The serving system and the cost model are parameterized entirely by this
+// struct; the numeric reference transformer (src/model/transformer.h)
+// instantiates real weights only for the tiny presets.
+
+#ifndef PENSIEVE_SRC_MODEL_MODEL_CONFIG_H_
+#define PENSIEVE_SRC_MODEL_MODEL_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pensieve {
+
+enum class Activation { kGelu, kSilu, kRelu };
+enum class NormKind { kLayerNorm, kRmsNorm };
+enum class PositionEmbedding { kLearned, kRotary };
+
+struct ModelConfig {
+  std::string name;
+  int64_t num_layers = 0;
+  int64_t hidden_size = 0;
+  int64_t num_heads = 0;
+  int64_t num_kv_heads = 0;  // < num_heads => grouped-query attention
+  int64_t head_dim = 0;
+  int64_t ffn_hidden = 0;    // intermediate FFN width
+  int64_t vocab_size = 0;
+  int64_t max_context = 16384;
+  Activation activation = Activation::kGelu;
+  NormKind norm = NormKind::kLayerNorm;
+  PositionEmbedding pos_embedding = PositionEmbedding::kLearned;
+  bool gated_ffn = false;     // Llama-style SwiGLU (gate * up -> down)
+  bool qkv_bias = true;       // OPT uses biases; Llama does not
+  int num_gpus = 1;           // tensor-parallel degree used in the paper
+  int bytes_per_value = 2;    // fp16 in all paper experiments
+
+  // GQA group size: how many query heads share one KV head.
+  int64_t GqaGroupSize() const { return num_heads / num_kv_heads; }
+
+  // Bytes to store one token's K and V across all layers (whole model).
+  // Matches the paper's example: OPT-13B = 2 * 40 * 5120 * 2 B = 0.78 MiB.
+  int64_t KvBytesPerToken() const {
+    return 2 * num_layers * num_kv_heads * head_dim * bytes_per_value;
+  }
+
+  // Per-GPU share of KvBytesPerToken under tensor parallelism (KV heads are
+  // partitioned across GPUs along the feature dimension, paper §4.4.2).
+  int64_t KvBytesPerTokenPerGpu() const { return KvBytesPerToken() / num_gpus; }
+
+  // Approximate parameter count (weights only; used by the cost model for
+  // memory-bandwidth-bound decode steps).
+  int64_t ApproxParamCount() const;
+
+  // FLOPs of non-attention computation (QKV/output projections, FFN, and the
+  // final vocabulary projection is excluded as per-step constant) for a
+  // single token passing through all layers.
+  double NonAttentionFlopsPerToken() const;
+
+  // FLOPs of the attention score+aggregation computation for one query token
+  // attending to `context_len` KV tokens, across all layers.
+  double AttentionFlopsPerToken(int64_t context_len) const;
+};
+
+// Paper Table 1 presets.
+ModelConfig Opt13BConfig();
+ModelConfig Opt66BConfig();
+ModelConfig Llama2_13BConfig();   // KV heads reduced 40 -> 10 as in the paper
+ModelConfig Llama2_70BConfig();
+
+// Tiny architectures (same structural features) for numeric validation.
+ModelConfig TinyOptConfig();
+ModelConfig TinyLlamaConfig();
+
+// Looks up any preset by name ("opt-13b", "llama2-70b", "tiny-opt", ...).
+// Returns true and fills *config on success.
+bool ModelConfigByName(const std::string& name, ModelConfig* config);
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_MODEL_MODEL_CONFIG_H_

@@ -1,0 +1,201 @@
+#include "src/model/transformer.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/tensor/ops.h"
+
+namespace pensieve {
+
+namespace {
+constexpr float kNormEps = 1e-5f;
+constexpr float kRotaryBase = 10000.0f;
+}  // namespace
+
+Transformer::Transformer(const ModelConfig& config, uint64_t seed) : config_(config) {
+  const int64_t h = config.hidden_size;
+  const float w_std = 1.0f / std::sqrt(static_cast<float>(h));
+  uint64_t s = seed;
+  auto next_seed = [&s]() { return ++s; };
+
+  embedding_ = Tensor({config.vocab_size, h});
+  FillNormal(embedding_, next_seed(), 1.0f);
+  if (config.pos_embedding == PositionEmbedding::kLearned) {
+    pos_embedding_ = Tensor({config.max_context, h});
+    FillNormal(pos_embedding_, next_seed(), 0.1f);
+  }
+  final_norm_gain_ = Tensor::Full({h}, 1.0f);
+  final_norm_bias_ = Tensor::Zeros({h});
+
+  const int64_t qkv_out = (config.num_heads + 2 * config.num_kv_heads) * config.head_dim;
+  layers_.reserve(static_cast<size_t>(config.num_layers));
+  for (int64_t l = 0; l < config.num_layers; ++l) {
+    LayerWeights w;
+    w.attn_norm_gain = Tensor::Full({h}, 1.0f);
+    w.attn_norm_bias = Tensor::Zeros({h});
+    w.wqkv = Tensor({qkv_out, h});
+    FillNormal(w.wqkv, next_seed(), w_std);
+    w.bqkv = Tensor::Zeros({qkv_out});
+    if (config.qkv_bias) {
+      FillNormal(w.bqkv, next_seed(), 0.01f);
+    }
+    w.wo = Tensor({h, config.num_heads * config.head_dim});
+    FillNormal(w.wo, next_seed(), w_std);
+    w.bo = Tensor::Zeros({h});
+    w.ffn_norm_gain = Tensor::Full({h}, 1.0f);
+    w.ffn_norm_bias = Tensor::Zeros({h});
+    w.w_up = Tensor({config.ffn_hidden, h});
+    FillNormal(w.w_up, next_seed(), w_std);
+    w.b_up = Tensor::Zeros({config.ffn_hidden});
+    if (config.gated_ffn) {
+      w.w_gate = Tensor({config.ffn_hidden, h});
+      FillNormal(w.w_gate, next_seed(), w_std);
+    }
+    w.w_down = Tensor({h, config.ffn_hidden});
+    FillNormal(w.w_down, next_seed(), 1.0f / std::sqrt(static_cast<float>(config.ffn_hidden)));
+    w.b_down = Tensor::Zeros({h});
+    layers_.push_back(std::move(w));
+  }
+}
+
+Tensor Transformer::Normalize(const Tensor& x, const Tensor& gain,
+                              const Tensor& bias) const {
+  if (config_.norm == NormKind::kRmsNorm) {
+    return RmsNorm(x, gain, kNormEps);
+  }
+  return LayerNorm(x, gain, bias, kNormEps);
+}
+
+Tensor Transformer::Forward(KvPool* pool, const ForwardBatch& batch) const {
+  PENSIEVE_CHECK(pool != nullptr);
+  const int64_t num_tokens = static_cast<int64_t>(batch.tokens.size());
+  PENSIEVE_CHECK_GT(num_tokens, 0);
+  PENSIEVE_CHECK_EQ(batch.positions.size(), batch.tokens.size());
+  PENSIEVE_CHECK_EQ(batch.kv_slots.size(), batch.tokens.size());
+  const int64_t h = config_.hidden_size;
+  const int64_t head_dim = config_.head_dim;
+  const int64_t num_heads = config_.num_heads;
+  const int64_t num_kv_heads = config_.num_kv_heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+
+  // Token (+ learned position) embeddings.
+  Tensor x({num_tokens, h});
+  for (int64_t t = 0; t < num_tokens; ++t) {
+    const int32_t tok = batch.tokens[static_cast<size_t>(t)];
+    PENSIEVE_CHECK_GE(tok, 0);
+    PENSIEVE_CHECK_LT(tok, config_.vocab_size);
+    const float* src = embedding_.data() + static_cast<int64_t>(tok) * h;
+    std::copy(src, src + h, x.data() + t * h);
+    if (config_.pos_embedding == PositionEmbedding::kLearned) {
+      const int64_t pos = batch.positions[static_cast<size_t>(t)];
+      PENSIEVE_CHECK_LT(pos, config_.max_context);
+      const float* pe = pos_embedding_.data() + pos * h;
+      float* row = x.data() + t * h;
+      for (int64_t j = 0; j < h; ++j) {
+        row[j] += pe[j];
+      }
+    }
+  }
+
+  for (int64_t l = 0; l < config_.num_layers; ++l) {
+    const LayerWeights& w = layers_[static_cast<size_t>(l)];
+    // --- Attention block (pre-norm residual) ---
+    Tensor normed = Normalize(x, w.attn_norm_gain, w.attn_norm_bias);
+    Tensor qkv = MatMulTransposedB(normed, w.wqkv);
+    if (config_.qkv_bias) {
+      AddBiasInPlace(qkv, w.bqkv);
+    }
+    // Split into Q [T, H, D] and K/V [T, KVH, D].
+    Tensor q({num_tokens, num_heads, head_dim});
+    Tensor k({num_tokens, num_kv_heads, head_dim});
+    Tensor v({num_tokens, num_kv_heads, head_dim});
+    const int64_t q_width = num_heads * head_dim;
+    const int64_t kv_width = num_kv_heads * head_dim;
+    const int64_t qkv_width = q_width + 2 * kv_width;
+    for (int64_t t = 0; t < num_tokens; ++t) {
+      const float* row = qkv.data() + t * qkv_width;
+      std::copy(row, row + q_width, q.data() + t * q_width);
+      std::copy(row + q_width, row + q_width + kv_width, k.data() + t * kv_width);
+      std::copy(row + q_width + kv_width, row + qkv_width, v.data() + t * kv_width);
+    }
+    if (config_.pos_embedding == PositionEmbedding::kRotary) {
+      ApplyRotaryInPlace(q, batch.positions, kRotaryBase);
+      ApplyRotaryInPlace(k, batch.positions, kRotaryBase);
+    }
+    // Write K/V to the paged cache, then attend (paper Fig 8, steps c-d).
+    for (int64_t t = 0; t < num_tokens; ++t) {
+      const ForwardBatch::KvSlot& slot = batch.kv_slots[static_cast<size_t>(t)];
+      pool->WriteToken(slot.block, l, slot.slot, k.data() + t * kv_width,
+                       v.data() + t * kv_width);
+    }
+    Tensor attn_out({num_tokens, num_heads, head_dim});
+    MultiTokenPagedAttention(*pool, l, q, batch.subs, scale, &attn_out);
+    Tensor attn_flat = attn_out.Reshaped({num_tokens, q_width});
+    Tensor proj = MatMulTransposedB(attn_flat, w.wo);
+    AddBiasInPlace(proj, w.bo);
+    AddInPlace(x, proj);
+
+    // --- FFN block (pre-norm residual) ---
+    Tensor ffn_in = Normalize(x, w.ffn_norm_gain, w.ffn_norm_bias);
+    Tensor up = MatMulTransposedB(ffn_in, w.w_up);
+    AddBiasInPlace(up, w.b_up);
+    if (config_.gated_ffn) {
+      Tensor gate = MatMulTransposedB(ffn_in, w.w_gate);
+      switch (config_.activation) {
+        case Activation::kSilu:
+          SiluInPlace(gate);
+          break;
+        case Activation::kGelu:
+          GeluInPlace(gate);
+          break;
+        case Activation::kRelu:
+          ReluInPlace(gate);
+          break;
+      }
+      MulInPlace(up, gate);
+    } else {
+      switch (config_.activation) {
+        case Activation::kSilu:
+          SiluInPlace(up);
+          break;
+        case Activation::kGelu:
+          GeluInPlace(up);
+          break;
+        case Activation::kRelu:
+          ReluInPlace(up);
+          break;
+      }
+    }
+    Tensor down = MatMulTransposedB(up, w.w_down);
+    AddBiasInPlace(down, w.b_down);
+    AddInPlace(x, down);
+  }
+
+  // Final norm + tied LM head on the requested rows only.
+  Tensor selected({static_cast<int64_t>(batch.logit_rows.size()), h});
+  for (size_t i = 0; i < batch.logit_rows.size(); ++i) {
+    const int64_t row = batch.logit_rows[i];
+    PENSIEVE_CHECK_GE(row, 0);
+    PENSIEVE_CHECK_LT(row, num_tokens);
+    std::copy(x.data() + row * h, x.data() + (row + 1) * h,
+              selected.data() + static_cast<int64_t>(i) * h);
+  }
+  Tensor normed = Normalize(selected, final_norm_gain_, final_norm_bias_);
+  return MatMulTransposedB(normed, embedding_);
+}
+
+int32_t Transformer::Greedy(const Tensor& logits, int64_t row) {
+  PENSIEVE_CHECK_EQ(logits.rank(), 2u);
+  PENSIEVE_CHECK_LT(row, logits.dim(0));
+  const int64_t vocab = logits.dim(1);
+  const float* p = logits.data() + row * vocab;
+  int64_t best = 0;
+  for (int64_t i = 1; i < vocab; ++i) {
+    if (p[i] > p[best]) {
+      best = i;
+    }
+  }
+  return static_cast<int32_t>(best);
+}
+
+}  // namespace pensieve

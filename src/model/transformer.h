@@ -1,0 +1,87 @@
+// Reference transformer executing over the paged KV pool (numeric mode).
+//
+// This plays the role PyTorch's C++ frontend plays in the paper's
+// implementation: it runs the non-attention operators (projections, norms,
+// FFN, embeddings) and calls into Pensieve's multi-token paged attention
+// kernel for the attention step, writing K/V to the cache first (paper
+// Figure 8 steps b-d). Weights are randomly initialized — serving-system
+// behaviour is independent of weight values — and deterministic in the seed,
+// so stateful and stateless execution can be compared token for token.
+
+#ifndef PENSIEVE_SRC_MODEL_TRANSFORMER_H_
+#define PENSIEVE_SRC_MODEL_TRANSFORMER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/kernels/attention.h"
+#include "src/kvcache/kv_pool.h"
+#include "src/model/model_config.h"
+#include "src/tensor/tensor.h"
+
+namespace pensieve {
+
+// One unified batch (prefill and generation tokens mixed, paper §4.2):
+// tokens from all requests are concatenated; attention sub-requests address
+// rows of that concatenation.
+struct ForwardBatch {
+  // Input token ids, all requests concatenated.
+  std::vector<int32_t> tokens;
+  // Absolute position of each token in its conversation context.
+  std::vector<int64_t> positions;
+  // Where each token's K/V is written in the GPU pool (same order).
+  struct KvSlot {
+    BlockId block;
+    int64_t slot;
+  };
+  std::vector<KvSlot> kv_slots;
+  // Attention work items; query_start indexes rows of `tokens`. Block tables
+  // referenced here must outlive the Forward call.
+  std::vector<AttentionSubRequest> subs;
+  // Rows whose logits the caller wants (one per generating request).
+  std::vector<int64_t> logit_rows;
+};
+
+class Transformer {
+ public:
+  Transformer(const ModelConfig& config, uint64_t seed);
+
+  const ModelConfig& config() const { return config_; }
+
+  // Runs the batch, updating the pool, and returns logits
+  // [logit_rows.size(), vocab_size].
+  Tensor Forward(KvPool* pool, const ForwardBatch& batch) const;
+
+  // Argmax over one logits row.
+  static int32_t Greedy(const Tensor& logits, int64_t row);
+
+ private:
+  struct LayerWeights {
+    Tensor attn_norm_gain;
+    Tensor attn_norm_bias;
+    Tensor wqkv;  // [(num_heads + 2 * num_kv_heads) * head_dim, hidden]
+    Tensor bqkv;
+    Tensor wo;  // [hidden, num_heads * head_dim]
+    Tensor bo;
+    Tensor ffn_norm_gain;
+    Tensor ffn_norm_bias;
+    Tensor w_up;    // [ffn_hidden, hidden]
+    Tensor b_up;    // [ffn_hidden]
+    Tensor w_gate;  // gated FFN only
+    Tensor w_down;  // [hidden, ffn_hidden]
+    Tensor b_down;  // [hidden]
+  };
+
+  Tensor Normalize(const Tensor& x, const Tensor& gain, const Tensor& bias) const;
+
+  ModelConfig config_;
+  Tensor embedding_;      // [vocab, hidden]; tied LM head
+  Tensor pos_embedding_;  // [max_context, hidden] for learned positions
+  Tensor final_norm_gain_;
+  Tensor final_norm_bias_;
+  std::vector<LayerWeights> layers_;
+};
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_MODEL_TRANSFORMER_H_

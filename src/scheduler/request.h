@@ -1,0 +1,58 @@
+// Request and outcome types shared by every serving engine.
+
+#ifndef PENSIEVE_SRC_SCHEDULER_REQUEST_H_
+#define PENSIEVE_SRC_SCHEDULER_REQUEST_H_
+
+#include <cstdint>
+
+#include "src/common/logging.h"
+
+namespace pensieve {
+
+// One turn of a conversation submitted to the serving system. The prompt is
+// described by lengths; raw token ids are rematerialized on demand from the
+// persistent history store (SyntheticToken) where numerics are needed.
+struct Request {
+  int64_t request_id = 0;
+  int64_t conversation_id = 0;
+  int32_t turn_index = 0;
+  // Tokens in the new user prompt of this turn.
+  int64_t new_prompt_len = 0;
+  // Raw conversation tokens accumulated before this turn (all previous
+  // prompts and responses). A stateless system re-processes these.
+  int64_t history_len = 0;
+  // Response length; generation stops after this many tokens (stand-in for
+  // the model emitting EOS).
+  int64_t target_output_len = 0;
+  double arrival_time = 0.0;
+};
+
+// Completion record for one request, with the reuse accounting that the
+// paper's Figure 14 analysis reports.
+struct RequestOutcome {
+  Request request;
+  double first_scheduled_time = 0.0;
+  double finish_time = 0.0;
+  // Input tokens processed during this request's prefill (new prompt plus
+  // any recomputed history).
+  int64_t prefill_input_tokens = 0;
+  // History tokens served from the GPU cache without recomputation.
+  int64_t reused_gpu_tokens = 0;
+  // History tokens restored from the CPU cache (swap-in).
+  int64_t reused_cpu_tokens = 0;
+  // History tokens recomputed because their KV had been dropped (or the
+  // system is stateless).
+  int64_t recomputed_tokens = 0;
+  // Times the request was suspended and re-queued (paper §4.3.5).
+  int32_t suspensions = 0;
+
+  double NormalizedLatency() const {
+    PENSIEVE_CHECK_GT(request.target_output_len, 0);
+    return (finish_time - request.arrival_time) /
+           static_cast<double>(request.target_output_len);
+  }
+};
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_SCHEDULER_REQUEST_H_

@@ -1,0 +1,31 @@
+#include "src/scheduler/step_cost.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pensieve {
+
+double UnifiedStepTime(const GpuCostModel& cost_model,
+                       const std::vector<GpuCostModel::BatchItem>& items,
+                       double dense_speedup) {
+  PENSIEVE_CHECK_GT(dense_speedup, 0.0);
+  int64_t total_tokens = 0;
+  double attention_time = 0.0;
+  for (const GpuCostModel::BatchItem& item : items) {
+    total_tokens += item.query_len;
+    attention_time += cost_model.AttentionTime(item.query_len, item.context_len);
+  }
+  if (total_tokens == 0) {
+    return 0.0;
+  }
+  const double dense_math = cost_model.LinearTime(total_tokens) / dense_speedup;
+  const double dense_time = std::max(dense_math, cost_model.WeightReadTime());
+  const HardwareSpec& hw = cost_model.hardware();
+  const double overhead =
+      hw.step_overhead +
+      hw.layer_overhead * static_cast<double>(cost_model.model().num_layers);
+  return dense_time + attention_time + overhead;
+}
+
+}  // namespace pensieve

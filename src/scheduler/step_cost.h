@@ -1,0 +1,23 @@
+// Shared step-latency computation for serving engines.
+//
+// Engines describe a step as a list of (query_len, context_len) items and an
+// optional dense-operator speedup (TensorRT-LLM's graph-fusion advantage is
+// modeled as a > 1 speedup on non-attention work, which is exactly what the
+// paper attributes its edge to).
+
+#ifndef PENSIEVE_SRC_SCHEDULER_STEP_COST_H_
+#define PENSIEVE_SRC_SCHEDULER_STEP_COST_H_
+
+#include <vector>
+
+#include "src/sim/cost_model.h"
+
+namespace pensieve {
+
+double UnifiedStepTime(const GpuCostModel& cost_model,
+                       const std::vector<GpuCostModel::BatchItem>& items,
+                       double dense_speedup);
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_SCHEDULER_STEP_COST_H_

@@ -1,0 +1,85 @@
+// Common interface for serving engines (Pensieve and the baselines).
+//
+// Engines run in virtual time: the driver delivers arrivals and repeatedly
+// calls Step(now); each step returns the latency it would occupy on the
+// simulated hardware, and the driver advances the clock accordingly.
+
+#ifndef PENSIEVE_SRC_SERVING_ENGINE_H_
+#define PENSIEVE_SRC_SERVING_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/scheduler/request.h"
+
+namespace pensieve {
+
+struct EngineStats {
+  int64_t steps = 0;
+  int64_t generated_tokens = 0;
+  int64_t prefill_tokens = 0;  // input tokens processed (incl. recompute)
+  // History-token accounting across all requests (Figure 14 analysis).
+  int64_t reused_gpu_tokens = 0;
+  int64_t reused_cpu_tokens = 0;
+  int64_t recomputed_history_tokens = 0;
+  int64_t suspensions = 0;
+  int64_t preemptions = 0;
+  int64_t forced_swap_out_tokens = 0;
+  int64_t aot_swap_out_tokens = 0;
+  int64_t dropped_tokens = 0;
+  double busy_seconds = 0.0;
+  // GPU seconds spent recomputing dropped history (what the retention-value
+  // eviction policy minimizes; deeper drops cost quadratically more).
+  double recompute_seconds = 0.0;
+  double restore_stall_seconds = 0.0;
+
+  // Fraction of needed history tokens served from cache (either tier).
+  double CacheHitRate() const {
+    const int64_t total =
+        reused_gpu_tokens + reused_cpu_tokens + recomputed_history_tokens;
+    return total == 0 ? 0.0
+                      : static_cast<double>(reused_gpu_tokens + reused_cpu_tokens) /
+                            static_cast<double>(total);
+  }
+  // Fraction of GPU-missing history tokens that the CPU tier saved.
+  double CpuCacheHitRate() const {
+    const int64_t misses = reused_cpu_tokens + recomputed_history_tokens;
+    return misses == 0 ? 0.0
+                       : static_cast<double>(reused_cpu_tokens) /
+                             static_cast<double>(misses);
+  }
+};
+
+struct StepResult {
+  // Seconds of simulated hardware time consumed by this step (0 if idle).
+  double duration = 0.0;
+  bool idle = false;
+  // Requests that computed in this step and the input tokens they processed
+  // (decode tokens + prefill tokens), for telemetry.
+  int64_t batch_requests = 0;
+  int64_t batch_tokens = 0;
+  std::vector<RequestOutcome> finished;
+};
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual const std::string& name() const = 0;
+
+  // Delivers a request at virtual time `now`.
+  virtual void Enqueue(const Request& request, double now) = 0;
+
+  // True if any request is queued or running.
+  virtual bool HasWork() const = 0;
+
+  // Executes one scheduling iteration at virtual time `now`.
+  virtual StepResult Step(double now) = 0;
+
+  virtual const EngineStats& stats() const = 0;
+};
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_SERVING_ENGINE_H_

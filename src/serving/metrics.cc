@@ -1,0 +1,68 @@
+#include "src/serving/metrics.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace pensieve {
+
+void MetricsCollector::Record(const RequestOutcome& outcome) {
+  outcomes_.push_back(outcome);
+}
+
+ServingSummary MetricsCollector::Summarize(const std::string& engine_name,
+                                           double makespan,
+                                           const EngineStats& engine_stats,
+                                           double window_begin,
+                                           double window_end) const {
+  if (window_end < 0.0) {
+    window_end = makespan;
+  }
+  ServingSummary summary;
+  summary.engine_name = engine_name;
+  summary.completed_requests = static_cast<int64_t>(outcomes_.size());
+  summary.makespan = makespan;
+
+  auto collect = [&](double begin, double end) {
+    SampleStats latency;
+    int64_t tokens = 0;
+    int64_t completions = 0;
+    for (const RequestOutcome& o : outcomes_) {
+      if (o.finish_time < begin || o.finish_time > end) {
+        continue;
+      }
+      latency.Add(o.NormalizedLatency());
+      tokens += o.request.target_output_len;
+      ++completions;
+    }
+    return std::make_tuple(std::move(latency), tokens, completions);
+  };
+
+  auto [latency, tokens, completions] = collect(window_begin, window_end);
+  // Fall back to the full run when the window holds too few samples (small
+  // unit-test traces).
+  const int64_t min_samples =
+      std::max<int64_t>(10, static_cast<int64_t>(outcomes_.size()) / 20);
+  if (completions < min_samples) {
+    window_begin = 0.0;
+    window_end = makespan;
+    std::tie(latency, tokens, completions) = collect(window_begin, window_end);
+  }
+  summary.window_begin = window_begin;
+  summary.window_end = window_end;
+  summary.window_completions = completions;
+  const double span = window_end - window_begin;
+  if (span > 0.0) {
+    summary.throughput_rps = static_cast<double>(completions) / span;
+    summary.token_throughput = static_cast<double>(tokens) / span;
+  }
+  if (!latency.empty()) {
+    summary.mean_normalized_latency = latency.Mean();
+    summary.p50_normalized_latency = latency.Percentile(0.50);
+    summary.p90_normalized_latency = latency.Percentile(0.90);
+    summary.p99_normalized_latency = latency.Percentile(0.99);
+  }
+  summary.engine_stats = engine_stats;
+  return summary;
+}
+
+}  // namespace pensieve

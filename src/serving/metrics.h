@@ -1,0 +1,59 @@
+// Experiment metrics: throughput and normalized latency (paper §6.1).
+
+#ifndef PENSIEVE_SRC_SERVING_METRICS_H_
+#define PENSIEVE_SRC_SERVING_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/scheduler/request.h"
+#include "src/serving/engine.h"
+
+namespace pensieve {
+
+struct ServingSummary {
+  std::string engine_name;
+  int64_t completed_requests = 0;  // total over the whole experiment
+  double makespan = 0.0;
+  // Steady-state measurement window. Experiments are open-loop only at the
+  // conversation level; a handful of long think-time chains outlive the
+  // arrival process, so throughput over the full makespan would be
+  // tail-dominated. Metrics below are computed over completions inside
+  // [window_begin, window_end] (with a fallback to the full run when the
+  // window holds too few samples).
+  double window_begin = 0.0;
+  double window_end = 0.0;
+  int64_t window_completions = 0;
+  // Completed requests per second within the window.
+  double throughput_rps = 0.0;
+  // Generated tokens per second within the window.
+  double token_throughput = 0.0;
+  // Normalized latency = end-to-end latency / output tokens (s/token).
+  double mean_normalized_latency = 0.0;
+  double p50_normalized_latency = 0.0;
+  double p90_normalized_latency = 0.0;
+  double p99_normalized_latency = 0.0;
+  EngineStats engine_stats;
+};
+
+class MetricsCollector {
+ public:
+  void Record(const RequestOutcome& outcome);
+
+  // window_begin/window_end delimit the steady-state measurement interval;
+  // pass (0, makespan) to measure the full run.
+  ServingSummary Summarize(const std::string& engine_name, double makespan,
+                           const EngineStats& engine_stats,
+                           double window_begin = 0.0,
+                           double window_end = -1.0) const;
+
+  const std::vector<RequestOutcome>& outcomes() const { return outcomes_; }
+
+ private:
+  std::vector<RequestOutcome> outcomes_;
+};
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_SERVING_METRICS_H_

@@ -1,0 +1,412 @@
+#include "src/serving/pensieve_engine.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pensieve {
+
+namespace {
+
+KvCacheConfig MakeCacheConfig(const PensieveEngineOptions& options) {
+  KvCacheConfig config;
+  config.block_size = options.block_size;
+  config.num_gpu_blocks = options.num_gpu_blocks;
+  config.num_cpu_blocks = options.use_cpu_cache ? options.num_cpu_blocks : 0;
+  config.numeric = false;
+  return config;
+}
+
+CacheCoordinator::Options MakeCoordinatorOptions(const PensieveEngineOptions& options) {
+  CacheCoordinator::Options coord;
+  coord.use_cpu_cache = options.use_cpu_cache;
+  coord.swap_out_target = options.swap_out_threshold;
+  coord.conversation_granularity =
+      options.policy == EvictionPolicyKind::kConversationLru;
+  return coord;
+}
+
+}  // namespace
+
+PensieveEngine::PensieveEngine(const GpuCostModel& cost_model,
+                               PensieveEngineOptions options)
+    : cost_model_(cost_model), options_(std::move(options)),
+      cache_(MakeCacheConfig(options_)),
+      cost_estimator_(ChunkCostEstimator::ProfileFromCostModel(
+          cost_model, options_.block_size, cost_model.model().max_context)),
+      policy_(MakeEvictionPolicy(options_.policy, cost_estimator_)),
+      coordinator_(&cache_, policy_.get(), MakeCoordinatorOptions(options_),
+                   [this](int64_t conv) {
+                     auto it = inflight_.find(conv);
+                     return it == inflight_.end() || it->second == 0;
+                   }),
+      link_(cost_model.hardware().num_gpus, cost_model.hardware().pcie_bandwidth,
+            cost_model.hardware().pcie_duplex_factor, options_.prioritize_swap_in) {
+  PENSIEVE_CHECK_GT(options_.num_gpu_blocks, 0);
+}
+
+void PensieveEngine::Enqueue(const Request& request, double now) {
+  PENSIEVE_CHECK_GT(request.new_prompt_len, 0);
+  PENSIEVE_CHECK_GT(request.target_output_len, 0);
+  Running r;
+  r.request = request;
+  r.pending_new_tokens = request.new_prompt_len;
+  ++inflight_[request.conversation_id];
+  waiting_.push_back(std::move(r));
+}
+
+bool PensieveEngine::HasWork() const { return !waiting_.empty() || !running_.empty(); }
+
+bool PensieveEngine::TryAdmit(Running* r, double now, int64_t batch_input_tokens) {
+  const int64_t conv_id = r->request.conversation_id;
+  ContextState& conv = cache_.GetOrCreate(conv_id);
+  const bool first_admission = r->first_scheduled_time < 0;
+  if (first_admission) {
+    // Stateful invariant: this engine processed every prior turn, so all
+    // raw history tokens have chunk entries (resident or dropped) except
+    // the previous turn's final generated token, which was emitted but
+    // never fed back through the model. That pending tail token joins this
+    // turn's input. A conversation whose cache was entirely dropped and
+    // forgotten re-enters with an empty state: its whole raw history is
+    // fetched from the persistent store and recomputed as new input.
+    const int64_t tail_raw = r->request.history_len - conv.kv_len();
+    PENSIEVE_CHECK_GE(tail_raw, 0)
+        << "conversation " << conv_id << " turn " << r->request.turn_index;
+    PENSIEVE_CHECK(tail_raw <= 1 || conv.num_chunks() == 0)
+        << "conversation " << conv_id << " turn " << r->request.turn_index;
+    r->pending_new_tokens = tail_raw + r->request.new_prompt_len;
+  }
+
+  const int64_t dropped_chunks = conv.LeadingDroppedChunks();
+  const int64_t dropped_tokens = conv.LeadingDroppedTokens();
+  const std::vector<int64_t> cpu_chunks = conv.CpuOnlyChunks();
+  const int64_t input_tokens = dropped_tokens + r->pending_new_tokens;
+  if (batch_input_tokens > 0 &&
+      batch_input_tokens + input_tokens > options_.max_batch_tokens) {
+    return false;
+  }
+  const int64_t append_chunks = conv.NumNewChunksForAppend(r->pending_new_tokens);
+  const int64_t blocks_needed =
+      dropped_chunks + static_cast<int64_t>(cpu_chunks.size()) + append_chunks;
+  // Decode reservation (§4.3.5): leave headroom for requests already
+  // generating, unless the batch is empty.
+  const int64_t capacity = cache_.gpu_allocator().capacity();
+  const double reserve_blocks = options_.decode_reserve * static_cast<double>(capacity);
+  if (!running_.empty() &&
+      static_cast<double>(cache_.AvailableGpuBlocks() - blocks_needed) < reserve_blocks) {
+    return false;
+  }
+
+  conv.Pin();
+  const CacheCoordinator::FreeOutcome freed =
+      coordinator_.EnsureFreeGpuBlocks(blocks_needed, now);
+  if (freed.forced_swap_out_tokens > 0) {
+    const double bytes = static_cast<double>(freed.forced_swap_out_tokens) *
+                         static_cast<double>(cost_model_.KvBytesPerToken());
+    const double done = link_.ScheduleDeviceToHost(now, bytes);
+    pending_forced_stall_ += std::max(0.0, done - now);
+    stats_.forced_swap_out_tokens += freed.forced_swap_out_tokens;
+  }
+  if (!freed.ok) {
+    conv.Unpin();
+    return false;
+  }
+
+  // Reuse accounting snapshot (Figure 14 analysis), first admission only.
+  int64_t cpu_tokens = 0;
+  for (int64_t idx : cpu_chunks) {
+    cpu_tokens += conv.chunk(idx).num_tokens;
+  }
+  if (first_admission) {
+    r->reused_gpu = conv.TokensOnGpu();
+    r->reused_cpu = cpu_tokens;
+    // Recomputed history = dropped-prefix tokens plus, for a forgotten
+    // conversation, the raw history re-entering as new input (minus one
+    // pending tail token that was never computed in the first place).
+    const int64_t forgotten =
+        std::max<int64_t>(0, r->pending_new_tokens - r->request.new_prompt_len - 1);
+    r->recomputed = dropped_tokens + forgotten;
+    // Accounting covers the cached history (raw history minus the pending
+    // tail token folded into this turn's input).
+    PENSIEVE_CHECK_EQ(r->reused_gpu + r->reused_cpu + dropped_tokens, conv.kv_len());
+    stats_.reused_gpu_tokens += r->reused_gpu;
+    stats_.reused_cpu_tokens += r->reused_cpu;
+    stats_.recomputed_history_tokens += r->recomputed;
+    if (forgotten > 0) {
+      stats_.recompute_seconds +=
+          cost_model_.AttentionTime(forgotten, forgotten) +
+          cost_model_.MarginalLinearTime(forgotten);
+    }
+    r->first_scheduled_time = now;
+  }
+
+  // Swap in CPU-resident chunks; the transfer overlaps the upcoming step's
+  // compute layer by layer (§4.3.3), with any overhang charged as stall.
+  for (int64_t idx : cpu_chunks) {
+    PENSIEVE_CHECK_OK(cache_.SwapIn(conv_id, idx));
+  }
+  if (cpu_tokens > 0) {
+    const double bytes = static_cast<double>(cpu_tokens) *
+                         static_cast<double>(cost_model_.KvBytesPerToken());
+    const double done = link_.ScheduleHostToDevice(now, bytes);
+    r->restore_transfer_s = std::max(0.0, done - now);
+  }
+
+  // Restore dropped-prefix chunks; their KV is recomputed by the next step
+  // as a separate attention sub-request (§4.3.4).
+  for (int64_t i = 0; i < dropped_chunks; ++i) {
+    PENSIEVE_CHECK_OK(cache_.RestoreDropped(conv_id, i));
+  }
+  r->restored_chunks = dropped_chunks;
+  r->pending_recompute = dropped_tokens;
+  if (dropped_tokens > 0) {
+    stats_.recompute_seconds += cost_model_.AttentionTime(dropped_tokens,
+                                                          dropped_tokens) +
+                                cost_model_.MarginalLinearTime(dropped_tokens);
+  }
+
+  conv.set_last_active(now);
+  return true;
+}
+
+int64_t PensieveEngine::AdmitRequests(double now) {
+  int64_t batch_tokens = 0;
+  for (const Running& r : running_) {
+    batch_tokens += r.pending_new_tokens + r.pending_recompute;
+  }
+  int64_t admitted = 0;
+  while (!waiting_.empty()) {
+    if (static_cast<int64_t>(running_.size()) >= options_.max_running) {
+      break;
+    }
+    Running& cand = waiting_.front();
+    if (!TryAdmit(&cand, now, batch_tokens)) {
+      break;
+    }
+    batch_tokens += cand.pending_new_tokens + cand.pending_recompute;
+    running_.push_back(std::move(waiting_.front()));
+    waiting_.pop_front();
+    ++admitted;
+  }
+  return admitted;
+}
+
+void PensieveEngine::EvictConversationFromGpu(int64_t conversation_id, double now) {
+  ContextState* conv = cache_.Find(conversation_id);
+  PENSIEVE_CHECK(conv != nullptr);
+  int64_t swapped_tokens = 0;
+  for (int64_t i = 0; i < conv->num_chunks(); ++i) {
+    const ChunkLocation loc = conv->chunk(i).location;
+    if (loc == ChunkLocation::kGpuAndCpu) {
+      PENSIEVE_CHECK_OK(cache_.ReclaimGpu(conversation_id, i));
+      continue;
+    }
+    if (loc != ChunkLocation::kGpu) {
+      continue;
+    }
+    const bool can_swap = options_.use_cpu_cache &&
+                          (cache_.cpu_allocator().num_free() > 0 ||
+                           coordinator_.EnsureFreeCpuBlocks(1, now));
+    if (can_swap) {
+      swapped_tokens += conv->chunk(i).num_tokens;
+      PENSIEVE_CHECK_OK(cache_.SwapOut(conversation_id, i));
+      PENSIEVE_CHECK_OK(cache_.ReclaimGpu(conversation_id, i));
+      continue;
+    }
+    // No CPU space: drop this chunk, which requires dropping the prefix
+    // before it first.
+    for (int64_t j = 0; j <= i; ++j) {
+      if (!conv->chunk(j).Dropped()) {
+        PENSIEVE_CHECK_OK(cache_.DropChunk(conversation_id, j));
+      }
+    }
+  }
+  if (swapped_tokens > 0) {
+    const double bytes = static_cast<double>(swapped_tokens) *
+                         static_cast<double>(cost_model_.KvBytesPerToken());
+    link_.ScheduleDeviceToHost(now, bytes);
+  }
+}
+
+void PensieveEngine::SuspendRequest(size_t index, double now) {
+  PENSIEVE_CHECK_LT(index, running_.size());
+  Running r = std::move(running_[index]);
+  running_.erase(running_.begin() + static_cast<int64_t>(index));
+  const int64_t conv_id = r.request.conversation_id;
+  ContextState* conv = cache_.Find(conv_id);
+  PENSIEVE_CHECK(conv != nullptr);
+  conv->Unpin();
+  // Chunks restored for a prefill that never ran hold garbage; re-drop them
+  // (front to back, satisfying the prefix invariant).
+  for (int64_t i = 0; i < r.restored_chunks; ++i) {
+    PENSIEVE_CHECK_OK(cache_.DropChunk(conv_id, i));
+  }
+  r.restored_chunks = 0;
+  r.restore_transfer_s = 0.0;
+  EvictConversationFromGpu(conv_id, now);
+  ++r.suspensions;
+  ++stats_.suspensions;
+  waiting_.push_front(std::move(r));
+}
+
+StepResult PensieveEngine::Step(double now) {
+  StepResult result;
+  pending_forced_stall_ = 0.0;
+
+  // Ahead-of-time eviction (§4.3.2): fully overlapped with compute; swap
+  // traffic only occupies the device-to-host link.
+  const CacheCoordinator::EvictOutcome aot = coordinator_.AheadOfTimeEvict(now);
+  if (aot.swapped_out_tokens > 0) {
+    const double bytes = static_cast<double>(aot.swapped_out_tokens) *
+                         static_cast<double>(cost_model_.KvBytesPerToken());
+    link_.ScheduleDeviceToHost(now, bytes);
+    stats_.aot_swap_out_tokens += aot.swapped_out_tokens;
+  }
+  stats_.dropped_tokens += aot.dropped_tokens;
+
+  const int64_t admitted = AdmitRequests(now);
+
+  if (running_.empty()) {
+    result.idle = true;
+    return result;
+  }
+
+  // Unified scheduling processes everything together; the split-phase
+  // ablation (Figure 13) runs a prefill-only step when anything was
+  // admitted.
+  size_t compute_begin = 0;
+  if (!options_.unified_scheduling && admitted > 0) {
+    compute_begin = running_.size() - static_cast<size_t>(admitted);
+  }
+
+  // Append each computing request's pending tokens, suspending
+  // latest-arrived requests under memory pressure (§4.3.5).
+  const auto append_pending_range = [&](size_t begin) {
+    size_t i = begin;
+    while (i < running_.size()) {
+      Running& r = running_[i];
+      const int64_t conv_id = r.request.conversation_id;
+      ContextState* conv = cache_.Find(conv_id);
+      const int64_t need = conv->NumNewChunksForAppend(r.pending_new_tokens);
+      bool ok = need <= cache_.gpu_allocator().num_free();
+      if (!ok) {
+        const CacheCoordinator::FreeOutcome freed =
+            coordinator_.EnsureFreeGpuBlocks(need, now);
+        if (freed.forced_swap_out_tokens > 0) {
+          const double bytes = static_cast<double>(freed.forced_swap_out_tokens) *
+                               static_cast<double>(cost_model_.KvBytesPerToken());
+          const double done = link_.ScheduleDeviceToHost(now, bytes);
+          pending_forced_stall_ += std::max(0.0, done - now);
+          stats_.forced_swap_out_tokens += freed.forced_swap_out_tokens;
+        }
+        ok = freed.ok;
+      }
+      if (!ok) {
+        // Suspend the most recently arrived request that has not yet been
+        // processed this step; fall back to suspending this one.
+        size_t victim = i;
+        for (size_t j = i + 1; j < running_.size(); ++j) {
+          if (victim == i || running_[j].request.arrival_time >
+                                 running_[victim].request.arrival_time) {
+            victim = j;
+          }
+        }
+        SuspendRequest(victim, now);
+        continue;  // indices at/above `victim` shifted; retry position i
+      }
+      PENSIEVE_CHECK_OK(cache_.AppendTokenSlots(conv_id, r.pending_new_tokens, nullptr));
+      ++i;
+    }
+  };
+  for (;;) {
+    append_pending_range(compute_begin);
+    if (running_.empty()) {
+      result.idle = true;
+      return result;
+    }
+    if (compute_begin < running_.size()) {
+      break;
+    }
+    // Every admitted request of a split-phase prefill step got suspended;
+    // fall back to a decode step over the surviving (not yet appended)
+    // requests rather than idling with work pending.
+    compute_begin = 0;
+  }
+
+  // Build the unified batch (prefill sub-requests + decode tokens).
+  std::vector<GpuCostModel::BatchItem> items;
+  double max_restore_overhang = 0.0;
+  for (size_t idx = compute_begin; idx < running_.size(); ++idx) {
+    Running& r = running_[idx];
+    const ContextState* conv = cache_.Find(r.request.conversation_id);
+    if (r.pending_recompute > 0) {
+      // Dropped-prefix recomputation: the prefix attends only to itself
+      // (Figure 8 step d, first sub-request).
+      items.push_back({r.pending_recompute, r.pending_recompute});
+    }
+    items.push_back({r.pending_new_tokens, conv->kv_len()});
+    max_restore_overhang = std::max(max_restore_overhang, r.restore_transfer_s);
+  }
+
+  const double compute_s = UnifiedStepTime(cost_model_, items, options_.dense_speedup);
+  const double restore_stall =
+      RestoreStall(compute_s, max_restore_overhang, cost_model_.model().num_layers,
+                   options_.pipelined_restore);
+  const double duration = compute_s + restore_stall + pending_forced_stall_;
+  stats_.restore_stall_seconds += restore_stall;
+  result.duration = duration;
+  result.batch_requests = static_cast<int64_t>(running_.size() - compute_begin);
+  for (const GpuCostModel::BatchItem& item : items) {
+    result.batch_tokens += item.query_len;
+  }
+  ++stats_.steps;
+  stats_.busy_seconds += duration;
+
+  const double finish_time = now + duration;
+  std::vector<Running> keep;
+  keep.reserve(running_.size());
+  for (size_t idx = 0; idx < compute_begin; ++idx) {
+    keep.push_back(std::move(running_[idx]));  // decode requests paused by a
+                                               // split-phase prefill step
+  }
+  for (size_t idx = compute_begin; idx < running_.size(); ++idx) {
+    Running& r = running_[idx];
+    if (!r.prefilled) {
+      stats_.prefill_tokens += r.pending_recompute + r.pending_new_tokens;
+      r.prefilled = true;
+    } else {
+      stats_.prefill_tokens += r.pending_recompute;
+    }
+    r.pending_recompute = 0;
+    r.restored_chunks = 0;
+    r.restore_transfer_s = 0.0;
+    r.pending_new_tokens = 1;
+    ++r.generated;
+    ++stats_.generated_tokens;
+    if (r.generated >= r.request.target_output_len) {
+      ContextState* conv = cache_.Find(r.request.conversation_id);
+      conv->Unpin();
+      conv->set_last_active(finish_time);
+      auto inflight_it = inflight_.find(r.request.conversation_id);
+      if (--inflight_it->second == 0) {
+        inflight_.erase(inflight_it);
+      }
+      RequestOutcome outcome;
+      outcome.request = r.request;
+      outcome.first_scheduled_time = r.first_scheduled_time;
+      outcome.finish_time = finish_time;
+      outcome.prefill_input_tokens = r.recomputed + r.request.new_prompt_len;
+      outcome.reused_gpu_tokens = r.reused_gpu;
+      outcome.reused_cpu_tokens = r.reused_cpu;
+      outcome.recomputed_tokens = r.recomputed;
+      outcome.suspensions = r.suspensions;
+      result.finished.push_back(std::move(outcome));
+    } else {
+      keep.push_back(std::move(r));
+    }
+  }
+  running_ = std::move(keep);
+  return result;
+}
+
+}  // namespace pensieve

@@ -1,0 +1,133 @@
+// The Pensieve stateful serving engine (paper §4).
+//
+// Key behaviours, with paper section references:
+//  * Stateful KV reuse: a finished request's KV-tokens stay cached; the
+//    conversation's next turn only processes its new prompt (§3.1).
+//  * Unified iteration-level batching: prefill and generation tokens share
+//    one batch/step, enabled by the multi-token attention kernel (§4.2,
+//    §4.4.1). A split-phase mode reproduces the Figure 13 ablation.
+//  * Two-tier GPU/CPU cache with chunk-granular retention-value eviction
+//    (§4.3.1), ahead-of-time swap-out with lazy slot reclamation (§4.3.2),
+//    pipelined layer-by-layer restore (§4.3.3), dropped-prefix
+//    recomputation via sub-request splitting (§4.3.4), and suspension of
+//    late-arriving requests under decode memory pressure (§4.3.5).
+//  * Swap-in prioritized over eviction on the PCIe link (§5).
+
+#ifndef PENSIEVE_SRC_SERVING_PENSIEVE_ENGINE_H_
+#define PENSIEVE_SRC_SERVING_PENSIEVE_ENGINE_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/eviction/policy.h"
+#include "src/kvcache/two_tier_cache.h"
+#include "src/scheduler/cache_coordinator.h"
+#include "src/scheduler/step_cost.h"
+#include "src/serving/engine.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/tp_group.h"
+
+namespace pensieve {
+
+struct PensieveEngineOptions {
+  std::string name = "pensieve";
+  int64_t block_size = kDefaultBlockSize;  // 32-token chunks (§4.3.1)
+  int64_t num_gpu_blocks = 0;
+  int64_t num_cpu_blocks = 0;
+  int64_t max_batch_tokens = 4096;
+  int64_t max_running = 256;
+  // Ahead-of-time swap-out trigger: keep free+reclaimable above this (§4.3.2).
+  double swap_out_threshold = 0.25;
+  // Stop admitting new requests below this free fraction (§4.3.5).
+  double decode_reserve = 0.10;
+  bool use_cpu_cache = true;       // false => Pensieve (GPU cache) variant
+  bool unified_scheduling = true;  // false => Figure 13 split-phase ablation
+  bool pipelined_restore = true;   // false => blocking swap-in ablation
+  bool prioritize_swap_in = true;  // false => duplex PCIe ablation (§5)
+  double dense_speedup = 1.0;
+  EvictionPolicyKind policy = EvictionPolicyKind::kRetentionValue;
+};
+
+class PensieveEngine final : public Engine {
+ public:
+  PensieveEngine(const GpuCostModel& cost_model, PensieveEngineOptions options);
+
+  const std::string& name() const override { return options_.name; }
+  void Enqueue(const Request& request, double now) override;
+  bool HasWork() const override;
+  StepResult Step(double now) override;
+  const EngineStats& stats() const override { return stats_; }
+
+  // Introspection for tests.
+  const TwoTierKvCache& cache() const { return cache_; }
+  int64_t num_waiting() const { return static_cast<int64_t>(waiting_.size()); }
+  int64_t num_running() const { return static_cast<int64_t>(running_.size()); }
+
+ private:
+  struct Running {
+    Request request;
+    double first_scheduled_time = -1.0;
+    int64_t generated = 0;
+    // Tokens to process at the context tail next step: the new prompt at
+    // first execution, then one (the freshly generated token) per decode
+    // step. A suspended request resumes with its pending token intact.
+    int64_t pending_new_tokens = 0;
+    // Dropped-prefix tokens restored at admission and recomputed by the
+    // next step (paper Figure 5 segment 1).
+    int64_t pending_recompute = 0;
+    // Chunks restored for that recomputation (re-dropped if the request is
+    // suspended before its prefill runs).
+    int64_t restored_chunks = 0;
+    // Swap-in transfer overhang to be absorbed by the next step (§4.3.3).
+    double restore_transfer_s = 0.0;
+    bool prefilled = false;
+    int32_t suspensions = 0;
+    // Reuse accounting, captured at first admission.
+    int64_t reused_gpu = 0;
+    int64_t reused_cpu = 0;
+    int64_t recomputed = 0;
+  };
+
+  // Admission of waiting requests into the running batch. Appends admitted
+  // entries to running_; returns how many were admitted.
+  int64_t AdmitRequests(double now);
+  bool TryAdmit(Running* r, double now, int64_t batch_input_tokens);
+
+  // Appends `n` pending tokens for a conversation, evicting or suspending
+  // others as needed. Returns false when even suspension cannot free memory.
+  bool EnsureAppend(int64_t conversation_id, int64_t n, double now,
+                    size_t self_index, size_t processed_limit);
+
+  // Takes running_[index] out of the batch, evicts its KV (swap or drop)
+  // and re-queues it (§4.3.5).
+  void SuspendRequest(size_t index, double now);
+
+  // Evicts every GPU-resident chunk of a conversation (suspension path).
+  void EvictConversationFromGpu(int64_t conversation_id, double now);
+
+  const GpuCostModel& cost_model_;
+  PensieveEngineOptions options_;
+  TwoTierKvCache cache_;
+  ChunkCostEstimator cost_estimator_;
+  std::unique_ptr<EvictionPolicy> policy_;
+  CacheCoordinator coordinator_;
+  // One PCIe link per tensor-parallel worker; each worker moves its own
+  // feature slice of every chunk (Â§4.4.2).
+  TpLinkGroup link_;
+  std::deque<Running> waiting_;
+  std::vector<Running> running_;
+  // Conversations with a queued or running request; their (possibly fully
+  // dropped) cache bookkeeping must not be forgotten.
+  std::unordered_map<int64_t, int32_t> inflight_;
+  // Synchronous stall accumulated by forced swap-outs during the current
+  // step's admissions.
+  double pending_forced_stall_ = 0.0;
+  EngineStats stats_;
+};
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_SERVING_PENSIEVE_ENGINE_H_

@@ -1,0 +1,70 @@
+#include "src/serving/telemetry.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace pensieve {
+
+StepTraceSummary SummarizeStepTrace(const std::vector<StepTraceEntry>& trace) {
+  StepTraceSummary summary;
+  summary.steps = static_cast<int64_t>(trace.size());
+  if (trace.empty()) {
+    return summary;
+  }
+  double requests = 0.0;
+  double tokens = 0.0;
+  for (const StepTraceEntry& e : trace) {
+    requests += static_cast<double>(e.batch_requests);
+    tokens += static_cast<double>(e.batch_tokens);
+    summary.busy_seconds += e.duration;
+  }
+  summary.mean_batch_requests = requests / static_cast<double>(trace.size());
+  summary.mean_batch_tokens = tokens / static_cast<double>(trace.size());
+  summary.mean_step_seconds = summary.busy_seconds / static_cast<double>(trace.size());
+  return summary;
+}
+
+Status WriteStepTraceCsv(const std::string& path,
+                         const std::vector<StepTraceEntry>& trace) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open " + path);
+  }
+  out << "start_s,duration_s,batch_requests,batch_tokens,finished\n";
+  for (const StepTraceEntry& e : trace) {
+    out << e.start << ',' << e.duration << ',' << e.batch_requests << ','
+        << e.batch_tokens << ',' << e.finished << '\n';
+  }
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+Status WriteOutcomesCsv(const std::string& path,
+                        const std::vector<RequestOutcome>& outcomes) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open " + path);
+  }
+  out << "request_id,conversation_id,turn,arrival_s,first_scheduled_s,finish_s,"
+         "prompt_tokens,history_tokens,output_tokens,normalized_latency_s,"
+         "reused_gpu,reused_cpu,recomputed,suspensions\n";
+  for (const RequestOutcome& o : outcomes) {
+    out << o.request.request_id << ',' << o.request.conversation_id << ','
+        << o.request.turn_index << ',' << o.request.arrival_time << ','
+        << o.first_scheduled_time << ',' << o.finish_time << ','
+        << o.request.new_prompt_len << ',' << o.request.history_len << ','
+        << o.request.target_output_len << ',' << o.NormalizedLatency() << ','
+        << o.reused_gpu_tokens << ',' << o.reused_cpu_tokens << ','
+        << o.recomputed_tokens << ',' << o.suspensions << '\n';
+  }
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace pensieve

@@ -1,0 +1,46 @@
+// Experiment telemetry: per-step traces and CSV export.
+//
+// A downstream user analyzing a serving run wants more than summary
+// percentiles: per-step batch composition (to see batching efficiency),
+// per-request timelines (queueing vs service), and machine-readable dumps
+// of sweep results for plotting. This module provides all three.
+
+#ifndef PENSIEVE_SRC_SERVING_TELEMETRY_H_
+#define PENSIEVE_SRC_SERVING_TELEMETRY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/scheduler/request.h"
+
+namespace pensieve {
+
+// One scheduler iteration, as observed by the driver.
+struct StepTraceEntry {
+  double start = 0.0;
+  double duration = 0.0;
+  int64_t batch_requests = 0;
+  int64_t batch_tokens = 0;
+  int64_t finished = 0;
+};
+
+// Aggregates over a step trace.
+struct StepTraceSummary {
+  int64_t steps = 0;
+  double mean_batch_requests = 0.0;
+  double mean_batch_tokens = 0.0;
+  double mean_step_seconds = 0.0;
+  double busy_seconds = 0.0;
+};
+StepTraceSummary SummarizeStepTrace(const std::vector<StepTraceEntry>& trace);
+
+// CSV writers. Paths are created/truncated; returns an error on I/O failure.
+Status WriteStepTraceCsv(const std::string& path,
+                         const std::vector<StepTraceEntry>& trace);
+Status WriteOutcomesCsv(const std::string& path,
+                        const std::vector<RequestOutcome>& outcomes);
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_SERVING_TELEMETRY_H_

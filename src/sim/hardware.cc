@@ -1,0 +1,11 @@
+#include "src/sim/hardware.h"
+
+namespace pensieve {
+
+HardwareSpec A100Spec(int num_gpus) {
+  HardwareSpec spec;
+  spec.num_gpus = num_gpus;
+  return spec;
+}
+
+}  // namespace pensieve

@@ -1,0 +1,47 @@
+#include "src/sim/pcie_link.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pensieve {
+
+PcieLink::PcieLink(double bandwidth_per_dir, double duplex_factor, bool prioritize_h2d)
+    : bandwidth_(bandwidth_per_dir), duplex_factor_(duplex_factor),
+      prioritize_h2d_(prioritize_h2d) {
+  PENSIEVE_CHECK_GT(bandwidth_, 0.0);
+  PENSIEVE_CHECK_GT(duplex_factor_, 0.0);
+  PENSIEVE_CHECK_LE(duplex_factor_, 1.0);
+}
+
+double PcieLink::EffectiveBandwidth(double start, double other_busy_until) const {
+  // If the other direction is still transferring when we start, both suffer
+  // the duplex penalty. (We charge the penalty to the new transfer only —
+  // a coarse but conservative approximation.)
+  return other_busy_until > start ? bandwidth_ * duplex_factor_ : bandwidth_;
+}
+
+double PcieLink::ScheduleHostToDevice(double now, double bytes) {
+  PENSIEVE_CHECK_GE(bytes, 0.0);
+  const double start = std::max(now, h2d_busy_until_);
+  const double bw = EffectiveBandwidth(start, d2h_busy_until_);
+  h2d_busy_until_ = start + bytes / bw;
+  total_h2d_bytes_ += bytes;
+  return h2d_busy_until_;
+}
+
+double PcieLink::ScheduleDeviceToHost(double now, double bytes) {
+  PENSIEVE_CHECK_GE(bytes, 0.0);
+  double start = std::max(now, d2h_busy_until_);
+  if (prioritize_h2d_) {
+    // Paper §5: eviction copies wait for in-flight swap-ins to finish so
+    // restores never see the duplex penalty.
+    start = std::max(start, h2d_busy_until_);
+  }
+  const double bw = prioritize_h2d_ ? bandwidth_ : EffectiveBandwidth(start, h2d_busy_until_);
+  d2h_busy_until_ = start + bytes / bw;
+  total_d2h_bytes_ += bytes;
+  return d2h_busy_until_;
+}
+
+}  // namespace pensieve

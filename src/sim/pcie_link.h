@@ -1,0 +1,50 @@
+// Virtual-time PCIe link model.
+//
+// Tracks per-direction busy-until times on the virtual clock and applies the
+// duplex-interference penalty when both directions overlap. Also implements
+// the paper's §5 optimization: when enabled, device-to-host eviction traffic
+// waits until no host-to-device (swap-in) transfer is in flight, trading
+// duplex bandwidth for undisturbed restores.
+
+#ifndef PENSIEVE_SRC_SIM_PCIE_LINK_H_
+#define PENSIEVE_SRC_SIM_PCIE_LINK_H_
+
+#include <cstdint>
+
+namespace pensieve {
+
+class PcieLink {
+ public:
+  PcieLink(double bandwidth_per_dir, double duplex_factor, bool prioritize_h2d);
+
+  // Schedules a host-to-device (swap-in) transfer starting no earlier than
+  // `now`; returns its completion time on the virtual clock.
+  double ScheduleHostToDevice(double now, double bytes);
+
+  // Schedules a device-to-host (swap-out / eviction) transfer; returns its
+  // completion time. With prioritize_h2d, it queues behind in-flight
+  // host-to-device traffic.
+  double ScheduleDeviceToHost(double now, double bytes);
+
+  double h2d_busy_until() const { return h2d_busy_until_; }
+  double d2h_busy_until() const { return d2h_busy_until_; }
+
+  // Aggregate transferred byte counters (for metrics).
+  double total_h2d_bytes() const { return total_h2d_bytes_; }
+  double total_d2h_bytes() const { return total_d2h_bytes_; }
+
+ private:
+  double EffectiveBandwidth(double start, double other_busy_until) const;
+
+  double bandwidth_;
+  double duplex_factor_;
+  bool prioritize_h2d_;
+  double h2d_busy_until_ = 0.0;
+  double d2h_busy_until_ = 0.0;
+  double total_h2d_bytes_ = 0.0;
+  double total_d2h_bytes_ = 0.0;
+};
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_SIM_PCIE_LINK_H_

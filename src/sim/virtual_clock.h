@@ -1,0 +1,30 @@
+// Monotonic virtual clock for the discrete-event serving simulation.
+
+#ifndef PENSIEVE_SRC_SIM_VIRTUAL_CLOCK_H_
+#define PENSIEVE_SRC_SIM_VIRTUAL_CLOCK_H_
+
+#include "src/common/logging.h"
+
+namespace pensieve {
+
+class VirtualClock {
+ public:
+  double now() const { return now_; }
+
+  void Advance(double seconds) {
+    PENSIEVE_CHECK_GE(seconds, 0.0);
+    now_ += seconds;
+  }
+
+  void AdvanceTo(double t) {
+    PENSIEVE_CHECK_GE(t, now_);
+    now_ = t;
+  }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_SIM_VIRTUAL_CLOCK_H_

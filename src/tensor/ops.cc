@@ -1,0 +1,234 @@
+#include "src/tensor/ops.h"
+
+#include <cmath>
+#include <random>
+
+namespace pensieve {
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  PENSIEVE_CHECK_EQ(a.rank(), 2u);
+  PENSIEVE_CHECK_EQ(b.rank(), 2u);
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  PENSIEVE_CHECK_EQ(b.dim(0), k);
+  const int64_t n = b.dim(1);
+  Tensor c({m, n});
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows of
+  // B and C, which is the cache-friendly order for row-major data.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = ap[i * k + kk];
+      if (av == 0.0f) {
+        continue;
+      }
+      const float* brow = bp + kk * n;
+      float* crow = cp + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
+  PENSIEVE_CHECK_EQ(a.rank(), 2u);
+  PENSIEVE_CHECK_EQ(b.rank(), 2u);
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  PENSIEVE_CHECK_EQ(b.dim(1), k);
+  const int64_t n = b.dim(0);
+  Tensor c({m, n});
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = ap + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = bp + j * k;
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += arow[kk] * brow[kk];
+      }
+      cp[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+void AddBiasInPlace(Tensor& x, const Tensor& bias) {
+  PENSIEVE_CHECK_EQ(x.rank(), 2u);
+  PENSIEVE_CHECK_EQ(bias.rank(), 1u);
+  const int64_t m = x.dim(0);
+  const int64_t n = x.dim(1);
+  PENSIEVE_CHECK_EQ(bias.dim(0), n);
+  float* xp = x.data();
+  const float* bp = bias.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      xp[i * n + j] += bp[j];
+    }
+  }
+}
+
+void AddInPlace(Tensor& x, const Tensor& y) {
+  PENSIEVE_CHECK(x.SameShape(y));
+  float* xp = x.data();
+  const float* yp = y.data();
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    xp[i] += yp[i];
+  }
+}
+
+void SoftmaxRowsInPlace(Tensor& x) {
+  PENSIEVE_CHECK_EQ(x.rank(), 2u);
+  const int64_t m = x.dim(0);
+  const int64_t n = x.dim(1);
+  float* xp = x.data();
+  for (int64_t i = 0; i < m; ++i) {
+    float* row = xp + i * n;
+    float max_v = row[0];
+    for (int64_t j = 1; j < n; ++j) {
+      max_v = std::max(max_v, row[j]);
+    }
+    float sum = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      row[j] = std::exp(row[j] - max_v);
+      sum += row[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t j = 0; j < n; ++j) {
+      row[j] *= inv;
+    }
+  }
+}
+
+Tensor LayerNorm(const Tensor& x, const Tensor& gain, const Tensor& bias, float eps) {
+  PENSIEVE_CHECK_EQ(x.rank(), 2u);
+  const int64_t m = x.dim(0);
+  const int64_t n = x.dim(1);
+  PENSIEVE_CHECK_EQ(gain.dim(0), n);
+  PENSIEVE_CHECK_EQ(bias.dim(0), n);
+  Tensor out({m, n});
+  const float* xp = x.data();
+  const float* gp = gain.data();
+  const float* bp = bias.data();
+  float* op = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = xp + i * n;
+    float mean = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      mean += row[j];
+    }
+    mean /= static_cast<float>(n);
+    float var = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      var += (row[j] - mean) * (row[j] - mean);
+    }
+    var /= static_cast<float>(n);
+    const float inv_std = 1.0f / std::sqrt(var + eps);
+    float* orow = op + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      orow[j] = (row[j] - mean) * inv_std * gp[j] + bp[j];
+    }
+  }
+  return out;
+}
+
+Tensor RmsNorm(const Tensor& x, const Tensor& gain, float eps) {
+  PENSIEVE_CHECK_EQ(x.rank(), 2u);
+  const int64_t m = x.dim(0);
+  const int64_t n = x.dim(1);
+  PENSIEVE_CHECK_EQ(gain.dim(0), n);
+  Tensor out({m, n});
+  const float* xp = x.data();
+  const float* gp = gain.data();
+  float* op = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = xp + i * n;
+    float sum_sq = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      sum_sq += row[j] * row[j];
+    }
+    const float inv_rms = 1.0f / std::sqrt(sum_sq / static_cast<float>(n) + eps);
+    float* orow = op + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      orow[j] = row[j] * inv_rms * gp[j];
+    }
+  }
+  return out;
+}
+
+void SiluInPlace(Tensor& x) {
+  float* xp = x.data();
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    xp[i] = xp[i] / (1.0f + std::exp(-xp[i]));
+  }
+}
+
+void GeluInPlace(Tensor& x) {
+  // tanh approximation, as used by GPT-family models.
+  constexpr float kSqrt2OverPi = 0.7978845608f;
+  float* xp = x.data();
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float v = xp[i];
+    xp[i] = 0.5f * v * (1.0f + std::tanh(kSqrt2OverPi * (v + 0.044715f * v * v * v)));
+  }
+}
+
+void ReluInPlace(Tensor& x) {
+  float* xp = x.data();
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    xp[i] = std::max(0.0f, xp[i]);
+  }
+}
+
+void MulInPlace(Tensor& x, const Tensor& y) {
+  PENSIEVE_CHECK(x.SameShape(y));
+  float* xp = x.data();
+  const float* yp = y.data();
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    xp[i] *= yp[i];
+  }
+}
+
+void ApplyRotaryInPlace(Tensor& x, const std::vector<int64_t>& positions, float base) {
+  PENSIEVE_CHECK_EQ(x.rank(), 3u);
+  const int64_t num_tokens = x.dim(0);
+  const int64_t num_heads = x.dim(1);
+  const int64_t head_dim = x.dim(2);
+  PENSIEVE_CHECK_EQ(static_cast<int64_t>(positions.size()), num_tokens);
+  PENSIEVE_CHECK_EQ(head_dim % 2, 0);
+  float* xp = x.data();
+  for (int64_t t = 0; t < num_tokens; ++t) {
+    const double pos = static_cast<double>(positions[t]);
+    for (int64_t h = 0; h < num_heads; ++h) {
+      float* vec = xp + (t * num_heads + h) * head_dim;
+      for (int64_t i = 0; i < head_dim / 2; ++i) {
+        const double theta =
+            pos * std::pow(static_cast<double>(base),
+                           -2.0 * static_cast<double>(i) / static_cast<double>(head_dim));
+        const float cos_t = static_cast<float>(std::cos(theta));
+        const float sin_t = static_cast<float>(std::sin(theta));
+        const float a = vec[2 * i];
+        const float b = vec[2 * i + 1];
+        vec[2 * i] = a * cos_t - b * sin_t;
+        vec[2 * i + 1] = a * sin_t + b * cos_t;
+      }
+    }
+  }
+}
+
+void FillNormal(Tensor& x, uint64_t seed, float stddev) {
+  std::mt19937_64 engine(seed);
+  std::normal_distribution<float> dist(0.0f, stddev);
+  float* xp = x.data();
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    xp[i] = dist(engine);
+  }
+}
+
+}  // namespace pensieve

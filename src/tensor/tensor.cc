@@ -1,0 +1,103 @@
+#include "src/tensor/tensor.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace pensieve {
+
+namespace {
+
+int64_t ComputeNumel(const std::vector<int64_t>& shape) {
+  int64_t numel = 1;
+  for (int64_t d : shape) {
+    PENSIEVE_CHECK_GE(d, 0);
+    numel *= d;
+  }
+  return numel;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)), numel_(ComputeNumel(shape_)),
+      data_(static_cast<size_t>(numel_), 0.0f) {
+  PENSIEVE_CHECK_LE(shape_.size(), 4u);
+}
+
+Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), numel_(ComputeNumel(shape_)), data_(std::move(data)) {
+  PENSIEVE_CHECK_LE(shape_.size(), 4u);
+  PENSIEVE_CHECK_EQ(static_cast<int64_t>(data_.size()), numel_);
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  std::fill(t.data_.begin(), t.data_.end(), value);
+  return t;
+}
+
+int64_t Tensor::FlatIndex(std::initializer_list<int64_t> idx) const {
+  PENSIEVE_CHECK_EQ(idx.size(), shape_.size());
+  int64_t flat = 0;
+  size_t i = 0;
+  for (int64_t v : idx) {
+    PENSIEVE_CHECK_GE(v, 0);
+    PENSIEVE_CHECK_LT(v, shape_[i]);
+    flat = flat * shape_[i] + v;
+    ++i;
+  }
+  return flat;
+}
+
+float& Tensor::at(std::initializer_list<int64_t> idx) {
+  return data_[static_cast<size_t>(FlatIndex(idx))];
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  return data_[static_cast<size_t>(FlatIndex(idx))];
+}
+
+Tensor Tensor::Reshaped(std::vector<int64_t> new_shape) const {
+  PENSIEVE_CHECK_EQ(ComputeNumel(new_shape), numel_);
+  return Tensor(std::move(new_shape), data_);
+}
+
+Tensor Tensor::SliceRows(int64_t begin, int64_t end) const {
+  PENSIEVE_CHECK_GE(rank(), 1u);
+  PENSIEVE_CHECK_GE(begin, 0);
+  PENSIEVE_CHECK_LE(begin, end);
+  PENSIEVE_CHECK_LE(end, shape_[0]);
+  int64_t row_size = shape_[0] > 0 ? numel_ / shape_[0] : 0;
+  std::vector<int64_t> new_shape = shape_;
+  new_shape[0] = end - begin;
+  std::vector<float> new_data(data_.begin() + static_cast<size_t>(begin * row_size),
+                              data_.begin() + static_cast<size_t>(end * row_size));
+  return Tensor(std::move(new_shape), std::move(new_data));
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  PENSIEVE_CHECK(a.SameShape(b));
+  float max_diff = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(a[i] - b[i]));
+  }
+  return max_diff;
+}
+
+}  // namespace pensieve

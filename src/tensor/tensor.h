@@ -1,0 +1,77 @@
+// Minimal dense fp32 CPU tensor used as Pensieve's numeric substrate.
+//
+// The paper's implementation relies on PyTorch's C++ frontend for operator
+// execution; this class plus the free functions in src/tensor/ops.h is our
+// from-scratch replacement, sized for the tiny validation models that the
+// tests and examples run end to end.
+
+#ifndef PENSIEVE_SRC_TENSOR_TENSOR_H_
+#define PENSIEVE_SRC_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace pensieve {
+
+// Row-major dense float tensor with up to 4 dimensions.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int64_t> shape);
+  Tensor(std::vector<int64_t> shape, std::vector<float> data);
+
+  static Tensor Zeros(std::vector<int64_t> shape);
+  static Tensor Full(std::vector<int64_t> shape, float value);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim(size_t i) const {
+    PENSIEVE_CHECK_LT(i, shape_.size());
+    return shape_[i];
+  }
+  size_t rank() const { return shape_.size(); }
+  int64_t numel() const { return numel_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(std::initializer_list<int64_t> idx);
+  float at(std::initializer_list<int64_t> idx) const;
+
+  float& operator[](int64_t flat_idx) {
+    PENSIEVE_CHECK_LT(flat_idx, numel_);
+    return data_[static_cast<size_t>(flat_idx)];
+  }
+  float operator[](int64_t flat_idx) const {
+    PENSIEVE_CHECK_LT(flat_idx, numel_);
+    return data_[static_cast<size_t>(flat_idx)];
+  }
+
+  // Reinterpret with a new shape of equal element count.
+  Tensor Reshaped(std::vector<int64_t> new_shape) const;
+
+  // Contiguous row slice of a rank >= 1 tensor: rows [begin, end) along
+  // dimension 0.
+  Tensor SliceRows(int64_t begin, int64_t end) const;
+
+  std::string ShapeString() const;
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  int64_t FlatIndex(std::initializer_list<int64_t> idx) const;
+
+  std::vector<int64_t> shape_;
+  int64_t numel_ = 0;
+  std::vector<float> data_;
+};
+
+// Max absolute elementwise difference; shapes must match.
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_TENSOR_TENSOR_H_

@@ -1,0 +1,64 @@
+#include "src/workload/trace.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pensieve {
+
+WorkloadTrace::WorkloadTrace(const DatasetProfile& profile, const TraceOptions& options)
+    : profile_(profile), options_(options) {
+  PENSIEVE_CHECK_GT(options.conversation_rate, 0.0);
+  Rng rng(options.seed);
+  ConversationGenerator generator(profile, rng.Fork().engine()());
+  std::vector<ConversationSpec> specs;
+  specs.reserve(static_cast<size_t>(options.num_conversations));
+  for (int64_t i = 0; i < options.num_conversations; ++i) {
+    specs.push_back(generator.Next());
+  }
+  BuildTimeline(std::move(specs), &rng);
+}
+
+WorkloadTrace::WorkloadTrace(std::vector<ConversationSpec> conversations,
+                             const DatasetProfile& profile,
+                             const TraceOptions& options)
+    : profile_(profile), options_(options) {
+  PENSIEVE_CHECK_GT(options.conversation_rate, 0.0);
+  if (options.num_conversations > 0 &&
+      options.num_conversations < static_cast<int64_t>(conversations.size())) {
+    conversations.resize(static_cast<size_t>(options.num_conversations));
+  }
+  Rng rng(options.seed);
+  (void)rng.Fork();  // keep the arrival stream aligned with the other ctor
+  BuildTimeline(std::move(conversations), &rng);
+}
+
+void WorkloadTrace::BuildTimeline(std::vector<ConversationSpec> specs, Rng* rng) {
+  double arrival = 0.0;
+  conversations_.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    TraceConversation conv;
+    conv.spec = std::move(specs[i]);
+    // The driver uses conversation ids as dense indices into the trace.
+    conv.spec.conversation_id = static_cast<int64_t>(i);
+    // Poisson process: exponential inter-arrival gaps.
+    arrival += rng->Exponential(1.0 / options_.conversation_rate);
+    conv.first_arrival = arrival;
+    const int64_t turns = static_cast<int64_t>(conv.spec.turns.size());
+    conv.think_times.reserve(static_cast<size_t>(std::max<int64_t>(0, turns - 1)));
+    for (int64_t t = 0; t + 1 < turns; ++t) {
+      conv.think_times.push_back(rng->Exponential(options_.mean_think_time));
+    }
+    conversations_.push_back(std::move(conv));
+  }
+}
+
+int64_t WorkloadTrace::TotalRequests() const {
+  int64_t total = 0;
+  for (const TraceConversation& conv : conversations_) {
+    total += static_cast<int64_t>(conv.spec.turns.size());
+  }
+  return total;
+}
+
+}  // namespace pensieve

@@ -1,0 +1,67 @@
+// Arrival-process construction for serving experiments.
+//
+// Conversations arrive as a Poisson process. Within a conversation, turn
+// t+1 only arrives after turn t's response completes plus an exponentially
+// distributed user "think time" (paper §6.1). Because follow-up arrival
+// times depend on the serving system's own completions, the trace
+// pre-samples everything that can be pre-sampled (conversation contents,
+// first arrivals, think times) and the driver resolves follow-up arrivals
+// online.
+
+#ifndef PENSIEVE_SRC_WORKLOAD_TRACE_H_
+#define PENSIEVE_SRC_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/workload/dataset.h"
+
+namespace pensieve {
+
+struct TraceConversation {
+  ConversationSpec spec;
+  double first_arrival = 0.0;
+  // think_times[t] = delay between turn t's completion and turn t+1's
+  // arrival (size = turns - 1).
+  std::vector<double> think_times;
+};
+
+struct TraceOptions {
+  int64_t num_conversations = 200;
+  // New-conversation arrival rate (conversations/second). The overall
+  // request rate is approximately this times the dataset's mean turns.
+  double conversation_rate = 1.0;
+  // Mean user think time, seconds (60 in most paper experiments).
+  double mean_think_time = 60.0;
+  uint64_t seed = 42;
+};
+
+class WorkloadTrace {
+ public:
+  WorkloadTrace(const DatasetProfile& profile, const TraceOptions& options);
+
+  // Builds a trace from pre-loaded conversations (e.g. a tokenized real
+  // dataset loaded via LoadConversationsCsv); arrivals and think times are
+  // sampled per `options`, and conversation ids are re-assigned densely
+  // (the driver uses them as indices). options.num_conversations caps how
+  // many are used (0 or more than available = all).
+  WorkloadTrace(std::vector<ConversationSpec> conversations,
+                const DatasetProfile& profile, const TraceOptions& options);
+
+  const std::vector<TraceConversation>& conversations() const { return conversations_; }
+  const TraceOptions& options() const { return options_; }
+  const DatasetProfile& profile() const { return profile_; }
+
+  int64_t TotalRequests() const;
+
+ private:
+  void BuildTimeline(std::vector<ConversationSpec> specs, Rng* rng);
+
+  DatasetProfile profile_;
+  TraceOptions options_;
+  std::vector<TraceConversation> conversations_;
+};
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_WORKLOAD_TRACE_H_

@@ -1,0 +1,384 @@
+// Correctness tests for the attention kernels (src/kernels).
+//
+// Every kernel is validated against NaiveMaskedAttention (explicit score
+// matrix + mask); the naive kernel itself is validated against a
+// hand-computable case. Parameterized suites sweep query lengths, context
+// sizes, GQA group sizes and block sizes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "src/kernels/attention.h"
+#include "src/kvcache/kv_pool.h"
+#include "src/tensor/ops.h"
+
+namespace pensieve {
+namespace {
+
+constexpr float kTol = 2e-4f;
+
+struct KernelFixture {
+  KernelFixture(int64_t num_blocks, int64_t block_size, int64_t num_kv_heads,
+                int64_t head_dim, uint64_t seed)
+      : pool(num_blocks, block_size, /*num_layers=*/1, num_kv_heads, head_dim),
+        seed_(seed) {}
+
+  // Fills `count` tokens of the given block table with random K/V.
+  void FillContext(const std::vector<BlockId>& table, int64_t count) {
+    for (int64_t pos = 0; pos < count; ++pos) {
+      Tensor k({pool.num_kv_heads(), pool.head_dim()});
+      Tensor v({pool.num_kv_heads(), pool.head_dim()});
+      FillNormal(k, seed_ * 7919 + static_cast<uint64_t>(pos) * 2 + 1, 1.0f);
+      FillNormal(v, seed_ * 104729 + static_cast<uint64_t>(pos) * 2 + 2, 1.0f);
+      const BlockId block = table[static_cast<size_t>(pos / pool.block_size())];
+      pool.WriteToken(block, 0, pos % pool.block_size(), k.data(), v.data());
+    }
+  }
+
+  KvPool pool;
+  uint64_t seed_;
+};
+
+// Builds a shuffled (non-contiguous) block table of n blocks.
+std::vector<BlockId> ShuffledTable(int64_t num_blocks, int64_t offset) {
+  std::vector<BlockId> table(static_cast<size_t>(num_blocks));
+  std::iota(table.begin(), table.end(), 0);
+  // Deterministic shuffle: rotate and reverse pairs.
+  std::rotate(table.begin(), table.begin() + (offset % num_blocks), table.end());
+  for (size_t i = 0; i + 1 < table.size(); i += 2) {
+    std::swap(table[i], table[i + 1]);
+  }
+  return table;
+}
+
+TEST(NaiveAttentionTest, SingleTokenUniformValues) {
+  // One query, two context tokens with identical keys and different values:
+  // softmax weights are 0.5/0.5, so the output is the mean of the values.
+  KvPool pool(1, 4, 1, 1, 2);
+  std::vector<float> k = {1.0f, 0.0f};
+  std::vector<float> v0 = {10.0f, 0.0f};
+  std::vector<float> v1 = {20.0f, 2.0f};
+  pool.WriteToken(0, 0, 0, k.data(), v0.data());
+  pool.WriteToken(0, 0, 1, k.data(), v1.data());
+  Tensor query({1, 1, 2}, {1.0f, 1.0f});
+  Tensor out({1, 1, 2});
+  std::vector<BlockId> table = {0};
+  std::vector<AttentionSubRequest> subs = {{0, 1, 2, &table}};
+  NaiveMaskedAttention(pool, 0, query, subs, 1.0f, &out);
+  EXPECT_NEAR(out[0], 15.0f, 1e-4);
+  EXPECT_NEAR(out[1], 1.0f, 1e-4);
+}
+
+TEST(NaiveAttentionTest, CausalMaskBlocksFutureTokens) {
+  // Two query tokens in a 2-token context: token 0 must only see position 0.
+  KvPool pool(1, 4, 1, 1, 2);
+  std::vector<float> k = {1.0f, 0.0f};
+  std::vector<float> v0 = {1.0f, 0.0f};
+  std::vector<float> v1 = {100.0f, 0.0f};
+  pool.WriteToken(0, 0, 0, k.data(), v0.data());
+  pool.WriteToken(0, 0, 1, k.data(), v1.data());
+  Tensor query({2, 1, 2}, {1.0f, 0.0f, 1.0f, 0.0f});
+  Tensor out({2, 1, 2});
+  std::vector<BlockId> table = {0};
+  std::vector<AttentionSubRequest> subs = {{0, 2, 2, &table}};
+  NaiveMaskedAttention(pool, 0, query, subs, 1.0f, &out);
+  // Token 0 sees only v0.
+  EXPECT_NEAR(out.at({0, 0, 0}), 1.0f, 1e-4);
+  // Token 1 averages v0 and v1 (identical keys).
+  EXPECT_NEAR(out.at({1, 0, 0}), 50.5f, 1e-3);
+}
+
+struct KernelCase {
+  int64_t num_heads;
+  int64_t num_kv_heads;
+  int64_t head_dim;
+  int64_t block_size;
+  int64_t query_len;
+  int64_t context_len;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<KernelCase>& info) {
+  const KernelCase& c = info.param;
+  return "h" + std::to_string(c.num_heads) + "kv" + std::to_string(c.num_kv_heads) +
+         "d" + std::to_string(c.head_dim) + "b" + std::to_string(c.block_size) + "q" +
+         std::to_string(c.query_len) + "c" + std::to_string(c.context_len);
+}
+
+class MultiTokenAttentionParamTest : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(MultiTokenAttentionParamTest, MatchesNaiveReference) {
+  const KernelCase& c = GetParam();
+  const int64_t num_blocks = (c.context_len + c.block_size - 1) / c.block_size;
+  KernelFixture fx(num_blocks + 2, c.block_size, c.num_kv_heads, c.head_dim, 13);
+  std::vector<BlockId> table = ShuffledTable(num_blocks + 2, 3);
+  table.resize(static_cast<size_t>(num_blocks));
+  fx.FillContext(table, c.context_len);
+
+  Tensor query({c.query_len, c.num_heads, c.head_dim});
+  FillNormal(query, 99, 1.0f);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(c.head_dim));
+  std::vector<AttentionSubRequest> subs = {{0, c.query_len, c.context_len, &table}};
+
+  Tensor expected({c.query_len, c.num_heads, c.head_dim});
+  NaiveMaskedAttention(fx.pool, 0, query, subs, scale, &expected);
+
+  Tensor got({c.query_len, c.num_heads, c.head_dim});
+  MultiTokenPagedAttention(fx.pool, 0, query, subs, scale, &got);
+  EXPECT_LT(MaxAbsDiff(expected, got), kTol);
+}
+
+TEST_P(MultiTokenAttentionParamTest, CopyOutStrawmanMatches) {
+  const KernelCase& c = GetParam();
+  const int64_t num_blocks = (c.context_len + c.block_size - 1) / c.block_size;
+  KernelFixture fx(num_blocks + 2, c.block_size, c.num_kv_heads, c.head_dim, 17);
+  std::vector<BlockId> table = ShuffledTable(num_blocks + 2, 1);
+  table.resize(static_cast<size_t>(num_blocks));
+  fx.FillContext(table, c.context_len);
+
+  Tensor query({c.query_len, c.num_heads, c.head_dim});
+  FillNormal(query, 55, 1.0f);
+  const float scale = 0.25f;
+  std::vector<AttentionSubRequest> subs = {{0, c.query_len, c.context_len, &table}};
+
+  Tensor expected({c.query_len, c.num_heads, c.head_dim});
+  NaiveMaskedAttention(fx.pool, 0, query, subs, scale, &expected);
+  Tensor got({c.query_len, c.num_heads, c.head_dim});
+  CopyOutPagedAttention(fx.pool, 0, query, subs, scale, &got);
+  EXPECT_LT(MaxAbsDiff(expected, got), kTol);
+}
+
+TEST_P(MultiTokenAttentionParamTest, MultiRoundStrawmanMatches) {
+  const KernelCase& c = GetParam();
+  const int64_t num_blocks = (c.context_len + c.block_size - 1) / c.block_size;
+  KernelFixture fx(num_blocks + 2, c.block_size, c.num_kv_heads, c.head_dim, 23);
+  std::vector<BlockId> table = ShuffledTable(num_blocks + 2, 2);
+  table.resize(static_cast<size_t>(num_blocks));
+  fx.FillContext(table, c.context_len);
+
+  Tensor query({c.query_len, c.num_heads, c.head_dim});
+  FillNormal(query, 77, 1.0f);
+  const float scale = 0.3f;
+  std::vector<AttentionSubRequest> subs = {{0, c.query_len, c.context_len, &table}};
+
+  Tensor expected({c.query_len, c.num_heads, c.head_dim});
+  NaiveMaskedAttention(fx.pool, 0, query, subs, scale, &expected);
+  Tensor got({c.query_len, c.num_heads, c.head_dim});
+  MultiRoundPagedAttention(fx.pool, 0, query, subs, scale, &got);
+  EXPECT_LT(MaxAbsDiff(expected, got), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MultiTokenAttentionParamTest,
+    ::testing::Values(
+        // Decode shape (single query token).
+        KernelCase{2, 2, 8, 4, 1, 1}, KernelCase{2, 2, 8, 4, 1, 17},
+        // Prefill shapes.
+        KernelCase{2, 2, 8, 4, 5, 5}, KernelCase{4, 4, 16, 8, 8, 40},
+        // Query == context crossing multiple blocks.
+        KernelCase{2, 2, 8, 4, 13, 13},
+        // GQA group sizes 2 and 4 (paper's Llama 2 configs).
+        KernelCase{4, 2, 8, 4, 6, 22}, KernelCase{8, 2, 8, 8, 8, 33},
+        // Context not a multiple of block size.
+        KernelCase{2, 2, 8, 8, 3, 21}, KernelCase{2, 1, 4, 32, 8, 97},
+        // Larger head dims.
+        KernelCase{2, 2, 32, 16, 4, 64}),
+    CaseName);
+
+TEST(MultiTokenAttentionTest, BatchedRaggedQueries) {
+  // Three requests with different query lengths in one batch, each with its
+  // own shuffled block table.
+  const int64_t block_size = 4;
+  const int64_t head_dim = 8;
+  KernelFixture fx(16, block_size, 2, head_dim, 31);
+
+  std::vector<BlockId> table_a = {3, 0, 7};
+  std::vector<BlockId> table_b = {5, 1};
+  std::vector<BlockId> table_c = {9, 2, 11, 4};
+  fx.FillContext(table_a, 10);
+  fx.seed_ = 32;
+  fx.FillContext(table_b, 6);
+  fx.seed_ = 33;
+  fx.FillContext(table_c, 16);
+
+  const int64_t total_q = 2 + 1 + 5;
+  Tensor query({total_q, 4, head_dim});
+  FillNormal(query, 44, 1.0f);
+  std::vector<AttentionSubRequest> subs = {
+      {0, 2, 10, &table_a},  // prefill tail of request A
+      {2, 1, 6, &table_b},   // decode token of request B
+      {3, 5, 16, &table_c},  // prefill of request C
+  };
+  const float scale = 0.35f;
+  Tensor expected({total_q, 4, head_dim});
+  NaiveMaskedAttention(fx.pool, 0, query, subs, scale, &expected);
+  Tensor got({total_q, 4, head_dim});
+  MultiTokenPagedAttention(fx.pool, 0, query, subs, scale, &got);
+  EXPECT_LT(MaxAbsDiff(expected, got), kTol);
+}
+
+TEST(MultiTokenAttentionTest, DroppedPrefixSubRequestSplit) {
+  // Paper §4.3.4: a request whose leading d tokens were dropped is executed
+  // as two sub-requests sharing one block table — the recomputed prefix
+  // attends to itself, the new prompt attends to everything. The combined
+  // result must equal a single full prefill over the same context.
+  const int64_t block_size = 4;
+  const int64_t head_dim = 8;
+  const int64_t d = 6;          // dropped prefix
+  const int64_t middle = 6;     // tokens already cached
+  const int64_t new_prompt = 4;
+  const int64_t total = d + middle + new_prompt;
+  KernelFixture fx(8, block_size, 2, head_dim, 71);
+  std::vector<BlockId> table = {2, 6, 1, 5};
+  fx.FillContext(table, total);
+
+  Tensor full_query({total, 2, head_dim});
+  FillNormal(full_query, 88, 1.0f);
+  const float scale = 0.25f;
+
+  // Reference: one contiguous prefill over all 16 tokens.
+  std::vector<AttentionSubRequest> full_sub = {{0, total, total, &table}};
+  Tensor expected({total, 2, head_dim});
+  NaiveMaskedAttention(fx.pool, 0, full_query, full_sub, scale, &expected);
+
+  // Split execution: queries for [0, d) and [d + middle, total) only.
+  Tensor split_query({d + new_prompt, 2, head_dim});
+  for (int64_t t = 0; t < d; ++t) {
+    for (int64_t i = 0; i < 2 * head_dim; ++i) {
+      split_query[t * 2 * head_dim + i] = full_query[t * 2 * head_dim + i];
+    }
+  }
+  for (int64_t t = 0; t < new_prompt; ++t) {
+    for (int64_t i = 0; i < 2 * head_dim; ++i) {
+      split_query[(d + t) * 2 * head_dim + i] =
+          full_query[(d + middle + t) * 2 * head_dim + i];
+    }
+  }
+  std::vector<AttentionSubRequest> split_subs = {
+      {0, d, d, &table},                  // prefix attends to itself
+      {d, new_prompt, total, &table},     // prompt attends to the whole context
+  };
+  Tensor got({d + new_prompt, 2, head_dim});
+  MultiTokenPagedAttention(fx.pool, 0, split_query, split_subs, scale, &got);
+
+  for (int64_t t = 0; t < d; ++t) {
+    for (int64_t i = 0; i < 2 * head_dim; ++i) {
+      EXPECT_NEAR(got[t * 2 * head_dim + i], expected[t * 2 * head_dim + i], kTol)
+          << "prefix token " << t;
+    }
+  }
+  for (int64_t t = 0; t < new_prompt; ++t) {
+    for (int64_t i = 0; i < 2 * head_dim; ++i) {
+      EXPECT_NEAR(got[(d + t) * 2 * head_dim + i],
+                  expected[(d + middle + t) * 2 * head_dim + i], kTol)
+          << "prompt token " << t;
+    }
+  }
+}
+
+TEST(SingleTokenAttentionTest, MatchesMultiTokenForDecode) {
+  KernelFixture fx(8, 4, 2, 8, 41);
+  std::vector<BlockId> table = {1, 4, 2};
+  fx.FillContext(table, 11);
+  Tensor query({1, 4, 8});
+  FillNormal(query, 11, 1.0f);
+  std::vector<AttentionSubRequest> subs = {{0, 1, 11, &table}};
+  Tensor a({1, 4, 8});
+  Tensor b({1, 4, 8});
+  SingleTokenPagedAttention(fx.pool, 0, query, subs, 0.25f, &a);
+  MultiTokenPagedAttention(fx.pool, 0, query, subs, 0.25f, &b);
+  EXPECT_FLOAT_EQ(MaxAbsDiff(a, b), 0.0f);
+}
+
+TEST(SingleTokenAttentionDeathTest, RejectsMultiTokenQueries) {
+  KernelFixture fx(4, 4, 1, 4, 5);
+  std::vector<BlockId> table = {0};
+  fx.FillContext(table, 2);
+  Tensor query({2, 1, 4});
+  FillNormal(query, 1, 1.0f);
+  Tensor out({2, 1, 4});
+  std::vector<AttentionSubRequest> subs = {{0, 2, 2, &table}};
+  EXPECT_DEATH(SingleTokenPagedAttention(fx.pool, 0, query, subs, 1.0f, &out),
+               "restricted to one input token");
+}
+
+TEST(ContiguousAttentionTest, MatchesPagedKernelOnSameData) {
+  // The "ideal" dense-layout kernel must agree with the paged kernel when
+  // fed the same logical context.
+  const int64_t block_size = 4;
+  const int64_t ctx = 14;
+  const int64_t q_len = 5;
+  KernelFixture fx(8, block_size, 2, 8, 61);
+  std::vector<BlockId> table = {6, 0, 3, 5};
+  fx.FillContext(table, ctx);
+
+  // Gather dense copies.
+  Tensor keys({ctx, 2, 8});
+  Tensor values({ctx, 2, 8});
+  for (int64_t pos = 0; pos < ctx; ++pos) {
+    const BlockId b = table[static_cast<size_t>(pos / block_size)];
+    const float* k = fx.pool.TokenData(b, 0, 0, pos % block_size);
+    const float* v = fx.pool.TokenData(b, 0, 1, pos % block_size);
+    std::copy(k, k + 16, keys.data() + pos * 16);
+    std::copy(v, v + 16, values.data() + pos * 16);
+  }
+
+  Tensor query({q_len, 4, 8});
+  FillNormal(query, 21, 1.0f);
+  std::vector<AttentionSubRequest> subs = {{0, q_len, ctx, &table}};
+  Tensor paged({q_len, 4, 8});
+  MultiTokenPagedAttention(fx.pool, 0, query, subs, 0.2f, &paged);
+
+  std::vector<ContiguousAttentionRequest> dense = {{0, q_len, &keys, &values}};
+  Tensor contiguous({q_len, 4, 8});
+  ContiguousAttention(query, dense, 0.2f, &contiguous);
+  EXPECT_LT(MaxAbsDiff(paged, contiguous), kTol);
+}
+
+TEST(MultiTokenAttentionTest, OutputIsPermutationInvariantToBlockPlacement) {
+  // The same logical context stored under two different physical block
+  // layouts must produce identical outputs — the defining property of
+  // paged attention.
+  const int64_t block_size = 4;
+  const int64_t ctx = 12;
+  KernelFixture fx1(8, block_size, 1, 8, 91);
+  KernelFixture fx2(8, block_size, 1, 8, 91);  // same data seed
+  std::vector<BlockId> table1 = {0, 1, 2};
+  std::vector<BlockId> table2 = {7, 3, 5};
+  fx1.FillContext(table1, ctx);
+  fx2.FillContext(table2, ctx);
+
+  Tensor query({4, 1, 8});
+  FillNormal(query, 14, 1.0f);
+  std::vector<AttentionSubRequest> subs1 = {{0, 4, ctx, &table1}};
+  std::vector<AttentionSubRequest> subs2 = {{0, 4, ctx, &table2}};
+  Tensor out1({4, 1, 8});
+  Tensor out2({4, 1, 8});
+  MultiTokenPagedAttention(fx1.pool, 0, query, subs1, 0.25f, &out1);
+  MultiTokenPagedAttention(fx2.pool, 0, query, subs2, 0.25f, &out2);
+  EXPECT_FLOAT_EQ(MaxAbsDiff(out1, out2), 0.0f);
+}
+
+TEST(MultiTokenAttentionTest, GqaHeadsShareKvHead) {
+  // With identical per-group queries, all heads in a GQA group produce the
+  // same output because they read the same KV head.
+  KernelFixture fx(4, 4, 1, 8, 19);
+  std::vector<BlockId> table = {2, 0};
+  fx.FillContext(table, 7);
+  Tensor query({1, 2, 8});  // 2 query heads sharing 1 KV head
+  FillNormal(query, 3, 1.0f);
+  // Make head 1's query identical to head 0's.
+  for (int64_t i = 0; i < 8; ++i) {
+    query[8 + i] = query[i];
+  }
+  std::vector<AttentionSubRequest> subs = {{0, 1, 7, &table}};
+  Tensor out({1, 2, 8});
+  MultiTokenPagedAttention(fx.pool, 0, query, subs, 0.5f, &out);
+  for (int64_t i = 0; i < 8; ++i) {
+    EXPECT_FLOAT_EQ(out[i], out[8 + i]);
+  }
+}
+
+}  // namespace
+}  // namespace pensieve

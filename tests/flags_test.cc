@@ -1,0 +1,124 @@
+// Tests for the command-line flag parser.
+
+#include <gtest/gtest.h>
+
+#include "src/common/flags.h"
+
+namespace pensieve {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser flags;
+  flags.AddString("name", "default", "a string");
+  flags.AddInt("count", 7, "an int");
+  flags.AddDouble("rate", 1.5, "a double");
+  flags.AddBool("verbose", false, "a bool");
+  return flags;
+}
+
+std::vector<char*> Argv(std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("prog"));
+  for (std::string& a : args) {
+    argv.push_back(a.data());
+  }
+  return argv;
+}
+
+TEST(FlagsTest, DefaultsApplyWithoutArguments) {
+  FlagParser flags = MakeParser();
+  std::vector<std::string> args;
+  auto argv = Argv(args);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(flags.GetString("name"), "default");
+  EXPECT_EQ(flags.GetInt("count"), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 1.5);
+  EXPECT_FALSE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagParser flags = MakeParser();
+  std::vector<std::string> args = {"--name=abc", "--count=42", "--rate=0.25",
+                                   "--verbose=true"};
+  auto argv = Argv(args);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(flags.GetString("name"), "abc");
+  EXPECT_EQ(flags.GetInt("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 0.25);
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, SpaceSeparatedValues) {
+  FlagParser flags = MakeParser();
+  std::vector<std::string> args = {"--name", "xyz", "--count", "-3"};
+  auto argv = Argv(args);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(flags.GetString("name"), "xyz");
+  EXPECT_EQ(flags.GetInt("count"), -3);
+}
+
+TEST(FlagsTest, BareBoolMeansTrue) {
+  FlagParser flags = MakeParser();
+  std::vector<std::string> args = {"--verbose"};
+  auto argv = Argv(args);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  FlagParser flags = MakeParser();
+  std::vector<std::string> args = {"input.txt", "--count=1", "output.txt"};
+  auto argv = Argv(args);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "output.txt");
+}
+
+TEST(FlagsTest, UnknownFlagRejected) {
+  FlagParser flags = MakeParser();
+  std::vector<std::string> args = {"--nope=1"};
+  auto argv = Argv(args);
+  EXPECT_EQ(flags.Parse(static_cast<int>(argv.size()), argv.data()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, MalformedValuesRejected) {
+  {
+    FlagParser flags = MakeParser();
+    std::vector<std::string> args = {"--count=twelve"};
+    auto argv = Argv(args);
+    EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  }
+  {
+    FlagParser flags = MakeParser();
+    std::vector<std::string> args = {"--rate=fast"};
+    auto argv = Argv(args);
+    EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  }
+  {
+    FlagParser flags = MakeParser();
+    std::vector<std::string> args = {"--verbose=maybe"};
+    auto argv = Argv(args);
+    EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  }
+}
+
+TEST(FlagsTest, MissingValueRejected) {
+  FlagParser flags = MakeParser();
+  std::vector<std::string> args = {"--name"};
+  auto argv = Argv(args);
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagsTest, HelpListsEveryFlag) {
+  FlagParser flags = MakeParser();
+  const std::string help = flags.Help();
+  EXPECT_NE(help.find("--name"), std::string::npos);
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("--rate"), std::string::npos);
+  EXPECT_NE(help.find("--verbose"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pensieve

@@ -1,0 +1,305 @@
+// Tests for the Pensieve stateful serving engine.
+
+#include <gtest/gtest.h>
+
+#include "src/model/model_config.h"
+#include "src/serving/pensieve_engine.h"
+#include "src/sim/hardware.h"
+
+namespace pensieve {
+namespace {
+
+GpuCostModel Opt13BModel() {
+  return GpuCostModel(Opt13BConfig(), A100Spec(1));
+}
+
+Request MakeRequest(int64_t id, int64_t conv, int32_t turn, int64_t prompt,
+                    int64_t history, int64_t output, double arrival = 0.0) {
+  Request r;
+  r.request_id = id;
+  r.conversation_id = conv;
+  r.turn_index = turn;
+  r.new_prompt_len = prompt;
+  r.history_len = history;
+  r.target_output_len = output;
+  r.arrival_time = arrival;
+  return r;
+}
+
+PensieveEngineOptions SmallOptions(int64_t gpu_blocks = 64, int64_t cpu_blocks = 256) {
+  PensieveEngineOptions o;
+  o.block_size = 32;
+  o.num_gpu_blocks = gpu_blocks;
+  o.num_cpu_blocks = cpu_blocks;
+  o.max_batch_tokens = 4096;
+  return o;
+}
+
+std::vector<RequestOutcome> Drain(Engine* engine, double start = 0.0,
+                                  int64_t max_steps = 100000) {
+  std::vector<RequestOutcome> outcomes;
+  double now = start;
+  for (int64_t i = 0; i < max_steps && engine->HasWork(); ++i) {
+    StepResult r = engine->Step(now);
+    EXPECT_FALSE(r.idle) << "engine idled with pending work";
+    if (r.idle) {
+      break;
+    }
+    now += r.duration;
+    for (auto& o : r.finished) {
+      outcomes.push_back(std::move(o));
+    }
+  }
+  return outcomes;
+}
+
+TEST(PensieveEngineTest, SingleRequestLifecycle) {
+  GpuCostModel model = Opt13BModel();
+  PensieveEngine engine(model, SmallOptions());
+  engine.Enqueue(MakeRequest(0, 0, 0, 50, 0, 10), 0.0);
+  std::vector<RequestOutcome> outcomes = Drain(&engine);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].prefill_input_tokens, 50);
+  EXPECT_EQ(engine.stats().generated_tokens, 10);
+  // KV retained after completion: 50 prompt + 9 processed output tokens
+  // (the final generated token stays pending).
+  EXPECT_EQ(engine.cache().Find(0)->kv_len(), 59);
+  engine.cache().CheckInvariants();
+}
+
+TEST(PensieveEngineTest, SecondTurnReusesCachedHistory) {
+  GpuCostModel model = Opt13BModel();
+  PensieveEngine engine(model, SmallOptions());
+  engine.Enqueue(MakeRequest(0, 0, 0, 50, 0, 10), 0.0);
+  Drain(&engine);
+  // Turn 2 arrives: history = 50 prompt + 10 output = 60 raw tokens, of
+  // which 59 have cached KV and 1 is the pending tail token. The engine
+  // treats the pending token as part of the new input.
+  engine.Enqueue(MakeRequest(1, 0, 1, 41, 60, 5, 100.0), 100.0);
+  std::vector<RequestOutcome> outcomes = Drain(&engine, 100.0);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].reused_gpu_tokens, 59);
+  EXPECT_EQ(outcomes[0].recomputed_tokens, 0);
+  EXPECT_EQ(outcomes[0].reused_cpu_tokens, 0);
+  engine.cache().CheckInvariants();
+}
+
+TEST(PensieveEngineTest, UnifiedStepMixesPrefillAndDecode) {
+  GpuCostModel model = Opt13BModel();
+  PensieveEngine engine(model, SmallOptions());
+  engine.Enqueue(MakeRequest(0, 0, 0, 50, 0, 20), 0.0);
+  StepResult first = engine.Step(0.0);  // prefill A
+  EXPECT_EQ(engine.num_running(), 1);
+  engine.Enqueue(MakeRequest(1, 1, 0, 80, 0, 5, first.duration), first.duration);
+  // Next step admits B while A decodes: both make progress in one step.
+  const int64_t generated_before = engine.stats().generated_tokens;
+  StepResult second = engine.Step(first.duration);
+  EXPECT_EQ(engine.stats().generated_tokens, generated_before + 2);
+  EXPECT_EQ(engine.num_running(), 2);
+  (void)second;
+}
+
+TEST(PensieveEngineTest, SplitSchedulingRunsPrefillAlone) {
+  GpuCostModel model = Opt13BModel();
+  PensieveEngineOptions options = SmallOptions();
+  options.unified_scheduling = false;
+  PensieveEngine engine(model, options);
+  engine.Enqueue(MakeRequest(0, 0, 0, 50, 0, 20), 0.0);
+  StepResult first = engine.Step(0.0);
+  engine.Enqueue(MakeRequest(1, 1, 0, 80, 0, 5, first.duration), first.duration);
+  // Split mode: the admitted request prefills alone; request A is paused.
+  const int64_t generated_before = engine.stats().generated_tokens;
+  engine.Step(first.duration);
+  EXPECT_EQ(engine.stats().generated_tokens, generated_before + 1);
+}
+
+TEST(PensieveEngineTest, EvictsToCpuAndSwapsBackIn) {
+  GpuCostModel model = Opt13BModel();
+  // Tiny GPU tier: 8 blocks of 32 = 256 tokens.
+  PensieveEngineOptions options = SmallOptions(/*gpu_blocks=*/8, /*cpu_blocks=*/64);
+  PensieveEngine engine(model, options);
+  // Conversation 0 fills most of the GPU.
+  engine.Enqueue(MakeRequest(0, 0, 0, 150, 0, 10), 0.0);
+  Drain(&engine);
+  // Conversation 1 needs space: conversation 0's chunks get evicted.
+  engine.Enqueue(MakeRequest(1, 1, 0, 150, 0, 10, 10.0), 10.0);
+  Drain(&engine, 10.0);
+  engine.cache().CheckInvariants();
+  // Conversation 0 returns: some of its history must come from the CPU.
+  engine.Enqueue(MakeRequest(2, 0, 1, 30, 160, 5, 20.0), 20.0);
+  std::vector<RequestOutcome> outcomes = Drain(&engine, 20.0);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_GT(outcomes[0].reused_cpu_tokens, 0);
+  // Cached history = 160 raw tokens minus the pending tail token.
+  EXPECT_EQ(outcomes[0].reused_cpu_tokens + outcomes[0].reused_gpu_tokens +
+                outcomes[0].recomputed_tokens,
+            159);
+  engine.cache().CheckInvariants();
+}
+
+TEST(PensieveEngineTest, GpuOnlyVariantDropsInsteadOfSwapping) {
+  GpuCostModel model = Opt13BModel();
+  PensieveEngineOptions options = SmallOptions(/*gpu_blocks=*/8, /*cpu_blocks=*/64);
+  options.use_cpu_cache = false;
+  options.name = "pensieve-gpu-cache";
+  PensieveEngine engine(model, options);
+  engine.Enqueue(MakeRequest(0, 0, 0, 150, 0, 10), 0.0);
+  Drain(&engine);
+  engine.Enqueue(MakeRequest(1, 1, 0, 150, 0, 10, 10.0), 10.0);
+  Drain(&engine, 10.0);
+  engine.Enqueue(MakeRequest(2, 0, 1, 30, 160, 5, 20.0), 20.0);
+  std::vector<RequestOutcome> outcomes = Drain(&engine, 20.0);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].reused_cpu_tokens, 0);
+  EXPECT_GT(outcomes[0].recomputed_tokens, 0);
+  EXPECT_EQ(engine.stats().aot_swap_out_tokens, 0);
+  engine.cache().CheckInvariants();
+}
+
+TEST(PensieveEngineTest, DroppedPrefixIsRecomputedCorrectly) {
+  GpuCostModel model = Opt13BModel();
+  // GPU so small that conversation 0 cannot be fully cached across turns,
+  // CPU tier disabled to force drops.
+  PensieveEngineOptions options = SmallOptions(/*gpu_blocks=*/6, /*cpu_blocks=*/0);
+  options.use_cpu_cache = false;
+  PensieveEngine engine(model, options);
+  engine.Enqueue(MakeRequest(0, 0, 0, 100, 0, 10), 0.0);
+  Drain(&engine);
+  engine.Enqueue(MakeRequest(1, 1, 0, 100, 0, 10, 5.0), 5.0);
+  Drain(&engine, 5.0);
+  engine.Enqueue(MakeRequest(2, 0, 1, 20, 110, 5, 9.0), 9.0);
+  std::vector<RequestOutcome> outcomes = Drain(&engine, 9.0);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_GT(outcomes[0].recomputed_tokens, 0);
+  EXPECT_EQ(outcomes[0].recomputed_tokens + outcomes[0].reused_gpu_tokens, 109);
+  engine.cache().CheckInvariants();
+}
+
+TEST(PensieveEngineTest, AheadOfTimeSwapOutTriggersBelowThreshold) {
+  GpuCostModel model = Opt13BModel();
+  PensieveEngineOptions options = SmallOptions(/*gpu_blocks=*/10, /*cpu_blocks=*/64);
+  options.swap_out_threshold = 0.5;
+  PensieveEngine engine(model, options);
+  // Fill ~80% of GPU with a finished conversation.
+  engine.Enqueue(MakeRequest(0, 0, 0, 240, 0, 10), 0.0);
+  Drain(&engine);
+  // The next step (even an idle-ish one with a tiny new request) should
+  // trigger ahead-of-time swap-out to restore the free threshold.
+  engine.Enqueue(MakeRequest(1, 1, 0, 10, 0, 3, 1.0), 1.0);
+  Drain(&engine, 1.0);
+  EXPECT_GT(engine.stats().aot_swap_out_tokens, 0);
+  engine.cache().CheckInvariants();
+}
+
+TEST(PensieveEngineTest, SuspendsLatestRequestUnderDecodePressure) {
+  GpuCostModel model = Opt13BModel();
+  // 4 blocks of 32 = 128 token slots; two long-generation requests cannot
+  // both fit as their outputs grow.
+  PensieveEngineOptions options = SmallOptions(/*gpu_blocks=*/4, /*cpu_blocks=*/64);
+  options.decode_reserve = 0.0;  // force both to be admitted
+  options.swap_out_threshold = 0.0;
+  PensieveEngine engine(model, options);
+  engine.Enqueue(MakeRequest(0, 0, 0, 50, 0, 60, 0.0), 0.0);
+  engine.Enqueue(MakeRequest(1, 1, 0, 50, 0, 60, 0.1), 0.0);
+  std::vector<RequestOutcome> outcomes = Drain(&engine);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_GT(engine.stats().suspensions, 0);
+  // The later-arrived request bears the suspension.
+  for (const RequestOutcome& o : outcomes) {
+    if (o.request.request_id == 1) {
+      EXPECT_GT(o.suspensions, 0);
+    }
+  }
+  engine.cache().CheckInvariants();
+}
+
+TEST(PensieveEngineTest, DecodeReserveDelaysAdmission) {
+  GpuCostModel model = Opt13BModel();
+  PensieveEngineOptions options = SmallOptions(/*gpu_blocks=*/10, /*cpu_blocks=*/64);
+  options.decode_reserve = 0.5;  // very conservative
+  PensieveEngine engine(model, options);
+  engine.Enqueue(MakeRequest(0, 0, 0, 128, 0, 30), 0.0);
+  engine.Step(0.0);
+  // Request 0 holds 4+ blocks; admitting request 1 (4 blocks) would leave
+  // less than 50% free, so it must wait.
+  engine.Enqueue(MakeRequest(1, 1, 0, 128, 0, 30, 0.1), 0.1);
+  engine.Step(0.1);
+  EXPECT_EQ(engine.num_running(), 1);
+  EXPECT_EQ(engine.num_waiting(), 1);
+}
+
+TEST(PensieveEngineTest, TracksHitRateStatistics) {
+  GpuCostModel model = Opt13BModel();
+  PensieveEngine engine(model, SmallOptions());
+  engine.Enqueue(MakeRequest(0, 0, 0, 64, 0, 8), 0.0);
+  Drain(&engine);
+  engine.Enqueue(MakeRequest(1, 0, 1, 32, 72, 8, 50.0), 50.0);
+  Drain(&engine, 50.0);
+  const EngineStats& stats = engine.stats();
+  EXPECT_EQ(stats.reused_gpu_tokens, 71);  // 72 history - 1 pending tail
+  EXPECT_EQ(stats.recomputed_history_tokens, 0);
+  EXPECT_DOUBLE_EQ(stats.CacheHitRate(), 1.0);
+}
+
+TEST(PensieveEngineTest, ManyConversationsInterleaved) {
+  GpuCostModel model = Opt13BModel();
+  PensieveEngine engine(model, SmallOptions(/*gpu_blocks=*/128, /*cpu_blocks=*/512));
+  int64_t id = 0;
+  // Turn 1 for 8 conversations.
+  for (int64_t conv = 0; conv < 8; ++conv) {
+    engine.Enqueue(MakeRequest(id++, conv, 0, 40 + conv, 0, 6, 0.01 * conv), 0.0);
+  }
+  std::vector<RequestOutcome> first = Drain(&engine);
+  EXPECT_EQ(first.size(), 8u);
+  // Turn 2 for all of them: everything should be reused.
+  for (int64_t conv = 0; conv < 8; ++conv) {
+    engine.Enqueue(MakeRequest(id++, conv, 1, 20, 40 + conv + 6, 6, 100.0), 100.0);
+  }
+  std::vector<RequestOutcome> second = Drain(&engine, 100.0);
+  EXPECT_EQ(second.size(), 8u);
+  for (const RequestOutcome& o : second) {
+    EXPECT_EQ(o.recomputed_tokens, 0);
+    EXPECT_EQ(o.reused_gpu_tokens, o.request.history_len - 1);  // pending tail
+  }
+  engine.cache().CheckInvariants();
+}
+
+TEST(PensieveEngineTest, LruPolicyOptionWorks) {
+  GpuCostModel model = Opt13BModel();
+  PensieveEngineOptions options = SmallOptions(/*gpu_blocks=*/8, /*cpu_blocks=*/16);
+  options.policy = EvictionPolicyKind::kLru;
+  PensieveEngine engine(model, options);
+  engine.Enqueue(MakeRequest(0, 0, 0, 150, 0, 10), 0.0);
+  Drain(&engine);
+  engine.Enqueue(MakeRequest(1, 1, 0, 150, 0, 10, 5.0), 5.0);
+  std::vector<RequestOutcome> outcomes = Drain(&engine, 5.0);
+  EXPECT_EQ(outcomes.size(), 1u);
+  engine.cache().CheckInvariants();
+}
+
+TEST(PensieveEngineTest, RestoreStallAccountedWhenSwappingIn) {
+  GpuCostModel model = Opt13BModel();
+  PensieveEngineOptions options = SmallOptions(/*gpu_blocks=*/8, /*cpu_blocks=*/64);
+  PensieveEngine engine(model, options);
+  engine.Enqueue(MakeRequest(0, 0, 0, 200, 0, 10), 0.0);
+  Drain(&engine);
+  engine.Enqueue(MakeRequest(1, 1, 0, 200, 0, 10, 10.0), 10.0);
+  Drain(&engine, 10.0);
+  // Conversation 0 must swap back in from CPU; the engine charges some
+  // pipelined-restore stall.
+  engine.Enqueue(MakeRequest(2, 0, 1, 30, 210, 5, 20.0), 20.0);
+  std::vector<RequestOutcome> outcomes = Drain(&engine, 20.0);
+  ASSERT_EQ(outcomes.size(), 1u);
+  if (outcomes[0].reused_cpu_tokens > 0) {
+    EXPECT_GT(engine.stats().restore_stall_seconds, 0.0);
+  }
+}
+
+TEST(PensieveEngineDeathTest, RejectsEmptyPrompt) {
+  GpuCostModel model = Opt13BModel();
+  PensieveEngine engine(model, SmallOptions());
+  EXPECT_DEATH(engine.Enqueue(MakeRequest(0, 0, 0, 0, 0, 5), 0.0), "Check failed");
+}
+
+}  // namespace
+}  // namespace pensieve

@@ -1,0 +1,165 @@
+// Tests for the tensor-parallel worker group (paper Â§4.4.2).
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/sim/tp_group.h"
+
+namespace pensieve {
+namespace {
+
+// --- TpLinkGroup ---------------------------------------------------------------
+
+TEST(TpLinkGroupTest, IdenticalLinksFinishTogether) {
+  TpLinkGroup group(4, 10e9, 0.8, true);
+  const double done = group.ScheduleHostToDevice(0.0, 5e9);
+  EXPECT_NEAR(done, 0.5, 1e-9);
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_NEAR(group.link(w).h2d_busy_until(), 0.5, 1e-9);
+  }
+}
+
+TEST(TpLinkGroupTest, SkewedWorkerDelaysGroupCompletion) {
+  TpLinkGroup group(4, 10e9, 0.8, true);
+  // Worker 2's link is busy with an unrelated transfer until t = 1.0.
+  group.link(2).ScheduleHostToDevice(0.0, 10e9);
+  const double done = group.ScheduleHostToDevice(0.0, 5e9);
+  // Workers 0/1/3 finish at 0.5, worker 2 at 1.5: the group (and thus the
+  // layer's attention) waits for the slowest partition.
+  EXPECT_NEAR(done, 1.5, 1e-9);
+}
+
+TEST(TpLinkGroupTest, EvictionWaitsPerWorker) {
+  TpLinkGroup group(2, 10e9, 0.8, /*prioritize_h2d=*/true);
+  group.ScheduleHostToDevice(0.0, 10e9);  // busy until 1.0 on both
+  const double done = group.ScheduleDeviceToHost(0.0, 5e9);
+  EXPECT_NEAR(done, 1.5, 1e-9);  // waits for the swap-in, then 0.5s
+}
+
+TEST(TpLinkGroupTest, PerWorkerBytesNotTotal) {
+  // A chunk's KV is split feature-wise: each worker moves 1/N of the bytes,
+  // so N workers move a chunk in the time one worker moves 1/N of it.
+  TpLinkGroup one(1, 10e9, 0.8, true);
+  TpLinkGroup four(4, 10e9, 0.8, true);
+  const double total_bytes = 8e9;
+  const double t1 = one.ScheduleHostToDevice(0.0, total_bytes);
+  const double t4 = four.ScheduleHostToDevice(0.0, total_bytes / 4);
+  EXPECT_NEAR(t1, 0.8, 1e-9);
+  EXPECT_NEAR(t4, 0.2, 1e-9);
+}
+
+// --- TpWorkerGroup ---------------------------------------------------------------
+
+CachePlan MakePlan(int64_t step, std::vector<CachePlan::Op> ops) {
+  CachePlan plan;
+  plan.step_id = step;
+  plan.ops = std::move(ops);
+  return plan;
+}
+
+TEST(TpWorkerGroupTest, MirroredAllocationStaysConsistent) {
+  TpWorkerGroup group(4, 8, 8);
+  ASSERT_TRUE(group
+                  .ApplyToAll(MakePlan(0, {{CachePlan::OpKind::kAllocateGpu, 0},
+                                           {CachePlan::OpKind::kAllocateGpu, 0},
+                                           {CachePlan::OpKind::kAllocateCpu, 0}}))
+                  .ok());
+  EXPECT_TRUE(group.ReplicasConsistent());
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_EQ(group.gpu_free(w), 6);
+    EXPECT_EQ(group.cpu_free(w), 7);
+    EXPECT_EQ(group.last_applied_step(w), 0);
+  }
+}
+
+TEST(TpWorkerGroupTest, FreeOfAllocatedBlockSucceedsEverywhere) {
+  TpWorkerGroup group(2, 4, 4);
+  ASSERT_TRUE(
+      group.ApplyToAll(MakePlan(0, {{CachePlan::OpKind::kAllocateGpu, 0}})).ok());
+  // The deterministic LIFO allocator hands out block 0 first, on every
+  // replica alike.
+  ASSERT_TRUE(group.IsGpuAllocated(0, 0));
+  ASSERT_TRUE(group.IsGpuAllocated(1, 0));
+  ASSERT_TRUE(group.ApplyToAll(MakePlan(1, {{CachePlan::OpKind::kFreeGpu, 0}})).ok());
+  EXPECT_EQ(group.gpu_free(0), 4);
+  EXPECT_TRUE(group.ReplicasConsistent());
+}
+
+TEST(TpWorkerGroupTest, RejectsOverAllocation) {
+  TpWorkerGroup group(2, 2, 2);
+  CachePlan plan = MakePlan(0, {{CachePlan::OpKind::kAllocateGpu, 0},
+                                {CachePlan::OpKind::kAllocateGpu, 0},
+                                {CachePlan::OpKind::kAllocateGpu, 0}});
+  Status status = group.ApplyToAll(plan);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  // Rejection is atomic: no replica applied anything.
+  EXPECT_EQ(group.gpu_free(0), 2);
+  EXPECT_EQ(group.gpu_free(1), 2);
+}
+
+TEST(TpWorkerGroupTest, RejectsBadFrees) {
+  TpWorkerGroup group(2, 4, 4);
+  EXPECT_EQ(group.ApplyToAll(MakePlan(0, {{CachePlan::OpKind::kFreeGpu, 1}})).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(group.ApplyToAll(MakePlan(0, {{CachePlan::OpKind::kFreeGpu, 99}})).code(),
+            StatusCode::kInvalidArgument);
+  // Double-free within one plan.
+  ASSERT_TRUE(
+      group.ApplyToAll(MakePlan(0, {{CachePlan::OpKind::kAllocateGpu, 0}})).ok());
+  EXPECT_EQ(group
+                .ApplyToAll(MakePlan(1, {{CachePlan::OpKind::kFreeGpu, 0},
+                                         {CachePlan::OpKind::kFreeGpu, 0}}))
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TpWorkerGroupTest, PlansMustApplyInOrder) {
+  TpWorkerGroup group(2, 4, 4);
+  ASSERT_TRUE(
+      group.ApplyToAll(MakePlan(5, {{CachePlan::OpKind::kAllocateGpu, 0}})).ok());
+  EXPECT_DEATH(
+      (void)group.ApplyToAll(MakePlan(5, {{CachePlan::OpKind::kAllocateGpu, 0}})),
+      "plans must be applied in order");
+}
+
+TEST(TpWorkerGroupTest, RandomPlansNeverDiverge) {
+  Rng rng(99);
+  constexpr int64_t kBlocks = 16;
+  TpWorkerGroup group(4, kBlocks, kBlocks);
+  for (int64_t step = 0; step < 500; ++step) {
+    CachePlan plan;
+    plan.step_id = step;
+    int64_t gpu_free = group.gpu_free(0);
+    int64_t cpu_free = group.cpu_free(0);
+    // Blocks currently allocated on (mirrored) replica 0, minus frees
+    // already queued in this plan.
+    std::vector<BlockId> gpu_freeable;
+    for (BlockId b = 0; b < kBlocks; ++b) {
+      if (group.IsGpuAllocated(0, b)) {
+        gpu_freeable.push_back(b);
+      }
+    }
+    const int n_ops = static_cast<int>(rng.UniformInt(1, 5));
+    for (int i = 0; i < n_ops; ++i) {
+      const int choice = static_cast<int>(rng.UniformInt(0, 2));
+      if (choice == 0 && gpu_free > 0) {
+        plan.ops.push_back({CachePlan::OpKind::kAllocateGpu, 0});
+        --gpu_free;
+      } else if (choice == 1 && !gpu_freeable.empty()) {
+        const size_t idx = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(gpu_freeable.size()) - 1));
+        plan.ops.push_back({CachePlan::OpKind::kFreeGpu, gpu_freeable[idx]});
+        gpu_freeable.erase(gpu_freeable.begin() + static_cast<int64_t>(idx));
+      } else if (cpu_free > 0) {
+        plan.ops.push_back({CachePlan::OpKind::kAllocateCpu, 0});
+        --cpu_free;
+      }
+    }
+    Status status = group.ApplyToAll(plan);
+    ASSERT_TRUE(status.ok()) << status << " at step " << step;
+    ASSERT_TRUE(group.ReplicasConsistent()) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace pensieve

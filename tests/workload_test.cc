@@ -1,0 +1,288 @@
+// Tests for workload synthesis: dataset profiles (paper Table 2) and traces.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+
+#include "src/workload/dataset.h"
+#include "src/workload/trace.h"
+#include "src/workload/trace_io.h"
+
+namespace pensieve {
+namespace {
+
+// --- Dataset profiles / Table 2 ------------------------------------------------
+
+TEST(DatasetProfileTest, Table2Means) {
+  DatasetProfile sg = ShareGptProfile();
+  EXPECT_NEAR(sg.mean_turns, 5.56, 1e-9);
+  EXPECT_NEAR(sg.mean_input_len, 37.77, 1e-9);
+  EXPECT_NEAR(sg.mean_output_len, 204.58, 1e-9);
+  EXPECT_EQ(sg.max_context, 16384);
+
+  DatasetProfile uc = UltraChatProfile();
+  EXPECT_NEAR(uc.mean_turns, 3.86, 1e-9);
+  EXPECT_NEAR(uc.mean_input_len, 51.78, 1e-9);
+  EXPECT_NEAR(uc.mean_output_len, 257.81, 1e-9);
+}
+
+class DatasetStatisticsTest : public ::testing::TestWithParam<DatasetProfile> {};
+
+TEST_P(DatasetStatisticsTest, GeneratedStatisticsMatchTable2) {
+  const DatasetProfile profile = GetParam();
+  ConversationGenerator gen(profile, 1234);
+  double total_turns = 0.0;
+  double total_input = 0.0;
+  double total_output = 0.0;
+  int64_t total_requests = 0;
+  const int kConversations = 20000;
+  for (int i = 0; i < kConversations; ++i) {
+    ConversationSpec spec = gen.Next();
+    EXPECT_GE(spec.turns.size(), 1u);
+    EXPECT_LE(spec.TotalTokens(), profile.max_context);
+    total_turns += static_cast<double>(spec.turns.size());
+    for (const TurnSpec& turn : spec.turns) {
+      EXPECT_GE(turn.input_len, 1);
+      EXPECT_GE(turn.output_len, 1);
+      total_input += static_cast<double>(turn.input_len);
+      total_output += static_cast<double>(turn.output_len);
+      ++total_requests;
+    }
+  }
+  const double mean_turns = total_turns / kConversations;
+  const double mean_input = total_input / static_cast<double>(total_requests);
+  const double mean_output = total_output / static_cast<double>(total_requests);
+  // The 16K context cap truncates long conversations, pulling the means
+  // slightly below the raw distribution targets; allow 15%.
+  EXPECT_NEAR(mean_turns, profile.mean_turns, profile.mean_turns * 0.15);
+  EXPECT_NEAR(mean_input, profile.mean_input_len, profile.mean_input_len * 0.15);
+  EXPECT_NEAR(mean_output, profile.mean_output_len, profile.mean_output_len * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, DatasetStatisticsTest,
+                         ::testing::Values(ShareGptProfile(), UltraChatProfile()),
+                         [](const ::testing::TestParamInfo<DatasetProfile>& info) {
+                           return info.param.name;
+                         });
+
+TEST(ConversationGeneratorTest, DeterministicForSeed) {
+  ConversationGenerator a(ShareGptProfile(), 7);
+  ConversationGenerator b(ShareGptProfile(), 7);
+  for (int i = 0; i < 50; ++i) {
+    ConversationSpec sa = a.Next();
+    ConversationSpec sb = b.Next();
+    ASSERT_EQ(sa.turns.size(), sb.turns.size());
+    for (size_t t = 0; t < sa.turns.size(); ++t) {
+      EXPECT_EQ(sa.turns[t].input_len, sb.turns[t].input_len);
+      EXPECT_EQ(sa.turns[t].output_len, sb.turns[t].output_len);
+    }
+  }
+}
+
+TEST(ConversationGeneratorTest, AssignsSequentialIds) {
+  ConversationGenerator gen(UltraChatProfile(), 3);
+  EXPECT_EQ(gen.Next().conversation_id, 0);
+  EXPECT_EQ(gen.Next().conversation_id, 1);
+  EXPECT_EQ(gen.Next().conversation_id, 2);
+}
+
+TEST(ConversationSpecTest, HistoryAccumulates) {
+  ConversationSpec spec;
+  spec.turns = {{10, 100}, {20, 200}, {5, 50}};
+  EXPECT_EQ(spec.HistoryLenBeforeTurn(0), 0);
+  EXPECT_EQ(spec.HistoryLenBeforeTurn(1), 110);
+  EXPECT_EQ(spec.HistoryLenBeforeTurn(2), 330);
+  EXPECT_EQ(spec.TotalTokens(), 385);
+}
+
+TEST(SyntheticTokenTest, DeterministicAndInRange) {
+  std::set<int32_t> values;
+  for (int64_t pos = 0; pos < 1000; ++pos) {
+    const int32_t t = SyntheticToken(42, pos, 128);
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 128);
+    EXPECT_EQ(t, SyntheticToken(42, pos, 128));
+    values.insert(t);
+  }
+  // Well spread over the vocabulary.
+  EXPECT_GT(values.size(), 100u);
+}
+
+TEST(SyntheticTokenTest, DiffersAcrossConversations) {
+  int differences = 0;
+  for (int64_t pos = 0; pos < 100; ++pos) {
+    if (SyntheticToken(1, pos, 1 << 20) != SyntheticToken(2, pos, 1 << 20)) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 95);
+}
+
+// --- WorkloadTrace ---------------------------------------------------------------
+
+TEST(WorkloadTraceTest, ArrivalsAreIncreasingPoisson) {
+  TraceOptions options;
+  options.num_conversations = 5000;
+  options.conversation_rate = 2.0;
+  options.seed = 9;
+  WorkloadTrace trace(ShareGptProfile(), options);
+  ASSERT_EQ(trace.conversations().size(), 5000u);
+  double prev = 0.0;
+  double last = 0.0;
+  for (const TraceConversation& conv : trace.conversations()) {
+    EXPECT_GT(conv.first_arrival, prev);
+    prev = conv.first_arrival;
+    last = conv.first_arrival;
+  }
+  // 5000 arrivals at 2/s should take roughly 2500 seconds.
+  EXPECT_NEAR(last, 2500.0, 200.0);
+}
+
+TEST(WorkloadTraceTest, ThinkTimesMatchMean) {
+  TraceOptions options;
+  options.num_conversations = 5000;
+  options.conversation_rate = 1.0;
+  options.mean_think_time = 60.0;
+  options.seed = 10;
+  WorkloadTrace trace(ShareGptProfile(), options);
+  double sum = 0.0;
+  int64_t count = 0;
+  for (const TraceConversation& conv : trace.conversations()) {
+    EXPECT_EQ(conv.think_times.size(), conv.spec.turns.size() - 1);
+    for (double t : conv.think_times) {
+      sum += t;
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 0);
+  EXPECT_NEAR(sum / static_cast<double>(count), 60.0, 3.0);
+}
+
+TEST(WorkloadTraceTest, TotalRequestsCountsTurns) {
+  TraceOptions options;
+  options.num_conversations = 100;
+  options.conversation_rate = 1.0;
+  WorkloadTrace trace(UltraChatProfile(), options);
+  int64_t expected = 0;
+  for (const TraceConversation& conv : trace.conversations()) {
+    expected += static_cast<int64_t>(conv.spec.turns.size());
+  }
+  EXPECT_EQ(trace.TotalRequests(), expected);
+}
+
+TEST(WorkloadTraceTest, DeterministicForSeed) {
+  TraceOptions options;
+  options.num_conversations = 50;
+  options.conversation_rate = 1.5;
+  options.seed = 77;
+  WorkloadTrace a(ShareGptProfile(), options);
+  WorkloadTrace b(ShareGptProfile(), options);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.conversations()[i].first_arrival,
+                     b.conversations()[i].first_arrival);
+  }
+}
+
+TEST(WorkloadTraceTest, HigherRateCompressesArrivals) {
+  TraceOptions slow;
+  slow.num_conversations = 1000;
+  slow.conversation_rate = 0.5;
+  TraceOptions fast = slow;
+  fast.conversation_rate = 4.0;
+  WorkloadTrace a(ShareGptProfile(), slow);
+  WorkloadTrace b(ShareGptProfile(), fast);
+  EXPECT_GT(a.conversations().back().first_arrival,
+            4.0 * b.conversations().back().first_arrival);
+}
+
+
+// --- Trace I/O -------------------------------------------------------------------
+
+std::string TraceTempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(TraceIoTest, RoundTripPreservesConversations) {
+  ConversationGenerator gen(ShareGptProfile(), 5);
+  std::vector<ConversationSpec> original;
+  for (int i = 0; i < 20; ++i) {
+    original.push_back(gen.Next());
+  }
+  const std::string path = TraceTempPath("trace_roundtrip.csv");
+  ASSERT_TRUE(WriteConversationsCsv(path, original).ok());
+  auto loaded = LoadConversationsCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    ASSERT_EQ((*loaded)[i].turns.size(), original[i].turns.size());
+    for (size_t t = 0; t < original[i].turns.size(); ++t) {
+      EXPECT_EQ((*loaded)[i].turns[t].input_len, original[i].turns[t].input_len);
+      EXPECT_EQ((*loaded)[i].turns[t].output_len, original[i].turns[t].output_len);
+    }
+  }
+}
+
+TEST(TraceIoTest, RejectsMalformedFiles) {
+  const std::string path = TraceTempPath("trace_bad.csv");
+  auto write = [&](const std::string& contents) {
+    std::ofstream out(path, std::ios::trunc);
+    out << contents;
+  };
+  write("wrong,header\n");
+  EXPECT_EQ(LoadConversationsCsv(path).status().code(), StatusCode::kInvalidArgument);
+  write("conversation_id,turn,input_len,output_len\n1,0,abc,5\n");
+  EXPECT_EQ(LoadConversationsCsv(path).status().code(), StatusCode::kInvalidArgument);
+  write("conversation_id,turn,input_len,output_len\n1,1,5,5\n");  // no turn 0
+  EXPECT_EQ(LoadConversationsCsv(path).status().code(), StatusCode::kInvalidArgument);
+  write("conversation_id,turn,input_len,output_len\n1,0,5,5\n1,2,5,5\n");  // gap
+  EXPECT_EQ(LoadConversationsCsv(path).status().code(), StatusCode::kInvalidArgument);
+  write("conversation_id,turn,input_len,output_len\n1,0,0,5\n");  // zero length
+  EXPECT_EQ(LoadConversationsCsv(path).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(LoadConversationsCsv("/does/not/exist.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TraceIoTest, InterleavedConversationsSupported) {
+  const std::string path = TraceTempPath("trace_interleaved.csv");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "conversation_id,turn,input_len,output_len\n"
+           "7,0,10,20\n"
+           "9,0,5,5\n"
+           "7,1,3,4\n";
+  }
+  auto loaded = LoadConversationsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].turns.size(), 2u);
+  EXPECT_EQ((*loaded)[1].turns.size(), 1u);
+}
+
+TEST(TraceIoTest, LoadedConversationsBuildAReplayableTrace) {
+  ConversationGenerator gen(UltraChatProfile(), 11);
+  std::vector<ConversationSpec> specs;
+  for (int i = 0; i < 10; ++i) {
+    specs.push_back(gen.Next());
+  }
+  const std::string path = TraceTempPath("trace_replay.csv");
+  ASSERT_TRUE(WriteConversationsCsv(path, specs).ok());
+  auto loaded = LoadConversationsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+
+  TraceOptions options;
+  options.num_conversations = 5;  // cap
+  options.conversation_rate = 1.0;
+  WorkloadTrace trace(std::move(loaded).value(), UltraChatProfile(), options);
+  ASSERT_EQ(trace.conversations().size(), 5u);
+  for (size_t i = 0; i < trace.conversations().size(); ++i) {
+    // Ids re-assigned densely so the driver can index by them.
+    EXPECT_EQ(trace.conversations()[i].spec.conversation_id,
+              static_cast<int64_t>(i));
+    EXPECT_EQ(trace.conversations()[i].think_times.size(),
+              trace.conversations()[i].spec.turns.size() - 1);
+  }
+}
+
+}  // namespace
+}  // namespace pensieve

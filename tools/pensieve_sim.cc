@@ -1,0 +1,184 @@
+// pensieve_sim — command-line serving-experiment runner.
+//
+// Runs one serving experiment on the simulated A100 testbed and prints the
+// summary; optionally dumps per-request outcomes and per-step traces as CSV
+// for plotting.
+//
+// Examples:
+//   pensieve_sim --model=llama2-13b --dataset=sharegpt --system=pensieve
+//                --rate=1.0 --conversations=600 --think=60
+//   pensieve_sim --model=opt-66b --system=vllm --rate=0.4
+//                --outcomes_csv=/tmp/outcomes.csv --steps_csv=/tmp/steps.csv
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "src/common/flags.h"
+#include "src/core/pensieve.h"
+#include "src/serving/telemetry.h"
+#include "src/workload/trace_io.h"
+
+namespace pensieve {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("model", "opt-13b",
+                  "model preset: opt-13b, opt-66b, llama2-13b, llama2-70b");
+  flags.AddString("dataset", "sharegpt", "workload profile: sharegpt or ultrachat");
+  flags.AddString("system", "pensieve",
+                  "serving system: pensieve, pensieve-gpu, vllm, tensorrt-llm");
+  flags.AddString("policy", "retention",
+                  "eviction policy: retention, lru, conversation-lru, cost-only");
+  flags.AddDouble("rate", 1.0, "conversation arrival rate (conversations/s)");
+  flags.AddInt("conversations", 600, "number of conversations in the trace");
+  flags.AddDouble("think", 60.0, "mean user think time (s)");
+  flags.AddDouble("cache_scale", 1.0,
+                  "scales both cache tiers relative to the paper's 40 GB setup");
+  flags.AddInt("seed", 42, "workload seed");
+  flags.AddBool("split_scheduling", false,
+                "disable unified batching (Figure 13 ablation)");
+  flags.AddString("trace_csv", "",
+                  "replay conversations from this CSV (see src/workload/trace_io.h) "
+                  "instead of synthesizing them");
+  flags.AddString("outcomes_csv", "", "write per-request outcomes CSV here");
+  flags.AddString("steps_csv", "", "write per-step trace CSV here");
+  flags.AddBool("help", false, "print usage");
+  Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n\nflags:\n%s", status.ToString().c_str(),
+                 flags.Help().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help")) {
+    std::printf("pensieve_sim: serving-experiment runner\n\nflags:\n%s",
+                flags.Help().c_str());
+    return 0;
+  }
+
+  ModelConfig model;
+  if (!ModelConfigByName(flags.GetString("model"), &model)) {
+    std::fprintf(stderr, "unknown model '%s'\n", flags.GetString("model").c_str());
+    return 2;
+  }
+  DatasetProfile profile;
+  if (flags.GetString("dataset") == "sharegpt") {
+    profile = ShareGptProfile();
+  } else if (flags.GetString("dataset") == "ultrachat") {
+    profile = UltraChatProfile();
+  } else {
+    std::fprintf(stderr, "unknown dataset '%s'\n", flags.GetString("dataset").c_str());
+    return 2;
+  }
+  SystemKind kind;
+  const std::string system = flags.GetString("system");
+  if (system == "pensieve") {
+    kind = SystemKind::kPensieve;
+  } else if (system == "pensieve-gpu") {
+    kind = SystemKind::kPensieveGpuOnly;
+  } else if (system == "vllm") {
+    kind = SystemKind::kVllm;
+  } else if (system == "tensorrt-llm") {
+    kind = SystemKind::kTensorRtLlm;
+  } else {
+    std::fprintf(stderr, "unknown system '%s'\n", system.c_str());
+    return 2;
+  }
+  EngineOverrides overrides;
+  overrides.cache_scale = flags.GetDouble("cache_scale");
+  overrides.unified_scheduling = !flags.GetBool("split_scheduling");
+  const std::string policy = flags.GetString("policy");
+  if (policy == "retention") {
+    overrides.policy = EvictionPolicyKind::kRetentionValue;
+  } else if (policy == "lru") {
+    overrides.policy = EvictionPolicyKind::kLru;
+  } else if (policy == "conversation-lru") {
+    overrides.policy = EvictionPolicyKind::kConversationLru;
+  } else if (policy == "cost-only") {
+    overrides.policy = EvictionPolicyKind::kCostOnly;
+  } else {
+    std::fprintf(stderr, "unknown policy '%s'\n", policy.c_str());
+    return 2;
+  }
+
+  const GpuCostModel cost_model(model, A100Spec(model.num_gpus));
+  TraceOptions trace_options;
+  trace_options.num_conversations = flags.GetInt("conversations");
+  trace_options.conversation_rate = flags.GetDouble("rate");
+  trace_options.mean_think_time = flags.GetDouble("think");
+  trace_options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  std::optional<WorkloadTrace> trace_storage;
+  if (!flags.GetString("trace_csv").empty()) {
+    auto loaded = LoadConversationsCsv(flags.GetString("trace_csv"));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    trace_storage.emplace(std::move(loaded).value(), profile, trace_options);
+  } else {
+    trace_storage.emplace(profile, trace_options);
+  }
+  const WorkloadTrace& trace = *trace_storage;
+
+  auto engine = MakeEngine(kind, cost_model, overrides);
+  std::vector<RequestOutcome> outcomes;
+  std::vector<StepTraceEntry> steps;
+  DriverOptions driver_options;
+  driver_options.outcomes = &outcomes;
+  driver_options.step_trace = &steps;
+  const ServingSummary s =
+      RunServingExperiment(engine.get(), trace, driver_options);
+
+  std::printf("system:            %s\n", s.engine_name.c_str());
+  std::printf("model:             %s on %d GPU(s)\n", model.name.c_str(),
+              model.num_gpus);
+  std::printf("requests:          %ld completed, makespan %.1f s\n",
+              static_cast<long>(s.completed_requests), s.makespan);
+  std::printf("throughput:        %.3f req/s (%.1f tok/s) over steady window "
+              "[%.1f, %.1f] s\n",
+              s.throughput_rps, s.token_throughput, s.window_begin, s.window_end);
+  std::printf("norm latency:      mean %.1f / p50 %.1f / p90 %.1f / p99 %.1f "
+              "ms per token\n",
+              s.mean_normalized_latency * 1e3, s.p50_normalized_latency * 1e3,
+              s.p90_normalized_latency * 1e3, s.p99_normalized_latency * 1e3);
+  std::printf("cache:             hit %.3f (cpu-tier hit %.3f), %ld tokens "
+              "recomputed, %.2f s recompute\n",
+              s.engine_stats.CacheHitRate(), s.engine_stats.CpuCacheHitRate(),
+              static_cast<long>(s.engine_stats.recomputed_history_tokens),
+              s.engine_stats.recompute_seconds);
+  std::printf("swapping:          %ld AOT tokens out, %ld forced, %ld dropped, "
+              "%.2f s restore stall\n",
+              static_cast<long>(s.engine_stats.aot_swap_out_tokens),
+              static_cast<long>(s.engine_stats.forced_swap_out_tokens),
+              static_cast<long>(s.engine_stats.dropped_tokens),
+              s.engine_stats.restore_stall_seconds);
+  const StepTraceSummary st = SummarizeStepTrace(steps);
+  std::printf("scheduler:         %ld steps, mean batch %.1f requests / %.1f "
+              "tokens, %.1f s busy\n",
+              static_cast<long>(st.steps), st.mean_batch_requests,
+              st.mean_batch_tokens, st.busy_seconds);
+
+  if (!flags.GetString("outcomes_csv").empty()) {
+    status = WriteOutcomesCsv(flags.GetString("outcomes_csv"), outcomes);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", flags.GetString("outcomes_csv").c_str());
+  }
+  if (!flags.GetString("steps_csv").empty()) {
+    status = WriteStepTraceCsv(flags.GetString("steps_csv"), steps);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", flags.GetString("steps_csv").c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pensieve
+
+int main(int argc, char** argv) { return pensieve::Run(argc, argv); }
