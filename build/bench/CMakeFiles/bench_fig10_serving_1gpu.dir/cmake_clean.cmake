@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_serving_1gpu.dir/bench_fig10_serving_1gpu.cc.o"
+  "CMakeFiles/bench_fig10_serving_1gpu.dir/bench_fig10_serving_1gpu.cc.o.d"
+  "bench_fig10_serving_1gpu"
+  "bench_fig10_serving_1gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_serving_1gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

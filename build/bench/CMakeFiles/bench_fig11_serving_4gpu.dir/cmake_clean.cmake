@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_serving_4gpu.dir/bench_fig11_serving_4gpu.cc.o"
+  "CMakeFiles/bench_fig11_serving_4gpu.dir/bench_fig11_serving_4gpu.cc.o.d"
+  "bench_fig11_serving_4gpu"
+  "bench_fig11_serving_4gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_serving_4gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

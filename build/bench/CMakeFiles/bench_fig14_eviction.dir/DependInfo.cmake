@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14_eviction.cc" "bench/CMakeFiles/bench_fig14_eviction.dir/bench_fig14_eviction.cc.o" "gcc" "bench/CMakeFiles/bench_fig14_eviction.dir/bench_fig14_eviction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pensieve_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/pensieve_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/pensieve_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/eviction/CMakeFiles/pensieve_eviction.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pensieve_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/pensieve_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/pensieve_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pensieve_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvcache/CMakeFiles/pensieve_kvcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pensieve_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pensieve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

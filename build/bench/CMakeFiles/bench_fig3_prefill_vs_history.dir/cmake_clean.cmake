@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_prefill_vs_history.dir/bench_fig3_prefill_vs_history.cc.o"
+  "CMakeFiles/bench_fig3_prefill_vs_history.dir/bench_fig3_prefill_vs_history.cc.o.d"
+  "bench_fig3_prefill_vs_history"
+  "bench_fig3_prefill_vs_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_prefill_vs_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

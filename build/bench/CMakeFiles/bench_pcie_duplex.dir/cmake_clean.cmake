@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pcie_duplex.dir/bench_pcie_duplex.cc.o"
+  "CMakeFiles/bench_pcie_duplex.dir/bench_pcie_duplex.cc.o.d"
+  "bench_pcie_duplex"
+  "bench_pcie_duplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pcie_duplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_kernel_playground.dir/kernel_playground.cpp.o"
+  "CMakeFiles/example_kernel_playground.dir/kernel_playground.cpp.o.d"
+  "kernel_playground"
+  "kernel_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_kernel_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

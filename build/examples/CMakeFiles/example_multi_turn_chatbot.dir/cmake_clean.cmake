@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_turn_chatbot.dir/multi_turn_chatbot.cpp.o"
+  "CMakeFiles/example_multi_turn_chatbot.dir/multi_turn_chatbot.cpp.o.d"
+  "multi_turn_chatbot"
+  "multi_turn_chatbot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_turn_chatbot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

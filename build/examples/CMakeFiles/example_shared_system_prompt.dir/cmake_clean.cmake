@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_shared_system_prompt.dir/shared_system_prompt.cpp.o"
+  "CMakeFiles/example_shared_system_prompt.dir/shared_system_prompt.cpp.o.d"
+  "shared_system_prompt"
+  "shared_system_prompt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_shared_system_prompt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

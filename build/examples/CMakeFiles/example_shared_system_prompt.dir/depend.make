@@ -1,0 +1,2 @@
+# Empty dependencies file for example_shared_system_prompt.
+# This may be replaced when dependencies are built.

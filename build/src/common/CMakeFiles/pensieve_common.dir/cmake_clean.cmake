@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pensieve_common.dir/flags.cc.o"
+  "CMakeFiles/pensieve_common.dir/flags.cc.o.d"
+  "CMakeFiles/pensieve_common.dir/interp.cc.o"
+  "CMakeFiles/pensieve_common.dir/interp.cc.o.d"
+  "CMakeFiles/pensieve_common.dir/logging.cc.o"
+  "CMakeFiles/pensieve_common.dir/logging.cc.o.d"
+  "CMakeFiles/pensieve_common.dir/rng.cc.o"
+  "CMakeFiles/pensieve_common.dir/rng.cc.o.d"
+  "CMakeFiles/pensieve_common.dir/stats.cc.o"
+  "CMakeFiles/pensieve_common.dir/stats.cc.o.d"
+  "CMakeFiles/pensieve_common.dir/status.cc.o"
+  "CMakeFiles/pensieve_common.dir/status.cc.o.d"
+  "libpensieve_common.a"
+  "libpensieve_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pensieve_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pensieve_core.dir/experiment.cc.o"
+  "CMakeFiles/pensieve_core.dir/experiment.cc.o.d"
+  "CMakeFiles/pensieve_core.dir/stateful_server.cc.o"
+  "CMakeFiles/pensieve_core.dir/stateful_server.cc.o.d"
+  "libpensieve_core.a"
+  "libpensieve_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pensieve_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pensieve_eviction.dir/cost_estimator.cc.o"
+  "CMakeFiles/pensieve_eviction.dir/cost_estimator.cc.o.d"
+  "CMakeFiles/pensieve_eviction.dir/policy.cc.o"
+  "CMakeFiles/pensieve_eviction.dir/policy.cc.o.d"
+  "libpensieve_eviction.a"
+  "libpensieve_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pensieve_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

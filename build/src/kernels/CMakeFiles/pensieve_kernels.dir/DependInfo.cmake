@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/attention.cc" "src/kernels/CMakeFiles/pensieve_kernels.dir/attention.cc.o" "gcc" "src/kernels/CMakeFiles/pensieve_kernels.dir/attention.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/pensieve_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvcache/CMakeFiles/pensieve_kvcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pensieve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

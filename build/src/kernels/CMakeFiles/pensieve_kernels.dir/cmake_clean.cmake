@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pensieve_kernels.dir/attention.cc.o"
+  "CMakeFiles/pensieve_kernels.dir/attention.cc.o.d"
+  "libpensieve_kernels.a"
+  "libpensieve_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pensieve_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

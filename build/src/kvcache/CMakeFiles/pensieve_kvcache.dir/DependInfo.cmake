@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvcache/block.cc" "src/kvcache/CMakeFiles/pensieve_kvcache.dir/block.cc.o" "gcc" "src/kvcache/CMakeFiles/pensieve_kvcache.dir/block.cc.o.d"
+  "/root/repo/src/kvcache/block_allocator.cc" "src/kvcache/CMakeFiles/pensieve_kvcache.dir/block_allocator.cc.o" "gcc" "src/kvcache/CMakeFiles/pensieve_kvcache.dir/block_allocator.cc.o.d"
+  "/root/repo/src/kvcache/context_state.cc" "src/kvcache/CMakeFiles/pensieve_kvcache.dir/context_state.cc.o" "gcc" "src/kvcache/CMakeFiles/pensieve_kvcache.dir/context_state.cc.o.d"
+  "/root/repo/src/kvcache/kv_pool.cc" "src/kvcache/CMakeFiles/pensieve_kvcache.dir/kv_pool.cc.o" "gcc" "src/kvcache/CMakeFiles/pensieve_kvcache.dir/kv_pool.cc.o.d"
+  "/root/repo/src/kvcache/two_tier_cache.cc" "src/kvcache/CMakeFiles/pensieve_kvcache.dir/two_tier_cache.cc.o" "gcc" "src/kvcache/CMakeFiles/pensieve_kvcache.dir/two_tier_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pensieve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pensieve_kvcache.dir/block.cc.o"
+  "CMakeFiles/pensieve_kvcache.dir/block.cc.o.d"
+  "CMakeFiles/pensieve_kvcache.dir/block_allocator.cc.o"
+  "CMakeFiles/pensieve_kvcache.dir/block_allocator.cc.o.d"
+  "CMakeFiles/pensieve_kvcache.dir/context_state.cc.o"
+  "CMakeFiles/pensieve_kvcache.dir/context_state.cc.o.d"
+  "CMakeFiles/pensieve_kvcache.dir/kv_pool.cc.o"
+  "CMakeFiles/pensieve_kvcache.dir/kv_pool.cc.o.d"
+  "CMakeFiles/pensieve_kvcache.dir/two_tier_cache.cc.o"
+  "CMakeFiles/pensieve_kvcache.dir/two_tier_cache.cc.o.d"
+  "libpensieve_kvcache.a"
+  "libpensieve_kvcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pensieve_kvcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpensieve_kvcache.a"
+)

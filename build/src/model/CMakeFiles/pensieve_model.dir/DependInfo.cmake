@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/model_config.cc" "src/model/CMakeFiles/pensieve_model.dir/model_config.cc.o" "gcc" "src/model/CMakeFiles/pensieve_model.dir/model_config.cc.o.d"
+  "/root/repo/src/model/transformer.cc" "src/model/CMakeFiles/pensieve_model.dir/transformer.cc.o" "gcc" "src/model/CMakeFiles/pensieve_model.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/pensieve_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/pensieve_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvcache/CMakeFiles/pensieve_kvcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pensieve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pensieve_model.dir/model_config.cc.o"
+  "CMakeFiles/pensieve_model.dir/model_config.cc.o.d"
+  "CMakeFiles/pensieve_model.dir/transformer.cc.o"
+  "CMakeFiles/pensieve_model.dir/transformer.cc.o.d"
+  "libpensieve_model.a"
+  "libpensieve_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pensieve_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

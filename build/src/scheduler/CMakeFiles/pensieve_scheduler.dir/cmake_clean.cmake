@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pensieve_scheduler.dir/cache_coordinator.cc.o"
+  "CMakeFiles/pensieve_scheduler.dir/cache_coordinator.cc.o.d"
+  "CMakeFiles/pensieve_scheduler.dir/step_cost.cc.o"
+  "CMakeFiles/pensieve_scheduler.dir/step_cost.cc.o.d"
+  "libpensieve_scheduler.a"
+  "libpensieve_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pensieve_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pensieve_serving.dir/driver.cc.o"
+  "CMakeFiles/pensieve_serving.dir/driver.cc.o.d"
+  "CMakeFiles/pensieve_serving.dir/metrics.cc.o"
+  "CMakeFiles/pensieve_serving.dir/metrics.cc.o.d"
+  "CMakeFiles/pensieve_serving.dir/pensieve_engine.cc.o"
+  "CMakeFiles/pensieve_serving.dir/pensieve_engine.cc.o.d"
+  "CMakeFiles/pensieve_serving.dir/stateless_engine.cc.o"
+  "CMakeFiles/pensieve_serving.dir/stateless_engine.cc.o.d"
+  "CMakeFiles/pensieve_serving.dir/telemetry.cc.o"
+  "CMakeFiles/pensieve_serving.dir/telemetry.cc.o.d"
+  "libpensieve_serving.a"
+  "libpensieve_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pensieve_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

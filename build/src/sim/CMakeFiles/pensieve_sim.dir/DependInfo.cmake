@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cc" "src/sim/CMakeFiles/pensieve_sim.dir/cost_model.cc.o" "gcc" "src/sim/CMakeFiles/pensieve_sim.dir/cost_model.cc.o.d"
+  "/root/repo/src/sim/hardware.cc" "src/sim/CMakeFiles/pensieve_sim.dir/hardware.cc.o" "gcc" "src/sim/CMakeFiles/pensieve_sim.dir/hardware.cc.o.d"
+  "/root/repo/src/sim/pcie_link.cc" "src/sim/CMakeFiles/pensieve_sim.dir/pcie_link.cc.o" "gcc" "src/sim/CMakeFiles/pensieve_sim.dir/pcie_link.cc.o.d"
+  "/root/repo/src/sim/tp_group.cc" "src/sim/CMakeFiles/pensieve_sim.dir/tp_group.cc.o" "gcc" "src/sim/CMakeFiles/pensieve_sim.dir/tp_group.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pensieve_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/pensieve_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/pensieve_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pensieve_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvcache/CMakeFiles/pensieve_kvcache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pensieve_sim.dir/cost_model.cc.o"
+  "CMakeFiles/pensieve_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/pensieve_sim.dir/hardware.cc.o"
+  "CMakeFiles/pensieve_sim.dir/hardware.cc.o.d"
+  "CMakeFiles/pensieve_sim.dir/pcie_link.cc.o"
+  "CMakeFiles/pensieve_sim.dir/pcie_link.cc.o.d"
+  "CMakeFiles/pensieve_sim.dir/tp_group.cc.o"
+  "CMakeFiles/pensieve_sim.dir/tp_group.cc.o.d"
+  "libpensieve_sim.a"
+  "libpensieve_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pensieve_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

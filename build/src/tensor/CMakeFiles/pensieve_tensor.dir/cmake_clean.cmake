@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pensieve_tensor.dir/ops.cc.o"
+  "CMakeFiles/pensieve_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/pensieve_tensor.dir/tensor.cc.o"
+  "CMakeFiles/pensieve_tensor.dir/tensor.cc.o.d"
+  "libpensieve_tensor.a"
+  "libpensieve_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pensieve_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

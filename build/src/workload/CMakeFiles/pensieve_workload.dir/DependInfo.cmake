@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dataset.cc" "src/workload/CMakeFiles/pensieve_workload.dir/dataset.cc.o" "gcc" "src/workload/CMakeFiles/pensieve_workload.dir/dataset.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/pensieve_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/pensieve_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/workload/CMakeFiles/pensieve_workload.dir/trace_io.cc.o" "gcc" "src/workload/CMakeFiles/pensieve_workload.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pensieve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pensieve_workload.dir/dataset.cc.o"
+  "CMakeFiles/pensieve_workload.dir/dataset.cc.o.d"
+  "CMakeFiles/pensieve_workload.dir/trace.cc.o"
+  "CMakeFiles/pensieve_workload.dir/trace.cc.o.d"
+  "CMakeFiles/pensieve_workload.dir/trace_io.cc.o"
+  "CMakeFiles/pensieve_workload.dir/trace_io.cc.o.d"
+  "libpensieve_workload.a"
+  "libpensieve_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pensieve_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attention_kernel_test.dir/attention_kernel_test.cc.o"
+  "CMakeFiles/attention_kernel_test.dir/attention_kernel_test.cc.o.d"
+  "attention_kernel_test"
+  "attention_kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attention_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

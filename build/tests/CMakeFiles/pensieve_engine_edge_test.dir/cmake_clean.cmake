@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pensieve_engine_edge_test.dir/pensieve_engine_edge_test.cc.o"
+  "CMakeFiles/pensieve_engine_edge_test.dir/pensieve_engine_edge_test.cc.o.d"
+  "pensieve_engine_edge_test"
+  "pensieve_engine_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pensieve_engine_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stateful_server_test.dir/stateful_server_test.cc.o"
+  "CMakeFiles/stateful_server_test.dir/stateful_server_test.cc.o.d"
+  "stateful_server_test"
+  "stateful_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stateful_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stateless_engine_test.dir/stateless_engine_test.cc.o"
+  "CMakeFiles/stateless_engine_test.dir/stateless_engine_test.cc.o.d"
+  "stateless_engine_test"
+  "stateless_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stateless_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

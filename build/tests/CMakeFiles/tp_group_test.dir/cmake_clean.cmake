@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_group_test.dir/tp_group_test.cc.o"
+  "CMakeFiles/tp_group_test.dir/tp_group_test.cc.o.d"
+  "tp_group_test"
+  "tp_group_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

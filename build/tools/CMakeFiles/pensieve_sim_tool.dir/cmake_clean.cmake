@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pensieve_sim_tool.dir/pensieve_sim.cc.o"
+  "CMakeFiles/pensieve_sim_tool.dir/pensieve_sim.cc.o.d"
+  "pensieve_sim"
+  "pensieve_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pensieve_sim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
