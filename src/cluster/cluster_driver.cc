@@ -1,0 +1,209 @@
+#include "src/cluster/cluster_driver.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "src/cluster/replica.h"
+#include "src/common/logging.h"
+
+namespace pensieve {
+
+namespace {
+
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+// Same shape and comparator as the single-engine driver's arrival queue so
+// that equal-time arrivals pop in the identical heap order.
+struct Arrival {
+  double time;
+  int64_t conversation_index;  // index into trace.conversations()
+  int32_t turn_index;
+
+  bool operator>(const Arrival& other) const { return time > other.time; }
+};
+
+}  // namespace
+
+ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
+                                    const WorkloadTrace& trace,
+                                    const ClusterOptions& options) {
+  PENSIEVE_CHECK(make_engine != nullptr);
+  PENSIEVE_CHECK_GT(options.num_replicas, 0);
+
+  std::vector<Replica> replicas;
+  replicas.reserve(static_cast<size_t>(options.num_replicas));
+  for (int32_t i = 0; i < options.num_replicas; ++i) {
+    replicas.emplace_back(i, make_engine(i));
+  }
+  std::unique_ptr<Router> router = MakeRouter(options.router);
+  ClusterInterconnect interconnect(options.num_replicas, options.interconnect);
+
+  const auto& conversations = trace.conversations();
+  std::priority_queue<Arrival, std::vector<Arrival>, std::greater<Arrival>>
+      arrivals;
+  for (int64_t i = 0; i < static_cast<int64_t>(conversations.size()); ++i) {
+    arrivals.push(Arrival{conversations[i].first_arrival, i, 0});
+  }
+
+  int64_t next_request_id = 0;
+  int64_t total_steps = 0;
+  MigrationStats migration;
+
+  std::vector<ReplicaView> views(replicas.size());
+  auto snapshot_views = [&]() {
+    for (size_t i = 0; i < replicas.size(); ++i) {
+      views[i].engine = &replicas[i].engine();
+      views[i].load = replicas[i].engine().Load();
+    }
+  };
+
+  while (true) {
+    const double t_arrival = arrivals.empty() ? kNever : arrivals.top().time;
+    double t_replica = kNever;
+    int32_t next_replica = -1;
+    for (int32_t i = 0; i < static_cast<int32_t>(replicas.size()); ++i) {
+      const double t = replicas[static_cast<size_t>(i)].NextEventTime();
+      if (t < t_replica) {
+        t_replica = t;
+        next_replica = i;
+      }
+    }
+
+    // Arrivals outrank replica steps on ties: the single driver delivers
+    // everything due before stepping, and routers should see the freshest
+    // queue state.
+    if (t_arrival <= t_replica) {
+      if (arrivals.empty()) {
+        break;  // both sides quiescent
+      }
+      const Arrival a = arrivals.top();
+      arrivals.pop();
+      const TraceConversation& conv =
+          conversations[static_cast<size_t>(a.conversation_index)];
+      const TurnSpec& turn = conv.spec.turns[static_cast<size_t>(a.turn_index)];
+      Request req;
+      req.request_id = next_request_id++;
+      req.conversation_id = conv.spec.conversation_id;
+      req.turn_index = a.turn_index;
+      req.new_prompt_len = turn.input_len;
+      req.history_len = conv.spec.HistoryLenBeforeTurn(a.turn_index);
+      req.target_output_len = turn.output_len;
+      req.arrival_time = a.time;
+
+      snapshot_views();
+      const RoutingDecision decision = router->Route(req, views);
+      PENSIEVE_CHECK_GE(decision.target, 0);
+      PENSIEVE_CHECK_LT(decision.target, static_cast<int32_t>(replicas.size()));
+
+      Replica::Delivery delivery;
+      delivery.time = a.time;
+      delivery.request = req;
+      if (decision.migrate && decision.source >= 0 &&
+          decision.source != decision.target) {
+        Replica& source = replicas[static_cast<size_t>(decision.source)];
+        MigratedKvState state =
+            source.engine().ExportConversationState(req.conversation_id);
+        if (state.resident_tokens > 0) {
+          // The request cannot start at its new home before its KV lands.
+          const double done = interconnect.ScheduleTransfer(
+              decision.source, decision.target, a.time, state.bytes);
+          delivery.time = done;
+          delivery.migration_stall = done - a.time;
+          ++migration.migrations;
+          migration.migrated_bytes += state.bytes;
+          migration.migration_stall_seconds += delivery.migration_stall;
+        }
+        delivery.migrated = state;
+      }
+      replicas[static_cast<size_t>(decision.target)].Deliver(
+          std::move(delivery));
+      continue;
+    }
+
+    if (next_replica < 0) {
+      break;
+    }
+    Replica::StepOutcome step =
+        replicas[static_cast<size_t>(next_replica)].StepOnce(
+            options.step_trace);
+    if (!step.progressed) {
+      continue;
+    }
+    for (const RequestOutcome& outcome : step.result.finished) {
+      if (options.outcomes != nullptr) {
+        options.outcomes->push_back(outcome);
+      }
+      // Trace conversation ids are assigned densely by the generator, so the
+      // id doubles as the index (same invariant the single driver relies on).
+      const int64_t conv_index = outcome.request.conversation_id;
+      PENSIEVE_CHECK_LT(conv_index,
+                        static_cast<int64_t>(conversations.size()));
+      const TraceConversation& conv =
+          conversations[static_cast<size_t>(conv_index)];
+      const int32_t next_turn = outcome.request.turn_index + 1;
+      if (next_turn < static_cast<int32_t>(conv.spec.turns.size())) {
+        const double think =
+            conv.think_times[static_cast<size_t>(outcome.request.turn_index)];
+        arrivals.push(
+            Arrival{outcome.finish_time + think, conv_index, next_turn});
+      }
+    }
+    ++total_steps;
+    if (options.max_steps > 0 && total_steps >= options.max_steps) {
+      PENSIEVE_LOG_WARNING << "cluster experiment hit max_steps="
+                           << options.max_steps;
+      break;
+    }
+  }
+
+  for (const Replica& r : replicas) {
+    if (r.engine().HasWork()) {
+      PENSIEVE_LOG_WARNING << "replica " << r.id()
+                           << " still has work at experiment end (stalled)";
+    }
+  }
+
+  // Same steady-state window as the single driver: skip the first 10% of the
+  // conversation arrival span, cut off at the end of the arrival process.
+  double arrival_span = 0.0;
+  for (const TraceConversation& conv : conversations) {
+    arrival_span = std::max(arrival_span, conv.first_arrival);
+  }
+  double global_last_finish = 0.0;
+  for (const Replica& r : replicas) {
+    global_last_finish = std::max(global_last_finish, r.last_finish_time());
+  }
+  const double window_begin = 0.1 * arrival_span;
+  const double window_end =
+      arrival_span > 0.0 ? arrival_span : global_last_finish;
+
+  ClusterSummary summary;
+  summary.router_name = router->name();
+  summary.num_replicas = options.num_replicas;
+  MetricsCollector combined;
+  for (const Replica& r : replicas) {
+    summary.replicas.push_back(r.metrics().Summarize(
+        r.engine().name(), r.last_finish_time(), r.engine().stats(),
+        window_begin, window_end));
+    for (const RequestOutcome& outcome : r.metrics().outcomes()) {
+      combined.Record(outcome);
+    }
+    summary.migration.migrated_tokens += r.engine().stats().migrated_in_tokens;
+  }
+  summary.cluster =
+      combined.Summarize(std::string("cluster/") + router->name(),
+                         global_last_finish,
+                         CombineEngineStats(summary.replicas), window_begin,
+                         window_end);
+  summary.load_imbalance = LoadImbalance(summary.replicas);
+  summary.migration.migrations = migration.migrations;
+  summary.migration.migrated_bytes = migration.migrated_bytes;
+  summary.migration.migration_stall_seconds = migration.migration_stall_seconds;
+  summary.migration.rehomes = router->counters().rehomes;
+  summary.migration.overload_queued = router->counters().overload_queued;
+  return summary;
+}
+
+}  // namespace pensieve

@@ -1,0 +1,56 @@
+// Multi-replica virtual-time serving experiment driver.
+//
+// Replays a WorkloadTrace across N independent replicas behind a router.
+// Every turn passes through the router; returning conversations are cheap
+// only where their KV still lives, so policy choice shows up directly in the
+// cluster cache-hit rate. Replicas advance on their own virtual clocks; the
+// driver interleaves them in global event order, which makes a 1-replica
+// cluster reproduce the single-engine driver bit for bit regardless of
+// routing policy.
+//
+// Session-affinity failover may migrate a conversation's KV between
+// replicas over a simulated interconnect; the shipped bytes, the arrival
+// stall, and the adopted tokens are all accounted in the ClusterSummary.
+
+#ifndef PENSIEVE_SRC_CLUSTER_CLUSTER_DRIVER_H_
+#define PENSIEVE_SRC_CLUSTER_CLUSTER_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/cluster_metrics.h"
+#include "src/cluster/router.h"
+#include "src/serving/engine.h"
+#include "src/sim/cluster_link.h"
+#include "src/workload/trace.h"
+
+namespace pensieve {
+
+struct ClusterOptions {
+  int32_t num_replicas = 1;
+  RouterOptions router;
+  InterconnectSpec interconnect;
+  // Safety valve on total scheduler iterations across all replicas
+  // (0 = unlimited).
+  int64_t max_steps = 0;
+  // When non-null, receives one replica-tagged entry per scheduler iteration.
+  std::vector<ClusterStepTraceEntry>* step_trace = nullptr;
+  // When non-null, receives every request outcome (for CSV export).
+  std::vector<RequestOutcome>* outcomes = nullptr;
+};
+
+// Builds the engine for one replica. Each replica must get its own engine
+// (own cache, own simulated hardware); sharing an Engine* across replicas is
+// not supported.
+using ReplicaEngineFactory =
+    std::function<std::unique_ptr<Engine>(int32_t replica_id)>;
+
+ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
+                                    const WorkloadTrace& trace,
+                                    const ClusterOptions& options = {});
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_CLUSTER_CLUSTER_DRIVER_H_

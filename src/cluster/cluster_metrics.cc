@@ -1,0 +1,67 @@
+#include "src/cluster/cluster_metrics.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace pensieve {
+
+EngineStats CombineEngineStats(const std::vector<ServingSummary>& replicas) {
+  EngineStats total;
+  for (const ServingSummary& r : replicas) {
+    const EngineStats& s = r.engine_stats;
+    total.steps += s.steps;
+    total.generated_tokens += s.generated_tokens;
+    total.prefill_tokens += s.prefill_tokens;
+    total.reused_gpu_tokens += s.reused_gpu_tokens;
+    total.reused_cpu_tokens += s.reused_cpu_tokens;
+    total.recomputed_history_tokens += s.recomputed_history_tokens;
+    total.suspensions += s.suspensions;
+    total.preemptions += s.preemptions;
+    total.forced_swap_out_tokens += s.forced_swap_out_tokens;
+    total.aot_swap_out_tokens += s.aot_swap_out_tokens;
+    total.dropped_tokens += s.dropped_tokens;
+    total.migrated_out_tokens += s.migrated_out_tokens;
+    total.migrated_in_tokens += s.migrated_in_tokens;
+    total.busy_seconds += s.busy_seconds;
+    total.recompute_seconds += s.recompute_seconds;
+    total.restore_stall_seconds += s.restore_stall_seconds;
+  }
+  return total;
+}
+
+double LoadImbalance(const std::vector<ServingSummary>& replicas) {
+  if (replicas.empty()) {
+    return 0.0;
+  }
+  double max_busy = 0.0;
+  double total_busy = 0.0;
+  for (const ServingSummary& r : replicas) {
+    max_busy = std::max(max_busy, r.engine_stats.busy_seconds);
+    total_busy += r.engine_stats.busy_seconds;
+  }
+  if (total_busy <= 0.0) {
+    return 0.0;
+  }
+  return max_busy / (total_busy / static_cast<double>(replicas.size()));
+}
+
+Status WriteClusterStepTraceCsv(const std::string& path,
+                                const std::vector<ClusterStepTraceEntry>& trace) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open " + path);
+  }
+  out << "replica_id,start_s,duration_s,batch_requests,batch_tokens,finished\n";
+  for (const ClusterStepTraceEntry& e : trace) {
+    out << e.replica_id << ',' << e.step.start << ',' << e.step.duration << ','
+        << e.step.batch_requests << ',' << e.step.batch_tokens << ','
+        << e.step.finished << '\n';
+  }
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace pensieve

@@ -1,0 +1,68 @@
+// Cluster-level experiment metrics.
+//
+// A cluster run produces one ServingSummary per replica plus aggregates
+// that only exist at the cluster level: load imbalance across replicas,
+// migration traffic, and the combined (all-replica) summary used to compare
+// routing policies apples-to-apples against a single-engine run.
+
+#ifndef PENSIEVE_SRC_CLUSTER_CLUSTER_METRICS_H_
+#define PENSIEVE_SRC_CLUSTER_CLUSTER_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/serving/metrics.h"
+#include "src/serving/telemetry.h"
+
+namespace pensieve {
+
+// One scheduler iteration on one replica (cluster-wide step trace).
+struct ClusterStepTraceEntry {
+  int32_t replica_id = 0;
+  StepTraceEntry step;
+};
+
+// KV-migration accounting for the whole run. Token counts are what the
+// importing replicas actually adopted, so every migrated token is charged
+// to exactly one replica (the sum of per-replica
+// EngineStats::migrated_in_tokens equals `migrated_tokens`).
+struct MigrationStats {
+  int64_t migrations = 0;       // KV transfers scheduled on the interconnect
+  int64_t rehomes = 0;          // home reassignments (with or without a transfer)
+  int64_t overload_queued = 0;  // overloads resolved by queueing at home
+  int64_t migrated_tokens = 0;  // tokens adopted by importing replicas
+  double migrated_bytes = 0.0;  // bytes on the inter-replica links
+  // Extra arrival delay requests paid waiting for their KV to land.
+  double migration_stall_seconds = 0.0;
+};
+
+struct ClusterSummary {
+  std::string router_name;
+  int32_t num_replicas = 0;
+  // Per-replica summaries over the shared steady-state window.
+  std::vector<ServingSummary> replicas;
+  // Combined summary over every outcome in the run; engine stats are summed
+  // across replicas.
+  ServingSummary cluster;
+  // Peak-to-mean ratio of per-replica busy seconds (1.0 = perfectly even,
+  // 0.0 when the cluster never computed).
+  double load_imbalance = 0.0;
+  MigrationStats migration;
+};
+
+// Field-wise sum of per-replica engine stats.
+EngineStats CombineEngineStats(const std::vector<ServingSummary>& replicas);
+
+// Peak-to-mean ratio of per-replica busy seconds.
+double LoadImbalance(const std::vector<ServingSummary>& replicas);
+
+// CSV dump of a cluster step trace (replica_id column + the per-step
+// columns of WriteStepTraceCsv).
+Status WriteClusterStepTraceCsv(const std::string& path,
+                                const std::vector<ClusterStepTraceEntry>& trace);
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_CLUSTER_CLUSTER_METRICS_H_

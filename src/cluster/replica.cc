@@ -1,0 +1,93 @@
+#include "src/cluster/replica.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace pensieve {
+
+Replica::Replica(int32_t id, std::unique_ptr<Engine> engine)
+    : id_(id), engine_(std::move(engine)) {
+  PENSIEVE_CHECK(engine_ != nullptr);
+}
+
+void Replica::Deliver(Delivery delivery) {
+  // delivery.time may lie in this replica's past (it stepped beyond the
+  // arrival while busy); DeliverDue then enqueues at the local clock, exactly
+  // as the single-engine driver enqueues overdue arrivals at now().
+  delivery.seq = next_delivery_seq_++;
+  pending_.push(std::move(delivery));
+}
+
+double Replica::NextEventTime() const {
+  if (engine_->HasWork() && !stalled_) {
+    return clock_.now();
+  }
+  if (!pending_.empty()) {
+    return std::max(clock_.now(), pending_.top().time);
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+void Replica::DeliverDue() {
+  while (!pending_.empty() && pending_.top().time <= clock_.now()) {
+    const Delivery d = pending_.top();
+    pending_.pop();
+    if (!d.migrated.Empty()) {
+      engine_->ImportConversationState(d.request.conversation_id, d.migrated,
+                                       clock_.now());
+    }
+    migration_stall_seconds_ += d.migration_stall;
+    engine_->Enqueue(d.request, clock_.now());
+    stalled_ = false;
+  }
+}
+
+Replica::StepOutcome Replica::StepOnce(
+    std::vector<ClusterStepTraceEntry>* step_trace) {
+  StepOutcome out;
+  if (!engine_->HasWork() || stalled_) {
+    // Nothing runnable right now: jump to the next delivery. The driver only
+    // calls us when NextEventTime() is finite, so a delivery must exist.
+    PENSIEVE_CHECK(!pending_.empty());
+    clock_.AdvanceTo(std::max(clock_.now(), pending_.top().time));
+  }
+  DeliverDue();
+  PENSIEVE_CHECK(engine_->HasWork());
+
+  const double step_start = clock_.now();
+  StepResult result = engine_->Step(step_start);
+  if (result.idle) {
+    // Work is queued but not runnable (e.g. waiting on admission that a
+    // future arrival unblocks). Mirror the single driver: skip ahead to the
+    // next delivery, or mark the replica stalled so the cluster driver can
+    // detect a wedged run.
+    if (!pending_.empty()) {
+      clock_.AdvanceTo(std::max(clock_.now(), pending_.top().time));
+    } else {
+      stalled_ = true;
+    }
+    return out;
+  }
+  clock_.Advance(result.duration);
+
+  if (step_trace != nullptr) {
+    ClusterStepTraceEntry entry;
+    entry.replica_id = id_;
+    entry.step = StepTraceEntry{step_start, result.duration,
+                                result.batch_requests, result.batch_tokens,
+                                static_cast<int64_t>(result.finished.size())};
+    step_trace->push_back(entry);
+  }
+  for (const RequestOutcome& outcome : result.finished) {
+    metrics_.Record(outcome);
+    last_finish_time_ = std::max(last_finish_time_, outcome.finish_time);
+  }
+  out.progressed = true;
+  out.result = std::move(result);
+  return out;
+}
+
+}  // namespace pensieve

@@ -1,0 +1,91 @@
+// One stateful serving replica inside a cluster.
+//
+// A replica owns an engine plus its own virtual clock; the cluster driver
+// interleaves replicas in global time order, so each replica advances
+// independently exactly as the single-engine driver would have advanced it.
+// Routed requests arrive as Deliveries: a delivery carries the request, an
+// optional migrated KV payload (imported just before the request is
+// enqueued), and the stall the request paid waiting for that payload to
+// cross the inter-replica link.
+
+#ifndef PENSIEVE_SRC_CLUSTER_REPLICA_H_
+#define PENSIEVE_SRC_CLUSTER_REPLICA_H_
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/cluster/cluster_metrics.h"
+#include "src/scheduler/request.h"
+#include "src/serving/engine.h"
+#include "src/serving/metrics.h"
+#include "src/sim/virtual_clock.h"
+
+namespace pensieve {
+
+class Replica {
+ public:
+  struct Delivery {
+    double time = 0.0;  // when the request reaches the replica's queue
+    Request request;
+    MigratedKvState migrated;  // adopted right before Enqueue (may be empty)
+    double migration_stall = 0.0;
+    int64_t seq = 0;  // assigned by Deliver(); FIFO among equal times
+  };
+
+  struct StepOutcome {
+    bool progressed = false;  // false: the replica only advanced its clock
+    StepResult result;
+  };
+
+  Replica(int32_t id, std::unique_ptr<Engine> engine);
+
+  int32_t id() const { return id_; }
+  Engine& engine() { return *engine_; }
+  const Engine& engine() const { return *engine_; }
+  double now() const { return clock_.now(); }
+
+  void Deliver(Delivery delivery);
+
+  // Global time at which this replica next does something: now() when it can
+  // step immediately, the next delivery time when it is waiting for input,
+  // +inf when fully quiescent.
+  double NextEventTime() const;
+
+  // Runs one scheduler iteration (or clock advance) at NextEventTime().
+  // Appends a replica-tagged entry to `step_trace` when non-null.
+  StepOutcome StepOnce(std::vector<ClusterStepTraceEntry>* step_trace);
+
+  const MetricsCollector& metrics() const { return metrics_; }
+  double last_finish_time() const { return last_finish_time_; }
+  double migration_stall_seconds() const { return migration_stall_seconds_; }
+
+ private:
+  void DeliverDue();
+
+  struct DeliveryLater {
+    bool operator()(const Delivery& a, const Delivery& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  int32_t id_;
+  std::unique_ptr<Engine> engine_;
+  VirtualClock clock_;
+  MetricsCollector metrics_;
+  std::priority_queue<Delivery, std::vector<Delivery>, DeliveryLater> pending_;
+  int64_t next_delivery_seq_ = 0;
+  double last_finish_time_ = 0.0;
+  double migration_stall_seconds_ = 0.0;
+  // Engine reported idle with work queued and nothing pending: it is waiting
+  // on an external event (a future delivery), not runnable at now().
+  bool stalled_ = false;
+};
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_CLUSTER_REPLICA_H_

@@ -1,0 +1,163 @@
+#include "src/cluster/router.h"
+
+#include "src/common/logging.h"
+
+namespace pensieve {
+
+const char* RouterPolicyName(RouterPolicy policy) {
+  switch (policy) {
+    case RouterPolicy::kRoundRobin:
+      return "round-robin";
+    case RouterPolicy::kLeastLoaded:
+      return "least-loaded";
+    case RouterPolicy::kSessionAffinity:
+      return "session-affinity";
+  }
+  return "?";
+}
+
+bool RouterPolicyByName(const std::string& name, RouterPolicy* policy) {
+  if (name == "round-robin") {
+    *policy = RouterPolicy::kRoundRobin;
+  } else if (name == "least-loaded") {
+    *policy = RouterPolicy::kLeastLoaded;
+  } else if (name == "session-affinity") {
+    *policy = RouterPolicy::kSessionAffinity;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int32_t LeastLoadedReplica(const std::vector<ReplicaView>& replicas) {
+  PENSIEVE_CHECK(!replicas.empty());
+  int32_t best = 0;
+  for (int32_t i = 1; i < static_cast<int32_t>(replicas.size()); ++i) {
+    const EngineLoad& cand = replicas[static_cast<size_t>(i)].load;
+    const EngineLoad& cur = replicas[static_cast<size_t>(best)].load;
+    if (cand.OutstandingTokens() < cur.OutstandingTokens() ||
+        (cand.OutstandingTokens() == cur.OutstandingTokens() &&
+         cand.TotalRequests() < cur.TotalRequests())) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+class RoundRobinRouter final : public Router {
+ public:
+  const char* name() const override {
+    return RouterPolicyName(RouterPolicy::kRoundRobin);
+  }
+
+  RoutingDecision Route(const Request& request,
+                        const std::vector<ReplicaView>& replicas) override {
+    RoutingDecision decision;
+    decision.target = next_;
+    next_ = (next_ + 1) % static_cast<int32_t>(replicas.size());
+    return decision;
+  }
+
+ private:
+  int32_t next_ = 0;
+};
+
+class LeastLoadedRouter final : public Router {
+ public:
+  const char* name() const override {
+    return RouterPolicyName(RouterPolicy::kLeastLoaded);
+  }
+
+  RoutingDecision Route(const Request& request,
+                        const std::vector<ReplicaView>& replicas) override {
+    RoutingDecision decision;
+    decision.target = LeastLoadedReplica(replicas);
+    return decision;
+  }
+};
+
+class SessionAffinityRouter final : public Router {
+ public:
+  explicit SessionAffinityRouter(const RouterOptions& options)
+      : options_(options) {}
+
+  const char* name() const override {
+    return RouterPolicyName(RouterPolicy::kSessionAffinity);
+  }
+
+  RoutingDecision Route(const Request& request,
+                        const std::vector<ReplicaView>& replicas) override {
+    RoutingDecision decision;
+    auto it = home_.find(request.conversation_id);
+    if (it == home_.end()) {
+      // First contact: place the conversation on the least-loaded replica.
+      decision.target = LeastLoadedReplica(replicas);
+      home_[request.conversation_id] = decision.target;
+      return decision;
+    }
+    const int32_t home = it->second;
+    decision.target = home;
+    if (!Overloaded(home, replicas)) {
+      return decision;
+    }
+    const int32_t fallback = LeastLoadedReplica(replicas);
+    if (fallback == home) {
+      return decision;
+    }
+    if (!options_.migrate_on_overload) {
+      ++counters_.overload_queued;
+      return decision;
+    }
+    // Cache-aware failover: re-home onto the least-loaded replica. When the
+    // home still holds KV for this conversation, the driver ships it over
+    // the inter-replica link instead of letting the new home recompute the
+    // whole history.
+    const Engine* home_engine = replicas[static_cast<size_t>(home)].engine;
+    decision.target = fallback;
+    decision.migrate =
+        home_engine != nullptr && home_engine->SupportsStateMigration();
+    decision.source = home;
+    it->second = fallback;
+    ++counters_.rehomes;
+    return decision;
+  }
+
+ private:
+  bool Overloaded(int32_t replica,
+                  const std::vector<ReplicaView>& replicas) const {
+    const int64_t outstanding =
+        replicas[static_cast<size_t>(replica)].load.OutstandingTokens();
+    if (outstanding <= options_.min_overload_tokens) {
+      return false;
+    }
+    int64_t total = 0;
+    for (const ReplicaView& view : replicas) {
+      total += view.load.OutstandingTokens();
+    }
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(replicas.size());
+    return static_cast<double>(outstanding) > options_.overload_factor * mean;
+  }
+
+  RouterOptions options_;
+  std::unordered_map<int64_t, int32_t> home_;
+};
+
+}  // namespace
+
+std::unique_ptr<Router> MakeRouter(const RouterOptions& options) {
+  switch (options.policy) {
+    case RouterPolicy::kRoundRobin:
+      return std::make_unique<RoundRobinRouter>();
+    case RouterPolicy::kLeastLoaded:
+      return std::make_unique<LeastLoadedRouter>();
+    case RouterPolicy::kSessionAffinity:
+      return std::make_unique<SessionAffinityRouter>(options);
+  }
+  PENSIEVE_LOG_FATAL << "unknown router policy";
+  return nullptr;
+}
+
+}  // namespace pensieve

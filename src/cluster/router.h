@@ -1,0 +1,97 @@
+// Cluster request routing policies.
+//
+// The router is the cluster's front door: every turn of every conversation
+// passes through Route() before it reaches a replica. Pensieve's premise
+// makes this decision stateful — a returning conversation is cheap only on
+// the replica that still caches its KV — so the interesting policy is
+// session affinity; round-robin and least-loaded are the stateless
+// baselines a conventional load balancer would use.
+//
+//  * round-robin       — ignore everything, rotate over replicas.
+//  * least-loaded      — pick the replica with the fewest outstanding
+//                        tokens (queued prefill work + decode backlog).
+//  * session-affinity  — pin each conversation to a home replica (chosen
+//                        least-loaded at first contact). If the home is
+//                        overloaded beyond a threshold when a turn returns,
+//                        fail over cache-awarely: either keep queueing at
+//                        home (preserving the cache at the cost of queueing
+//                        delay) or migrate the conversation's KV state to
+//                        the least-loaded replica over the inter-replica
+//                        link and re-home it there.
+
+#ifndef PENSIEVE_SRC_CLUSTER_ROUTER_H_
+#define PENSIEVE_SRC_CLUSTER_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/scheduler/request.h"
+#include "src/serving/engine.h"
+
+namespace pensieve {
+
+enum class RouterPolicy {
+  kRoundRobin,
+  kLeastLoaded,
+  kSessionAffinity,
+};
+
+const char* RouterPolicyName(RouterPolicy policy);
+bool RouterPolicyByName(const std::string& name, RouterPolicy* policy);
+
+struct RouterOptions {
+  RouterPolicy policy = RouterPolicy::kSessionAffinity;
+  // Affinity failover threshold: the home replica counts as overloaded when
+  // its outstanding tokens exceed both this absolute floor and
+  // overload_factor times the cluster-mean outstanding tokens.
+  double overload_factor = 2.0;
+  int64_t min_overload_tokens = 8192;
+  // Overloaded home: ship the conversation's KV to the least-loaded replica
+  // and re-home it (true), or keep queueing at home (false).
+  bool migrate_on_overload = true;
+};
+
+// What the router may observe about a replica when deciding.
+struct ReplicaView {
+  const Engine* engine = nullptr;
+  EngineLoad load;
+};
+
+struct RoutingDecision {
+  int32_t target = 0;
+  // Re-home with KV migration: the driver detaches the conversation's state
+  // from `source` and ships it to `target` before delivery.
+  bool migrate = false;
+  int32_t source = -1;
+};
+
+// Decision counters, for cluster-level reporting.
+struct RouterCounters {
+  int64_t rehomes = 0;          // conversations reassigned to a new home
+  int64_t overload_queued = 0;  // overloads resolved by queueing at home
+};
+
+class Router {
+ public:
+  virtual ~Router() = default;
+  virtual const char* name() const = 0;
+  virtual RoutingDecision Route(const Request& request,
+                                const std::vector<ReplicaView>& replicas) = 0;
+  const RouterCounters& counters() const { return counters_; }
+
+ protected:
+  RouterCounters counters_;
+};
+
+std::unique_ptr<Router> MakeRouter(const RouterOptions& options);
+
+// Shared helper: replica with the fewest outstanding tokens (ties broken by
+// fewest requests, then lowest id, keeping runs deterministic).
+int32_t LeastLoadedReplica(const std::vector<ReplicaView>& replicas);
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_CLUSTER_ROUTER_H_

@@ -9,12 +9,17 @@
 //  * PensieveEngine / StatelessEngine + RunServingExperiment — the
 //    simulated-hardware serving engines and experiment driver used to
 //    reproduce the paper's evaluation.
+//  * RunClusterExperiment — the multi-replica serving layer: a router
+//    (round-robin / least-loaded / session-affinity) in front of N engines
+//    with KV migration over a simulated inter-replica link.
 //  * Workload generation, eviction policies, cost models and the paged
 //    two-tier KV cache they are built on.
 
 #ifndef PENSIEVE_SRC_CORE_PENSIEVE_H_
 #define PENSIEVE_SRC_CORE_PENSIEVE_H_
 
+#include "src/cluster/cluster_driver.h"
+#include "src/cluster/router.h"
 #include "src/core/experiment.h"
 #include "src/core/stateful_server.h"
 #include "src/eviction/policy.h"

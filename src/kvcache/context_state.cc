@@ -119,4 +119,19 @@ void ContextState::AppendTokens(int64_t n, const std::vector<BlockId>& new_gpu_b
   PENSIEVE_CHECK_EQ(next_new_block, new_gpu_blocks.size());
 }
 
+void ContextState::InitializeImported(int64_t kv_len) {
+  PENSIEVE_CHECK(chunks_.empty());
+  PENSIEVE_CHECK_EQ(kv_len_, 0);
+  PENSIEVE_CHECK_GE(kv_len, 0);
+  int64_t remaining = kv_len;
+  while (remaining > 0) {
+    Chunk c;
+    c.location = ChunkLocation::kDropped;
+    c.num_tokens = std::min(remaining, block_size_);
+    chunks_.push_back(c);
+    remaining -= c.num_tokens;
+  }
+  kv_len_ = kv_len;
+}
+
 }  // namespace pensieve

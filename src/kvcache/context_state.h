@@ -69,6 +69,11 @@ class ContextState {
   void AppendTokens(int64_t n, const std::vector<BlockId>& new_gpu_blocks,
                     std::vector<SlotRef>* slots);
 
+  // Rebuilds bookkeeping for `kv_len` migrated-in tokens: chunks start in
+  // the dropped state (no blocks); the cache then materializes CPU copies
+  // for whatever suffix actually arrived. Only legal on an empty state.
+  void InitializeImported(int64_t kv_len);
+
   // Last-activity timestamp (seconds); drives the eviction policy's T.
   double last_active() const { return last_active_; }
   void set_last_active(double t) { last_active_ = t; }

@@ -212,6 +212,33 @@ Status TwoTierKvCache::RestoreDropped(ConversationId id, int64_t chunk_index) {
   return Status::Ok();
 }
 
+int64_t TwoTierKvCache::ImportCpuResident(ConversationId id, int64_t kv_len,
+                                          int64_t resident_tokens) {
+  PENSIEVE_CHECK(Find(id) == nullptr) << "import over live conversation " << id;
+  PENSIEVE_CHECK_LE(resident_tokens, kv_len);
+  ContextState& state = GetOrCreate(id);
+  state.InitializeImported(kv_len);
+  // Materialize CPU copies for the trailing resident region, newest first,
+  // keeping the dropped region a prefix (the cache-wide invariant).
+  int64_t budget = resident_tokens;
+  int64_t imported = 0;
+  for (int64_t i = state.num_chunks() - 1; i >= 0; --i) {
+    Chunk& c = state.mutable_chunk(i);
+    if (budget < c.num_tokens) {
+      break;
+    }
+    auto cpu_block = cpu_allocator_.Allocate();
+    if (!cpu_block.has_value()) {
+      break;
+    }
+    c.cpu_block = *cpu_block;
+    c.location = ChunkLocation::kCpu;
+    budget -= c.num_tokens;
+    imported += c.num_tokens;
+  }
+  return imported;
+}
+
 std::vector<BlockId> TwoTierKvCache::GpuBlockTable(ConversationId id,
                                                    int64_t first_chunk) const {
   const ContextState* state = Find(id);

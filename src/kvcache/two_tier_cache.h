@@ -108,6 +108,17 @@ class TwoTierKvCache {
   // block; the caller then recomputes the chunk's KV into it.
   Status RestoreDropped(ConversationId id, int64_t chunk_index);
 
+  // --- Cluster migration --------------------------------------------------
+  // Adopts a conversation migrated from another replica: `kv_len` tokens of
+  // chunk bookkeeping whose trailing `resident_tokens` arrive as CPU-tier
+  // copies (migrated KV lands in host memory); the leading remainder is
+  // dropped. When the CPU tier lacks blocks the resident region shrinks
+  // from the front (oldest KV is the cheapest to lose). The conversation
+  // must not already be tracked. Returns the tokens actually materialized
+  // in the CPU tier.
+  int64_t ImportCpuResident(ConversationId id, int64_t kv_len,
+                            int64_t resident_tokens);
+
   // Frees exactly one GPU block by downgrading some kGpuAndCpu chunk chosen
   // by the caller. Convenience for the coordinator: equivalent to
   // ReclaimGpu.

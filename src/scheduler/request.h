@@ -43,6 +43,11 @@ struct RequestOutcome {
   // History tokens recomputed because their KV had been dropped (or the
   // system is stateless).
   int64_t recomputed_tokens = 0;
+  // Output tokens actually generated. Normally equals
+  // request.target_output_len; smaller when a run is cut short (e.g. a
+  // max_steps abort mid-generation would leave partial requests, and future
+  // EOS-style termination ends early by design).
+  int64_t generated_tokens = 0;
   // Times the request was suspended and re-queued (paper §4.3.5).
   int32_t suspensions = 0;
 

@@ -28,6 +28,11 @@ struct EngineStats {
   int64_t forced_swap_out_tokens = 0;
   int64_t aot_swap_out_tokens = 0;
   int64_t dropped_tokens = 0;
+  // Cluster-migration accounting: KV tokens this engine shipped to / adopted
+  // from other replicas (each migrated token is charged to exactly one
+  // importer).
+  int64_t migrated_out_tokens = 0;
+  int64_t migrated_in_tokens = 0;
   double busy_seconds = 0.0;
   // GPU seconds spent recomputing dropped history (what the retention-value
   // eviction policy minimizes; deeper drops cost quadratically more).
@@ -62,6 +67,35 @@ struct StepResult {
   std::vector<RequestOutcome> finished;
 };
 
+// Instantaneous load snapshot, used by cluster routers to pick a replica.
+struct EngineLoad {
+  int64_t waiting_requests = 0;
+  int64_t running_requests = 0;
+  // Input tokens the engine still has to prefill (queued work).
+  int64_t queued_input_tokens = 0;
+  // Output tokens still owed by running requests (decode backlog).
+  int64_t outstanding_output_tokens = 0;
+
+  int64_t OutstandingTokens() const {
+    return queued_input_tokens + outstanding_output_tokens;
+  }
+  int64_t TotalRequests() const { return waiting_requests + running_requests; }
+};
+
+// A conversation's KV state as shipped between replicas (cluster migration).
+// Only sizes travel in simulated mode; `resident_tokens` is what actually
+// crosses the wire, the leading remainder had already been dropped at the
+// source and must be recomputed wherever the conversation lands.
+struct MigratedKvState {
+  int64_t kv_len = 0;           // total history tokens with chunk bookkeeping
+  int64_t resident_tokens = 0;  // trailing tokens with live KV copies
+  // Wire size of the resident KV across all tensor-parallel slices, filled
+  // by the exporting engine (it knows its KV geometry).
+  double bytes = 0.0;
+
+  bool Empty() const { return kv_len == 0; }
+};
+
 class Engine {
  public:
   virtual ~Engine() = default;
@@ -78,6 +112,38 @@ class Engine {
   virtual StepResult Step(double now) = 0;
 
   virtual const EngineStats& stats() const = 0;
+
+  // Load snapshot for cluster routing decisions.
+  virtual EngineLoad Load() const = 0;
+
+  // --- Cluster state migration -------------------------------------------
+  // Stateful engines can hand a conversation's cached KV to another replica.
+  // A stateless engine keeps nothing between requests, so the defaults make
+  // migration a no-op re-home.
+  virtual bool SupportsStateMigration() const { return false; }
+
+  // Tokens of this conversation's history with live KV copies here (either
+  // tier). Routers use it to score how much a migration would save.
+  virtual int64_t CachedConversationTokens(int64_t conversation_id) const {
+    return 0;
+  }
+
+  // Detaches the conversation's cached state and forgets it locally. Must
+  // not be called while the conversation has a queued or running request.
+  virtual MigratedKvState ExportConversationState(int64_t conversation_id) {
+    return {};
+  }
+
+  // Adopts migrated state ahead of the conversation's next request. The
+  // transferred KV lands in the CPU tier (it arrives in host memory); the
+  // normal swap-in path restores it on first use. Returns the tokens
+  // actually adopted (less than state.resident_tokens if the receiving CPU
+  // tier is short on space).
+  virtual int64_t ImportConversationState(int64_t conversation_id,
+                                          const MigratedKvState& state,
+                                          double now) {
+    return 0;
+  }
 };
 
 }  // namespace pensieve

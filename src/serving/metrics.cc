@@ -31,7 +31,9 @@ ServingSummary MetricsCollector::Summarize(const std::string& engine_name,
         continue;
       }
       latency.Add(o.NormalizedLatency());
-      tokens += o.request.target_output_len;
+      // Tokens actually generated, not the target: an early-terminated
+      // request must not inflate token throughput.
+      tokens += o.generated_tokens;
       ++completions;
     }
     return std::make_tuple(std::move(latency), tokens, completions);

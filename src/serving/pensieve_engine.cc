@@ -62,17 +62,18 @@ bool PensieveEngine::TryAdmit(Running* r, double now, int64_t batch_input_tokens
   ContextState& conv = cache_.GetOrCreate(conv_id);
   const bool first_admission = r->first_scheduled_time < 0;
   if (first_admission) {
-    // Stateful invariant: this engine processed every prior turn, so all
-    // raw history tokens have chunk entries (resident or dropped) except
-    // the previous turn's final generated token, which was emitted but
-    // never fed back through the model. That pending tail token joins this
-    // turn's input. A conversation whose cache was entirely dropped and
-    // forgotten re-enters with an empty state: its whole raw history is
-    // fetched from the persistent store and recomputed as new input.
+    // The cached context covers a prefix of the raw history. When this
+    // engine served every prior turn, the only uncached raw token is the
+    // previous turn's final generated token, which was emitted but never
+    // fed back through the model; that pending tail token joins this
+    // turn's input. A larger gap is also legal: a forgotten conversation
+    // re-enters with an empty state, and under cluster routing a
+    // conversation can return to a replica that cached only its early
+    // turns. Either way the uncached raw suffix is fetched from the
+    // persistent store and recomputed as new input atop whatever prefix is
+    // still cached here.
     const int64_t tail_raw = r->request.history_len - conv.kv_len();
     PENSIEVE_CHECK_GE(tail_raw, 0)
-        << "conversation " << conv_id << " turn " << r->request.turn_index;
-    PENSIEVE_CHECK(tail_raw <= 1 || conv.num_chunks() == 0)
         << "conversation " << conv_id << " turn " << r->request.turn_index;
     r->pending_new_tokens = tail_raw + r->request.new_prompt_len;
   }
@@ -120,22 +121,23 @@ bool PensieveEngine::TryAdmit(Running* r, double now, int64_t batch_input_tokens
   if (first_admission) {
     r->reused_gpu = conv.TokensOnGpu();
     r->reused_cpu = cpu_tokens;
-    // Recomputed history = dropped-prefix tokens plus, for a forgotten
-    // conversation, the raw history re-entering as new input (minus one
-    // pending tail token that was never computed in the first place).
-    const int64_t forgotten =
+    // Recomputed history = dropped-prefix tokens plus the uncached raw
+    // suffix re-entering as new input (minus one pending tail token that
+    // was never computed in the first place).
+    const int64_t uncached_suffix =
         std::max<int64_t>(0, r->pending_new_tokens - r->request.new_prompt_len - 1);
-    r->recomputed = dropped_tokens + forgotten;
+    r->recomputed = dropped_tokens + uncached_suffix;
     // Accounting covers the cached history (raw history minus the pending
     // tail token folded into this turn's input).
     PENSIEVE_CHECK_EQ(r->reused_gpu + r->reused_cpu + dropped_tokens, conv.kv_len());
     stats_.reused_gpu_tokens += r->reused_gpu;
     stats_.reused_cpu_tokens += r->reused_cpu;
     stats_.recomputed_history_tokens += r->recomputed;
-    if (forgotten > 0) {
+    if (uncached_suffix > 0) {
       stats_.recompute_seconds +=
-          cost_model_.AttentionTime(forgotten, forgotten) +
-          cost_model_.MarginalLinearTime(forgotten);
+          cost_model_.AttentionTime(uncached_suffix,
+                                    conv.kv_len() + uncached_suffix) +
+          cost_model_.MarginalLinearTime(uncached_suffix);
     }
     r->first_scheduled_time = now;
   }
@@ -399,6 +401,7 @@ StepResult PensieveEngine::Step(double now) {
       outcome.reused_gpu_tokens = r.reused_gpu;
       outcome.reused_cpu_tokens = r.reused_cpu;
       outcome.recomputed_tokens = r.recomputed;
+      outcome.generated_tokens = r.generated;
       outcome.suspensions = r.suspensions;
       result.finished.push_back(std::move(outcome));
     } else {
@@ -407,6 +410,63 @@ StepResult PensieveEngine::Step(double now) {
   }
   running_ = std::move(keep);
   return result;
+}
+
+EngineLoad PensieveEngine::Load() const {
+  EngineLoad load;
+  load.waiting_requests = num_waiting();
+  load.running_requests = num_running();
+  for (const Running& r : waiting_) {
+    load.queued_input_tokens += r.pending_new_tokens + r.pending_recompute;
+    load.outstanding_output_tokens += r.request.target_output_len - r.generated;
+  }
+  for (const Running& r : running_) {
+    load.outstanding_output_tokens += r.request.target_output_len - r.generated;
+  }
+  return load;
+}
+
+int64_t PensieveEngine::CachedConversationTokens(int64_t conversation_id) const {
+  const ContextState* conv = cache_.Find(conversation_id);
+  if (conv == nullptr) {
+    return 0;
+  }
+  return conv->kv_len() - conv->LeadingDroppedTokens();
+}
+
+MigratedKvState PensieveEngine::ExportConversationState(int64_t conversation_id) {
+  MigratedKvState state;
+  ContextState* conv = cache_.Find(conversation_id);
+  if (conv == nullptr) {
+    return state;
+  }
+  PENSIEVE_CHECK(inflight_.find(conversation_id) == inflight_.end())
+      << "cannot migrate conversation " << conversation_id
+      << " with requests in flight";
+  PENSIEVE_CHECK(!conv->pinned());
+  state.kv_len = conv->kv_len();
+  state.resident_tokens = state.kv_len - conv->LeadingDroppedTokens();
+  // Every tensor-parallel worker ships its feature slice of each chunk.
+  state.bytes = static_cast<double>(state.resident_tokens) *
+                static_cast<double>(cost_model_.KvBytesPerToken()) *
+                static_cast<double>(cost_model_.hardware().num_gpus);
+  cache_.Release(conversation_id);
+  stats_.migrated_out_tokens += state.resident_tokens;
+  return state;
+}
+
+int64_t PensieveEngine::ImportConversationState(int64_t conversation_id,
+                                                const MigratedKvState& state,
+                                                double now) {
+  if (state.Empty()) {
+    return 0;
+  }
+  PENSIEVE_CHECK(inflight_.find(conversation_id) == inflight_.end());
+  const int64_t adopted =
+      cache_.ImportCpuResident(conversation_id, state.kv_len, state.resident_tokens);
+  cache_.Find(conversation_id)->set_last_active(now);
+  stats_.migrated_in_tokens += adopted;
+  return adopted;
 }
 
 }  // namespace pensieve

@@ -60,6 +60,16 @@ class PensieveEngine final : public Engine {
   bool HasWork() const override;
   StepResult Step(double now) override;
   const EngineStats& stats() const override { return stats_; }
+  EngineLoad Load() const override;
+
+  // Cluster state migration: a conversation's cached KV can be detached
+  // here and re-homed on another replica (imported into its CPU tier).
+  bool SupportsStateMigration() const override { return true; }
+  int64_t CachedConversationTokens(int64_t conversation_id) const override;
+  MigratedKvState ExportConversationState(int64_t conversation_id) override;
+  int64_t ImportConversationState(int64_t conversation_id,
+                                  const MigratedKvState& state,
+                                  double now) override;
 
   // Introspection for tests.
   const TwoTierKvCache& cache() const { return cache_; }

@@ -63,8 +63,23 @@ RequestOutcome StatelessEngine::MakeOutcome(const Sequence& seq,
   outcome.finish_time = finish_time;
   outcome.prefill_input_tokens = seq.request.history_len + seq.request.new_prompt_len;
   outcome.recomputed_tokens = seq.request.history_len;  // stateless: all history
+  outcome.generated_tokens = seq.generated;
   outcome.suspensions = seq.preemptions;
   return outcome;
+}
+
+EngineLoad StatelessEngine::Load() const {
+  EngineLoad load;
+  load.waiting_requests = static_cast<int64_t>(waiting_.size());
+  load.running_requests = static_cast<int64_t>(running_.size());
+  for (const Sequence& seq : waiting_) {
+    load.queued_input_tokens += seq.prefill_len;
+    load.outstanding_output_tokens += seq.request.target_output_len - seq.generated;
+  }
+  for (const Sequence& seq : running_) {
+    load.outstanding_output_tokens += seq.request.target_output_len - seq.generated;
+  }
+  return load;
 }
 
 StepResult StatelessEngine::Step(double now) {

@@ -44,6 +44,8 @@ class StatelessEngine final : public Engine {
   bool HasWork() const override;
   StepResult Step(double now) override;
   const EngineStats& stats() const override { return stats_; }
+  // No cross-request state, so the migration defaults (no-op) apply.
+  EngineLoad Load() const override;
 
  private:
   struct Sequence {

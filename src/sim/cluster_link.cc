@@ -1,0 +1,35 @@
+#include "src/sim/cluster_link.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pensieve {
+
+ClusterInterconnect::ClusterInterconnect(int num_replicas,
+                                         const InterconnectSpec& spec)
+    : spec_(spec),
+      egress_busy_until_(static_cast<size_t>(num_replicas), 0.0),
+      ingress_busy_until_(static_cast<size_t>(num_replicas), 0.0) {
+  PENSIEVE_CHECK_GT(num_replicas, 0);
+  PENSIEVE_CHECK_GT(spec.bandwidth, 0.0);
+}
+
+double ClusterInterconnect::ScheduleTransfer(int src, int dst, double now,
+                                             double bytes) {
+  PENSIEVE_CHECK_LT(static_cast<size_t>(src), egress_busy_until_.size());
+  PENSIEVE_CHECK_LT(static_cast<size_t>(dst), ingress_busy_until_.size());
+  PENSIEVE_CHECK(src != dst);
+  PENSIEVE_CHECK_GE(bytes, 0.0);
+  const double start = std::max(
+      {now, egress_busy_until_[static_cast<size_t>(src)],
+       ingress_busy_until_[static_cast<size_t>(dst)]});
+  const double done = start + spec_.latency + bytes / spec_.bandwidth;
+  egress_busy_until_[static_cast<size_t>(src)] = done;
+  ingress_busy_until_[static_cast<size_t>(dst)] = done;
+  ++num_transfers_;
+  total_bytes_ += bytes;
+  return done;
+}
+
+}  // namespace pensieve

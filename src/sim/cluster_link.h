@@ -1,0 +1,48 @@
+// Virtual-time inter-replica interconnect model.
+//
+// Each replica owns a full-duplex NIC (200 Gb/s-class datacenter fabric by
+// default); a KV migration from replica A to replica B occupies A's egress
+// and B's ingress for bytes/bandwidth seconds after a fixed propagation
+// latency, serialized behind earlier transfers on either port. The same
+// busy-until bookkeeping as the PCIe model (src/sim/pcie_link.h), lifted to
+// a replica-to-replica fabric.
+
+#ifndef PENSIEVE_SRC_SIM_CLUSTER_LINK_H_
+#define PENSIEVE_SRC_SIM_CLUSTER_LINK_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pensieve {
+
+struct InterconnectSpec {
+  // Effective per-direction NIC bandwidth (bytes/s). 200 Gb/s InfiniBand /
+  // Ethernet lands around 25 GB/s of goodput.
+  double bandwidth = 25e9;
+  // Fixed per-transfer setup + propagation latency (seconds).
+  double latency = 50e-6;
+};
+
+class ClusterInterconnect {
+ public:
+  ClusterInterconnect(int num_replicas, const InterconnectSpec& spec);
+
+  // Schedules a transfer of `bytes` from `src` to `dst` starting no earlier
+  // than `now`; returns its completion time on the virtual clock.
+  double ScheduleTransfer(int src, int dst, double now, double bytes);
+
+  int64_t num_transfers() const { return num_transfers_; }
+  double total_bytes() const { return total_bytes_; }
+
+ private:
+  InterconnectSpec spec_;
+  // Per-replica port busy-until times on the virtual clock.
+  std::vector<double> egress_busy_until_;
+  std::vector<double> ingress_busy_until_;
+  int64_t num_transfers_ = 0;
+  double total_bytes_ = 0.0;
+};
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_SIM_CLUSTER_LINK_H_

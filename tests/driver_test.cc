@@ -32,6 +32,7 @@ TEST(MetricsTest, SummaryComputesThroughputAndPercentiles) {
     o.request.request_id = i;
     o.request.arrival_time = 0.0;
     o.request.target_output_len = 10;
+    o.generated_tokens = 10;
     o.finish_time = 1.0 + i;  // normalized latency = (1+i)/10
     metrics.Record(o);
   }
@@ -42,6 +43,94 @@ TEST(MetricsTest, SummaryComputesThroughputAndPercentiles) {
   EXPECT_DOUBLE_EQ(summary.token_throughput, 1.0);
   EXPECT_NEAR(summary.mean_normalized_latency, 0.55, 1e-9);
   EXPECT_NEAR(summary.p90_normalized_latency, 0.91, 1e-6);
+}
+
+TEST(MetricsTest, TokenThroughputCountsGeneratedNotTarget) {
+  // An early-terminated request (generated < target) must not inflate token
+  // throughput with tokens it never produced.
+  MetricsCollector metrics;
+  for (int i = 0; i < 10; ++i) {
+    RequestOutcome o;
+    o.request.request_id = i;
+    o.request.arrival_time = 0.0;
+    o.request.target_output_len = 100;
+    o.generated_tokens = (i == 0) ? 40 : 100;  // one request stopped early
+    o.finish_time = 1.0 + i;
+    metrics.Record(o);
+  }
+  EngineStats stats;
+  ServingSummary summary = metrics.Summarize("test", /*makespan=*/100.0, stats);
+  // (9 * 100 + 40) tokens over the 100 s window, not 10 * 100.
+  EXPECT_DOUBLE_EQ(summary.token_throughput, 9.4);
+}
+
+TEST(MetricsTest, SmallWindowFallsBackToFullRun) {
+  // Only one completion lands inside the requested steady-state window; the
+  // summary must fall back to the full run instead of reporting a
+  // one-sample "steady state".
+  MetricsCollector metrics;
+  for (int i = 0; i < 20; ++i) {
+    RequestOutcome o;
+    o.request.request_id = i;
+    o.request.arrival_time = 0.0;
+    o.request.target_output_len = 10;
+    o.generated_tokens = 10;
+    o.finish_time = (i < 19) ? 1.0 : 50.0;
+    metrics.Record(o);
+  }
+  EngineStats stats;
+  ServingSummary summary =
+      metrics.Summarize("test", /*makespan=*/100.0, stats,
+                        /*window_begin=*/40.0, /*window_end=*/60.0);
+  EXPECT_DOUBLE_EQ(summary.window_begin, 0.0);
+  EXPECT_DOUBLE_EQ(summary.window_end, 100.0);
+  EXPECT_EQ(summary.window_completions, 20);
+  EXPECT_DOUBLE_EQ(summary.token_throughput, 2.0);
+}
+
+TEST(MetricsTest, SummaryWithNoOutcomes) {
+  MetricsCollector metrics;
+  EngineStats stats;
+  ServingSummary summary = metrics.Summarize("test", /*makespan=*/10.0, stats);
+  EXPECT_EQ(summary.completed_requests, 0);
+  EXPECT_DOUBLE_EQ(summary.throughput_rps, 0.0);
+  EXPECT_DOUBLE_EQ(summary.token_throughput, 0.0);
+  EXPECT_DOUBLE_EQ(summary.p50_normalized_latency, 0.0);
+  EXPECT_DOUBLE_EQ(summary.p99_normalized_latency, 0.0);
+}
+
+TEST(MetricsTest, SummaryWithSingleOutcome) {
+  // Every percentile of a one-sample distribution is that sample.
+  MetricsCollector metrics;
+  RequestOutcome o;
+  o.request.arrival_time = 1.0;
+  o.request.target_output_len = 4;
+  o.generated_tokens = 4;
+  o.finish_time = 3.0;  // normalized latency = 0.5
+  metrics.Record(o);
+  EngineStats stats;
+  ServingSummary summary = metrics.Summarize("test", /*makespan=*/10.0, stats);
+  EXPECT_EQ(summary.completed_requests, 1);
+  EXPECT_DOUBLE_EQ(summary.mean_normalized_latency, 0.5);
+  EXPECT_DOUBLE_EQ(summary.p50_normalized_latency, 0.5);
+  EXPECT_DOUBLE_EQ(summary.p99_normalized_latency, 0.5);
+  EXPECT_DOUBLE_EQ(summary.token_throughput, 0.4);
+}
+
+TEST(DriverTest, OutcomesReportGeneratedTokens) {
+  // End-to-end: engines fill RequestOutcome::generated_tokens with what they
+  // actually produced (equal to the target when nothing terminates early).
+  GpuCostModel model = Opt13BModel();
+  WorkloadTrace trace = SmallTrace(/*conversations=*/5);
+  auto engine = MakeEngine(SystemKind::kPensieve, model);
+  DriverOptions options;
+  std::vector<RequestOutcome> outcomes;
+  options.outcomes = &outcomes;
+  RunServingExperiment(engine.get(), trace, options);
+  ASSERT_EQ(static_cast<int64_t>(outcomes.size()), trace.TotalRequests());
+  for (const RequestOutcome& o : outcomes) {
+    EXPECT_EQ(o.generated_tokens, o.request.target_output_len);
+  }
 }
 
 TEST(DriverTest, CompletesAllRequests) {

@@ -37,6 +37,17 @@ int Run(int argc, char** argv) {
   flags.AddDouble("cache_scale", 1.0,
                   "scales both cache tiers relative to the paper's 40 GB setup");
   flags.AddInt("seed", 42, "workload seed");
+  flags.AddInt("replicas", 1,
+               "number of serving replicas; > 1 runs the cluster layer");
+  flags.AddString("router", "session-affinity",
+                  "cluster routing policy: round-robin, least-loaded, "
+                  "session-affinity");
+  flags.AddInt("overload_tokens", 8192,
+               "affinity failover: absolute outstanding-token floor before a "
+               "home replica counts as overloaded");
+  flags.AddDouble("overload_factor", 2.0,
+                  "affinity failover: overloaded when outstanding tokens also "
+                  "exceed this multiple of the cluster mean");
   flags.AddBool("split_scheduling", false,
                 "disable unified batching (Figure 13 ablation)");
   flags.AddString("trace_csv", "",
@@ -120,6 +131,80 @@ int Run(int argc, char** argv) {
     trace_storage.emplace(profile, trace_options);
   }
   const WorkloadTrace& trace = *trace_storage;
+
+  const int64_t replicas = flags.GetInt("replicas");
+  RouterPolicy router_policy;
+  if (!RouterPolicyByName(flags.GetString("router"), &router_policy)) {
+    std::fprintf(stderr, "unknown router '%s'\n",
+                 flags.GetString("router").c_str());
+    return 2;
+  }
+  if (replicas > 1) {
+    ClusterOptions cluster_options;
+    cluster_options.num_replicas = static_cast<int32_t>(replicas);
+    cluster_options.router.policy = router_policy;
+    cluster_options.router.min_overload_tokens = flags.GetInt("overload_tokens");
+    cluster_options.router.overload_factor = flags.GetDouble("overload_factor");
+    std::vector<RequestOutcome> outcomes;
+    std::vector<ClusterStepTraceEntry> steps;
+    cluster_options.outcomes = &outcomes;
+    cluster_options.step_trace = &steps;
+    const ClusterSummary cs = RunClusterExperiment(
+        [&](int32_t) { return MakeEngine(kind, cost_model, overrides); }, trace,
+        cluster_options);
+    const ServingSummary& s = cs.cluster;
+    std::printf("cluster:           %ld x %s behind %s router\n",
+                static_cast<long>(replicas), system.c_str(), cs.router_name.c_str());
+    std::printf("model:             %s on %d GPU(s) per replica\n",
+                model.name.c_str(), model.num_gpus);
+    std::printf("requests:          %ld completed, makespan %.1f s\n",
+                static_cast<long>(s.completed_requests), s.makespan);
+    std::printf("throughput:        %.3f req/s (%.1f tok/s) over steady window "
+                "[%.1f, %.1f] s\n",
+                s.throughput_rps, s.token_throughput, s.window_begin,
+                s.window_end);
+    std::printf("norm latency:      mean %.1f / p50 %.1f / p90 %.1f / p99 %.1f "
+                "ms per token\n",
+                s.mean_normalized_latency * 1e3, s.p50_normalized_latency * 1e3,
+                s.p90_normalized_latency * 1e3, s.p99_normalized_latency * 1e3);
+    std::printf("cache:             hit %.3f (cpu-tier hit %.3f), %ld tokens "
+                "recomputed\n",
+                s.engine_stats.CacheHitRate(), s.engine_stats.CpuCacheHitRate(),
+                static_cast<long>(s.engine_stats.recomputed_history_tokens));
+    std::printf("balance:           load imbalance %.2f (peak/mean busy)\n",
+                cs.load_imbalance);
+    std::printf("migration:         %ld transfers (%ld rehomes, %ld queued at "
+                "home), %.1f MB, %ld tokens adopted, %.3f s stall\n",
+                static_cast<long>(cs.migration.migrations),
+                static_cast<long>(cs.migration.rehomes),
+                static_cast<long>(cs.migration.overload_queued),
+                cs.migration.migrated_bytes / 1e6,
+                static_cast<long>(cs.migration.migrated_tokens),
+                cs.migration.migration_stall_seconds);
+    for (size_t i = 0; i < cs.replicas.size(); ++i) {
+      const ServingSummary& r = cs.replicas[i];
+      std::printf("  replica %-2zu       %ld requests, %.1f s busy, hit %.3f\n",
+                  i, static_cast<long>(r.completed_requests),
+                  r.engine_stats.busy_seconds, r.engine_stats.CacheHitRate());
+    }
+    if (!flags.GetString("outcomes_csv").empty()) {
+      status = WriteOutcomesCsv(flags.GetString("outcomes_csv"), outcomes);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", flags.GetString("outcomes_csv").c_str());
+    }
+    if (!flags.GetString("steps_csv").empty()) {
+      status = WriteClusterStepTraceCsv(flags.GetString("steps_csv"), steps);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", flags.GetString("steps_csv").c_str());
+    }
+    return 0;
+  }
 
   auto engine = MakeEngine(kind, cost_model, overrides);
   std::vector<RequestOutcome> outcomes;
