@@ -2,27 +2,18 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 #include <utility>
 
 #include "src/cluster/replica.h"
 #include "src/common/logging.h"
+#include "src/serving/experiment_core.h"
+#include "src/sim/event_loop.h"
 
 namespace pensieve {
 
 namespace {
 
 constexpr double kNever = std::numeric_limits<double>::infinity();
-
-// Same shape and comparator as the single-engine driver's arrival queue so
-// that equal-time arrivals pop in the identical heap order.
-struct Arrival {
-  double time;
-  int64_t conversation_index;  // index into trace.conversations()
-  int32_t turn_index;
-
-  bool operator>(const Arrival& other) const { return time > other.time; }
-};
 
 }  // namespace
 
@@ -40,27 +31,129 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
   std::unique_ptr<Router> router = MakeRouter(options.router);
   ClusterInterconnect interconnect(options.num_replicas, options.interconnect);
 
-  const auto& conversations = trace.conversations();
-  std::priority_queue<Arrival, std::vector<Arrival>, std::greater<Arrival>>
-      arrivals;
-  for (int64_t i = 0; i < static_cast<int64_t>(conversations.size()); ++i) {
-    arrivals.push(Arrival{conversations[i].first_arrival, i, 0});
+  // One typed event queue drives the run: arrivals and scheduled faults pop
+  // in deterministic order (arrival < fail < recover on time ties), and
+  // replica steps rank after all of them so routers always see fresh state.
+  EventQueue events;
+  ArrivalProcess arrivals(trace, &events);
+  for (const ReplicaFault& fault : options.faults) {
+    PENSIEVE_CHECK_GE(fault.replica_id, 0);
+    PENSIEVE_CHECK_LT(fault.replica_id, options.num_replicas);
+    PENSIEVE_CHECK_GE(fault.time, 0.0);
+    SimEvent event;
+    event.time = fault.time;
+    event.kind = fault.recover ? SimEventKind::kReplicaRecover
+                               : SimEventKind::kReplicaFail;
+    event.id = fault.replica_id;
+    events.Push(event);
   }
 
-  int64_t next_request_id = 0;
   int64_t total_steps = 0;
   MigrationStats migration;
+  FaultStats faults;
+  // Requests with no alive replica to run on; flushed at the next recovery.
+  std::vector<Request> orphans;
 
   std::vector<ReplicaView> views(replicas.size());
   auto snapshot_views = [&]() {
     for (size_t i = 0; i < replicas.size(); ++i) {
-      views[i].engine = &replicas[i].engine();
-      views[i].load = replicas[i].engine().Load();
+      views[i].alive = replicas[i].alive();
+      views[i].engine = views[i].alive ? &replicas[i].engine() : nullptr;
+      views[i].load = views[i].alive ? replicas[i].engine().Load() : EngineLoad{};
+    }
+  };
+  auto any_alive = [&]() {
+    for (const Replica& r : replicas) {
+      if (r.alive()) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Routes `req` at virtual time `now` and delivers it to the chosen
+  // replica. `allow_migrate` is false for crash-rerouted requests: the KV
+  // they would have migrated died with their replica.
+  auto route_and_deliver = [&](const Request& req, double now,
+                               bool allow_migrate) {
+    if (!any_alive()) {
+      orphans.push_back(req);
+      ++faults.orphaned_requests;
+      return;
+    }
+    snapshot_views();
+    const RoutingDecision decision = router->Route(req, views);
+    PENSIEVE_CHECK_GE(decision.target, 0);
+    PENSIEVE_CHECK_LT(decision.target, static_cast<int32_t>(replicas.size()));
+    PENSIEVE_CHECK(views[static_cast<size_t>(decision.target)].alive)
+        << router->name() << " routed request " << req.request_id
+        << " to dead replica " << decision.target;
+
+    Replica::Delivery delivery;
+    delivery.time = now;
+    delivery.request = req;
+    if (allow_migrate && decision.migrate && decision.source >= 0 &&
+        decision.source != decision.target &&
+        replicas[static_cast<size_t>(decision.source)].alive()) {
+      Replica& source = replicas[static_cast<size_t>(decision.source)];
+      MigratedKvState state =
+          source.engine().ExportConversationState(req.conversation_id);
+      if (state.resident_tokens > 0) {
+        // The request cannot start at its new home before its KV lands.
+        const double done = interconnect.ScheduleTransfer(
+            decision.source, decision.target, now, state.bytes);
+        delivery.time = done;
+        delivery.migration_stall = done - now;
+        ++migration.migrations;
+        migration.migrated_bytes += state.bytes;
+        migration.migration_stall_seconds += delivery.migration_stall;
+      }
+      delivery.migrated = state;
+    }
+    replicas[static_cast<size_t>(decision.target)].Deliver(
+        std::move(delivery));
+  };
+
+  auto handle_fail = [&](const SimEvent& event) {
+    Replica& victim = replicas[static_cast<size_t>(event.id)];
+    if (!victim.alive()) {
+      PENSIEVE_LOG_WARNING << "fail event for already-dead replica "
+                           << event.id << " at t=" << event.time << "; ignored";
+      return;
+    }
+    // The router forgets the replica first so re-routed (and all future)
+    // requests pick an alive home.
+    router->NotifyReplicaDown(static_cast<int32_t>(event.id));
+    Replica::FailureDrain drain = victim.Fail(event.time);
+    ++faults.failures;
+    faults.lost_kv_tokens += drain.lost_kv_tokens;
+    faults.lost_generated_tokens += drain.lost_generated_tokens;
+    faults.rerouted_requests += static_cast<int64_t>(drain.deliveries.size());
+    for (const Replica::Delivery& d : drain.deliveries) {
+      route_and_deliver(d.request, event.time, /*allow_migrate=*/false);
+    }
+  };
+
+  auto handle_recover = [&](const SimEvent& event) {
+    Replica& replica = replicas[static_cast<size_t>(event.id)];
+    if (replica.alive()) {
+      PENSIEVE_LOG_WARNING << "recover event for alive replica " << event.id
+                           << " at t=" << event.time << "; ignored";
+      return;
+    }
+    replica.Recover(make_engine(static_cast<int32_t>(event.id)), event.time);
+    router->NotifyReplicaUp(static_cast<int32_t>(event.id));
+    ++faults.recoveries;
+    // Requests stranded while the whole cluster was down run here.
+    std::vector<Request> stranded;
+    stranded.swap(orphans);
+    for (const Request& req : stranded) {
+      route_and_deliver(req, event.time, /*allow_migrate=*/false);
     }
   };
 
   while (true) {
-    const double t_arrival = arrivals.empty() ? kNever : arrivals.top().time;
+    const double t_event = events.NextTime();
     double t_replica = kNever;
     int32_t next_replica = -1;
     for (int32_t i = 0; i < static_cast<int32_t>(replicas.size()); ++i) {
@@ -71,54 +164,26 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
       }
     }
 
-    // Arrivals outrank replica steps on ties: the single driver delivers
-    // everything due before stepping, and routers should see the freshest
-    // queue state.
-    if (t_arrival <= t_replica) {
-      if (arrivals.empty()) {
+    // Queued events outrank replica steps on ties: the single driver
+    // delivers everything due before stepping, and routers should see the
+    // freshest queue state.
+    if (t_event <= t_replica) {
+      if (events.Empty()) {
         break;  // both sides quiescent
       }
-      const Arrival a = arrivals.top();
-      arrivals.pop();
-      const TraceConversation& conv =
-          conversations[static_cast<size_t>(a.conversation_index)];
-      const TurnSpec& turn = conv.spec.turns[static_cast<size_t>(a.turn_index)];
-      Request req;
-      req.request_id = next_request_id++;
-      req.conversation_id = conv.spec.conversation_id;
-      req.turn_index = a.turn_index;
-      req.new_prompt_len = turn.input_len;
-      req.history_len = conv.spec.HistoryLenBeforeTurn(a.turn_index);
-      req.target_output_len = turn.output_len;
-      req.arrival_time = a.time;
-
-      snapshot_views();
-      const RoutingDecision decision = router->Route(req, views);
-      PENSIEVE_CHECK_GE(decision.target, 0);
-      PENSIEVE_CHECK_LT(decision.target, static_cast<int32_t>(replicas.size()));
-
-      Replica::Delivery delivery;
-      delivery.time = a.time;
-      delivery.request = req;
-      if (decision.migrate && decision.source >= 0 &&
-          decision.source != decision.target) {
-        Replica& source = replicas[static_cast<size_t>(decision.source)];
-        MigratedKvState state =
-            source.engine().ExportConversationState(req.conversation_id);
-        if (state.resident_tokens > 0) {
-          // The request cannot start at its new home before its KV lands.
-          const double done = interconnect.ScheduleTransfer(
-              decision.source, decision.target, a.time, state.bytes);
-          delivery.time = done;
-          delivery.migration_stall = done - a.time;
-          ++migration.migrations;
-          migration.migrated_bytes += state.bytes;
-          migration.migration_stall_seconds += delivery.migration_stall;
-        }
-        delivery.migrated = state;
+      const SimEvent event = events.Pop();
+      switch (event.kind) {
+        case SimEventKind::kArrival:
+          route_and_deliver(arrivals.BuildRequest(event), event.time,
+                            /*allow_migrate=*/true);
+          break;
+        case SimEventKind::kReplicaFail:
+          handle_fail(event);
+          break;
+        case SimEventKind::kReplicaRecover:
+          handle_recover(event);
+          break;
       }
-      replicas[static_cast<size_t>(decision.target)].Deliver(
-          std::move(delivery));
       continue;
     }
 
@@ -135,20 +200,8 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
       if (options.outcomes != nullptr) {
         options.outcomes->push_back(outcome);
       }
-      // Trace conversation ids are assigned densely by the generator, so the
-      // id doubles as the index (same invariant the single driver relies on).
-      const int64_t conv_index = outcome.request.conversation_id;
-      PENSIEVE_CHECK_LT(conv_index,
-                        static_cast<int64_t>(conversations.size()));
-      const TraceConversation& conv =
-          conversations[static_cast<size_t>(conv_index)];
-      const int32_t next_turn = outcome.request.turn_index + 1;
-      if (next_turn < static_cast<int32_t>(conv.spec.turns.size())) {
-        const double think =
-            conv.think_times[static_cast<size_t>(outcome.request.turn_index)];
-        arrivals.push(
-            Arrival{outcome.finish_time + think, conv_index, next_turn});
-      }
+      // Schedule the conversation's next turn after the user's think time.
+      arrivals.OnRequestFinished(outcome);
     }
     ++total_steps;
     if (options.max_steps > 0 && total_steps >= options.max_steps) {
@@ -159,50 +212,49 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
   }
 
   for (const Replica& r : replicas) {
-    if (r.engine().HasWork()) {
+    if (r.alive() && r.engine().HasWork()) {
       PENSIEVE_LOG_WARNING << "replica " << r.id()
                            << " still has work at experiment end (stalled)";
     }
   }
-
-  // Same steady-state window as the single driver: skip the first 10% of the
-  // conversation arrival span, cut off at the end of the arrival process.
-  double arrival_span = 0.0;
-  for (const TraceConversation& conv : conversations) {
-    arrival_span = std::max(arrival_span, conv.first_arrival);
+  if (!orphans.empty()) {
+    PENSIEVE_LOG_WARNING << orphans.size()
+                         << " request(s) orphaned by replica failures never "
+                            "ran (no recovery scheduled)";
   }
+
   double global_last_finish = 0.0;
   for (const Replica& r : replicas) {
     global_last_finish = std::max(global_last_finish, r.last_finish_time());
   }
-  const double window_begin = 0.1 * arrival_span;
-  const double window_end =
-      arrival_span > 0.0 ? arrival_span : global_last_finish;
+  // Same steady-state window as the single driver, by construction.
+  const SteadyStateWindow window =
+      ComputeSteadyStateWindow(ArrivalSpan(trace), global_last_finish);
 
   ClusterSummary summary;
   summary.router_name = router->name();
   summary.num_replicas = options.num_replicas;
-  MetricsCollector combined;
+  std::vector<const MetricsCollector*> collectors;
+  collectors.reserve(replicas.size());
   for (const Replica& r : replicas) {
     summary.replicas.push_back(r.metrics().Summarize(
-        r.engine().name(), r.last_finish_time(), r.engine().stats(),
-        window_begin, window_end));
-    for (const RequestOutcome& outcome : r.metrics().outcomes()) {
-      combined.Record(outcome);
-    }
-    summary.migration.migrated_tokens += r.engine().stats().migrated_in_tokens;
+        r.engine_name(), r.last_finish_time(), r.stats(), window.begin,
+        window.end));
+    collectors.push_back(&r.metrics());
+    summary.migration.migrated_tokens += r.stats().migrated_in_tokens;
   }
-  summary.cluster =
-      combined.Summarize(std::string("cluster/") + router->name(),
-                         global_last_finish,
-                         CombineEngineStats(summary.replicas), window_begin,
-                         window_end);
+  // The combined summary merges the per-replica collectors in place —
+  // outcomes are stored once, in their replica's collector.
+  summary.cluster = MetricsCollector::SummarizeMerged(
+      collectors, std::string("cluster/") + router->name(), global_last_finish,
+      CombineEngineStats(summary.replicas), window.begin, window.end);
   summary.load_imbalance = LoadImbalance(summary.replicas);
   summary.migration.migrations = migration.migrations;
   summary.migration.migrated_bytes = migration.migrated_bytes;
   summary.migration.migration_stall_seconds = migration.migration_stall_seconds;
   summary.migration.rehomes = router->counters().rehomes;
   summary.migration.overload_queued = router->counters().overload_queued;
+  summary.faults = faults;
   return summary;
 }
 

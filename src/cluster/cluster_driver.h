@@ -11,6 +11,13 @@
 // Session-affinity failover may migrate a conversation's KV between
 // replicas over a simulated interconnect; the shipped bytes, the arrival
 // stall, and the adopted tokens are all accounted in the ClusterSummary.
+//
+// The loop itself is a thin client of the shared experiment core
+// (src/sim/event_loop.h + src/serving/experiment_core.h): one typed event
+// queue interleaves arrivals and scheduled replica faults with replica
+// steps, which is what lets a replica be killed and recovered mid-run
+// (recovery cost lands in FaultStats and in the re-homed conversations'
+// recompute accounting).
 
 #ifndef PENSIEVE_SRC_CLUSTER_CLUSTER_DRIVER_H_
 #define PENSIEVE_SRC_CLUSTER_CLUSTER_DRIVER_H_
@@ -28,10 +35,24 @@
 
 namespace pensieve {
 
+// One scheduled fault event. A failure destroys the replica's engine: its
+// GPU+CPU KV is lost, its queued/running/in-transit requests are re-routed
+// to the surviving replicas (restarting from scratch), and re-homed
+// conversations recompute their history at the new home. A recovery brings
+// the replica back with a fresh, empty engine.
+struct ReplicaFault {
+  double time = 0.0;
+  int32_t replica_id = 0;
+  bool recover = false;  // false = fail at `time`, true = recover
+};
+
 struct ClusterOptions {
   int32_t num_replicas = 1;
   RouterOptions router;
   InterconnectSpec interconnect;
+  // Scheduled replica fault injection, interleaved with arrivals and steps
+  // in deterministic event order (arrival < fail < recover on time ties).
+  std::vector<ReplicaFault> faults;
   // Safety valve on total scheduler iterations across all replicas
   // (0 = unlimited).
   int64_t max_steps = 0;

@@ -8,23 +8,7 @@ namespace pensieve {
 EngineStats CombineEngineStats(const std::vector<ServingSummary>& replicas) {
   EngineStats total;
   for (const ServingSummary& r : replicas) {
-    const EngineStats& s = r.engine_stats;
-    total.steps += s.steps;
-    total.generated_tokens += s.generated_tokens;
-    total.prefill_tokens += s.prefill_tokens;
-    total.reused_gpu_tokens += s.reused_gpu_tokens;
-    total.reused_cpu_tokens += s.reused_cpu_tokens;
-    total.recomputed_history_tokens += s.recomputed_history_tokens;
-    total.suspensions += s.suspensions;
-    total.preemptions += s.preemptions;
-    total.forced_swap_out_tokens += s.forced_swap_out_tokens;
-    total.aot_swap_out_tokens += s.aot_swap_out_tokens;
-    total.dropped_tokens += s.dropped_tokens;
-    total.migrated_out_tokens += s.migrated_out_tokens;
-    total.migrated_in_tokens += s.migrated_in_tokens;
-    total.busy_seconds += s.busy_seconds;
-    total.recompute_seconds += s.recompute_seconds;
-    total.restore_stall_seconds += s.restore_stall_seconds;
+    total += r.engine_stats;
   }
   return total;
 }

@@ -38,6 +38,24 @@ struct MigrationStats {
   double migration_stall_seconds = 0.0;
 };
 
+// Fault-injection accounting: what replica failures cost the run. The lost
+// KV shows up again as recomputed_history_tokens at the re-homed
+// conversations' new replicas; the re-routed requests pay their failover in
+// end-to-end latency (they keep their original arrival times).
+struct FaultStats {
+  int64_t failures = 0;
+  int64_t recoveries = 0;
+  // Queued/running/in-transit requests re-routed off a crashed replica.
+  int64_t rerouted_requests = 0;
+  // Requests that had to wait for a recovery because no replica was alive.
+  int64_t orphaned_requests = 0;
+  // Resident KV tokens destroyed with failed replicas (including migrated
+  // state lost in transit).
+  int64_t lost_kv_tokens = 0;
+  // Decode progress thrown away (restarted requests regenerate it).
+  int64_t lost_generated_tokens = 0;
+};
+
 struct ClusterSummary {
   std::string router_name;
   int32_t num_replicas = 0;
@@ -50,6 +68,7 @@ struct ClusterSummary {
   // 0.0 when the cluster never computed).
   double load_imbalance = 0.0;
   MigrationStats migration;
+  FaultStats faults;
 };
 
 // Field-wise sum of per-replica engine stats.

@@ -11,17 +11,78 @@ namespace pensieve {
 Replica::Replica(int32_t id, std::unique_ptr<Engine> engine)
     : id_(id), engine_(std::move(engine)) {
   PENSIEVE_CHECK(engine_ != nullptr);
+  engine_name_ = engine_->name();
+}
+
+EngineStats Replica::stats() const {
+  EngineStats combined = retired_stats_;
+  if (engine_ != nullptr) {
+    combined += engine_->stats();
+  }
+  return combined;
+}
+
+Replica::FailureDrain Replica::Fail(double now) {
+  PENSIEVE_CHECK(alive()) << "replica " << id_ << " failed while already down";
+  clock_.AdvanceTo(std::max(clock_.now(), now));
+  FailureDrain drain;
+  drain.lost_kv_tokens = engine_->TotalCachedTokens();
+
+  // In-flight deliveries die with the replica; their requests must be
+  // re-routed, but any migrated KV riding along is lost in transit.
+  while (!pending_.empty()) {
+    Delivery d = pending_.top();
+    pending_.pop();
+    drain.lost_kv_tokens += d.migrated.resident_tokens;
+    d.migrated = MigratedKvState{};
+    d.migration_stall = 0.0;
+    d.time = now;
+    drain.deliveries.push_back(std::move(d));
+  }
+  DrainedWork work = engine_->DrainUnfinished();
+  drain.lost_generated_tokens = work.lost_generated_tokens;
+  for (Request& req : work.requests) {
+    Delivery d;
+    d.time = now;
+    d.request = req;
+    drain.deliveries.push_back(std::move(d));
+  }
+  // Re-route in arrival order regardless of whether the request was still in
+  // transit or already queued/running.
+  std::sort(drain.deliveries.begin(), drain.deliveries.end(),
+            [](const Delivery& a, const Delivery& b) {
+              return a.request.request_id < b.request.request_id;
+            });
+
+  retired_stats_ += engine_->stats();
+  engine_.reset();
+  stalled_ = false;
+  return drain;
+}
+
+void Replica::Recover(std::unique_ptr<Engine> engine, double now) {
+  PENSIEVE_CHECK(!alive()) << "replica " << id_ << " recovered while alive";
+  PENSIEVE_CHECK(engine != nullptr);
+  engine_ = std::move(engine);
+  engine_name_ = engine_->name();
+  clock_.AdvanceTo(std::max(clock_.now(), now));
+  stalled_ = false;
 }
 
 void Replica::Deliver(Delivery delivery) {
   // delivery.time may lie in this replica's past (it stepped beyond the
   // arrival while busy); DeliverDue then enqueues at the local clock, exactly
   // as the single-engine driver enqueues overdue arrivals at now().
+  PENSIEVE_CHECK(alive()) << "delivery routed to dead replica " << id_;
   delivery.seq = next_delivery_seq_++;
   pending_.push(std::move(delivery));
 }
 
 double Replica::NextEventTime() const {
+  if (!alive()) {
+    // A dead replica does nothing until the driver delivers a recovery.
+    return std::numeric_limits<double>::infinity();
+  }
   if (engine_->HasWork() && !stalled_) {
     return clock_.now();
   }
@@ -47,6 +108,7 @@ void Replica::DeliverDue() {
 
 Replica::StepOutcome Replica::StepOnce(
     std::vector<ClusterStepTraceEntry>* step_trace) {
+  PENSIEVE_CHECK(alive());
   StepOutcome out;
   if (!engine_->HasWork() || stalled_) {
     // Nothing runnable right now: jump to the next delivery. The driver only

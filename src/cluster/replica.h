@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "src/cluster/cluster_metrics.h"
@@ -39,12 +40,36 @@ class Replica {
     StepResult result;
   };
 
+  // Everything a failing replica loses: the requests it still owed (queued
+  // deliveries plus the engine's queued/running requests, stripped of any
+  // in-flight migrated KV), the resident KV destroyed, and the decode
+  // progress thrown away.
+  struct FailureDrain {
+    std::vector<Delivery> deliveries;
+    int64_t lost_kv_tokens = 0;
+    int64_t lost_generated_tokens = 0;
+  };
+
   Replica(int32_t id, std::unique_ptr<Engine> engine);
 
   int32_t id() const { return id_; }
+  bool alive() const { return engine_ != nullptr; }
   Engine& engine() { return *engine_; }
   const Engine& engine() const { return *engine_; }
+  const std::string& engine_name() const { return engine_name_; }
   double now() const { return clock_.now(); }
+
+  // Combined engine stats across every incarnation of this replica: retired
+  // stats from engines destroyed by failures plus the current engine's.
+  EngineStats stats() const;
+
+  // Crash at virtual time `now`: destroys the engine (all KV and progress
+  // lost), retires its stats, and hands back the unfinished work for the
+  // driver to re-route. The replica stops reporting events until Recover.
+  FailureDrain Fail(double now);
+
+  // Rejoins with a fresh (empty) engine at virtual time `now`.
+  void Recover(std::unique_ptr<Engine> engine, double now);
 
   void Deliver(Delivery delivery);
 
@@ -74,7 +99,11 @@ class Replica {
   };
 
   int32_t id_;
-  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<Engine> engine_;  // null while the replica is down
+  std::string engine_name_;
+  // Stats of engine incarnations destroyed by failures (the work they did
+  // before crashing still happened on the simulated hardware).
+  EngineStats retired_stats_;
   VirtualClock clock_;
   MetricsCollector metrics_;
   std::priority_queue<Delivery, std::vector<Delivery>, DeliveryLater> pending_;

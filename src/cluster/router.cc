@@ -31,8 +31,15 @@ bool RouterPolicyByName(const std::string& name, RouterPolicy* policy) {
 
 int32_t LeastLoadedReplica(const std::vector<ReplicaView>& replicas) {
   PENSIEVE_CHECK(!replicas.empty());
-  int32_t best = 0;
-  for (int32_t i = 1; i < static_cast<int32_t>(replicas.size()); ++i) {
+  int32_t best = -1;
+  for (int32_t i = 0; i < static_cast<int32_t>(replicas.size()); ++i) {
+    if (!replicas[static_cast<size_t>(i)].alive) {
+      continue;
+    }
+    if (best < 0) {
+      best = i;
+      continue;
+    }
     const EngineLoad& cand = replicas[static_cast<size_t>(i)].load;
     const EngineLoad& cur = replicas[static_cast<size_t>(best)].load;
     if (cand.OutstandingTokens() < cur.OutstandingTokens() ||
@@ -41,6 +48,7 @@ int32_t LeastLoadedReplica(const std::vector<ReplicaView>& replicas) {
       best = i;
     }
   }
+  PENSIEVE_CHECK_GE(best, 0) << "no alive replica to route to";
   return best;
 }
 
@@ -54,9 +62,19 @@ class RoundRobinRouter final : public Router {
 
   RoutingDecision Route(const Request& request,
                         const std::vector<ReplicaView>& replicas) override {
+    const int32_t n = static_cast<int32_t>(replicas.size());
     RoutingDecision decision;
-    decision.target = next_;
-    next_ = (next_ + 1) % static_cast<int32_t>(replicas.size());
+    // Rotate past dead replicas; with everyone alive this is the plain
+    // rotation (the 1-replica bit-for-bit case is untouched).
+    for (int32_t tried = 0; tried < n; ++tried) {
+      const int32_t candidate = next_;
+      next_ = (next_ + 1) % n;
+      if (replicas[static_cast<size_t>(candidate)].alive) {
+        decision.target = candidate;
+        return decision;
+      }
+    }
+    PENSIEVE_LOG_FATAL << "round-robin: no alive replica to route to";
     return decision;
   }
 
@@ -122,6 +140,19 @@ class SessionAffinityRouter final : public Router {
     it->second = fallback;
     ++counters_.rehomes;
     return decision;
+  }
+
+  void NotifyReplicaDown(int32_t replica_id) override {
+    // The dead replica's KV is gone, so any affinity to it is worthless:
+    // forget those homes and let the conversations re-home (as first
+    // contact, onto the least-loaded alive replica) at their next turn.
+    for (auto it = home_.begin(); it != home_.end();) {
+      if (it->second == replica_id) {
+        it = home_.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
 
  private:

@@ -54,10 +54,13 @@ struct RouterOptions {
   bool migrate_on_overload = true;
 };
 
-// What the router may observe about a replica when deciding.
+// What the router may observe about a replica when deciding. A dead replica
+// keeps its index slot (routing decisions index the replica vector) but must
+// never be chosen as a target.
 struct ReplicaView {
   const Engine* engine = nullptr;
   EngineLoad load;
+  bool alive = true;
 };
 
 struct RoutingDecision {
@@ -80,6 +83,14 @@ class Router {
   virtual const char* name() const = 0;
   virtual RoutingDecision Route(const Request& request,
                                 const std::vector<ReplicaView>& replicas) = 0;
+
+  // Fault hooks, called by the cluster driver before any routing happens at
+  // the fault time. On a failure the replica's KV is gone: stateful routers
+  // must forget any affinity to it (conversations re-home at next contact)
+  // and every router must stop targeting it until NotifyReplicaUp.
+  virtual void NotifyReplicaDown(int32_t replica_id) {}
+  virtual void NotifyReplicaUp(int32_t replica_id) {}
+
   const RouterCounters& counters() const { return counters_; }
 
  protected:
@@ -88,8 +99,9 @@ class Router {
 
 std::unique_ptr<Router> MakeRouter(const RouterOptions& options);
 
-// Shared helper: replica with the fewest outstanding tokens (ties broken by
-// fewest requests, then lowest id, keeping runs deterministic).
+// Shared helper: alive replica with the fewest outstanding tokens (ties
+// broken by fewest requests, then lowest id, keeping runs deterministic).
+// CHECK-fails when no replica is alive.
 int32_t LeastLoadedReplica(const std::vector<ReplicaView>& replicas);
 
 }  // namespace pensieve

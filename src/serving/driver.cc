@@ -1,79 +1,50 @@
 #include "src/serving/driver.h"
 
-#include <queue>
+#include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/serving/experiment_core.h"
+#include "src/sim/event_loop.h"
 #include "src/sim/virtual_clock.h"
 
 namespace pensieve {
-
-namespace {
-
-struct Arrival {
-  double time;
-  int64_t conversation_index;  // index into trace.conversations()
-  int32_t turn_index;
-
-  bool operator>(const Arrival& other) const { return time > other.time; }
-};
-
-}  // namespace
 
 ServingSummary RunServingExperiment(Engine* engine, const WorkloadTrace& trace,
                                     const DriverOptions& options) {
   PENSIEVE_CHECK(engine != nullptr);
   VirtualClock clock;
   MetricsCollector metrics;
-  std::priority_queue<Arrival, std::vector<Arrival>, std::greater<Arrival>> arrivals;
+  EventQueue events;
+  ArrivalProcess arrivals(trace, &events);
 
-  const auto& conversations = trace.conversations();
-  for (int64_t i = 0; i < static_cast<int64_t>(conversations.size()); ++i) {
-    arrivals.push(Arrival{conversations[i].first_arrival, i, 0});
-  }
-
-  int64_t next_request_id = 0;
-  int64_t delivered = 0;
   int64_t steps = 0;
   double last_finish_time = 0.0;
 
   auto deliver_due = [&]() {
-    while (!arrivals.empty() && arrivals.top().time <= clock.now()) {
-      const Arrival a = arrivals.top();
-      arrivals.pop();
-      const TraceConversation& conv = conversations[static_cast<size_t>(a.conversation_index)];
-      const TurnSpec& turn = conv.spec.turns[static_cast<size_t>(a.turn_index)];
-      Request req;
-      req.request_id = next_request_id++;
-      req.conversation_id = conv.spec.conversation_id;
-      req.turn_index = a.turn_index;
-      req.new_prompt_len = turn.input_len;
-      req.history_len = conv.spec.HistoryLenBeforeTurn(a.turn_index);
-      req.target_output_len = turn.output_len;
-      req.arrival_time = a.time;
-      engine->Enqueue(req, clock.now());
-      ++delivered;
+    while (!events.Empty() && events.Top().time <= clock.now()) {
+      engine->Enqueue(arrivals.BuildRequest(events.Pop()), clock.now());
     }
   };
 
   while (true) {
     deliver_due();
     if (!engine->HasWork()) {
-      if (arrivals.empty()) {
+      if (events.Empty()) {
         break;
       }
-      clock.AdvanceTo(arrivals.top().time);
+      clock.AdvanceTo(events.NextTime());
       continue;
     }
     const double step_start = clock.now();
     StepResult result = engine->Step(clock.now());
     if (result.idle) {
-      if (arrivals.empty()) {
+      if (events.Empty()) {
         PENSIEVE_LOG_WARNING << "engine " << engine->name()
                              << " idle with pending work and no future arrivals; "
                                 "aborting experiment";
         break;
       }
-      clock.AdvanceTo(arrivals.top().time);
+      clock.AdvanceTo(events.NextTime());
       continue;
     }
     clock.Advance(result.duration);
@@ -89,17 +60,7 @@ ServingSummary RunServingExperiment(Engine* engine, const WorkloadTrace& trace,
       }
       last_finish_time = std::max(last_finish_time, outcome.finish_time);
       // Schedule the conversation's next turn after the user's think time.
-      // Trace conversation ids are assigned densely by the generator, so the
-      // id doubles as the index.
-      const int64_t conv_index = outcome.request.conversation_id;
-      PENSIEVE_CHECK_LT(conv_index, static_cast<int64_t>(conversations.size()));
-      const TraceConversation& conv = conversations[static_cast<size_t>(conv_index)];
-      const int32_t next_turn = outcome.request.turn_index + 1;
-      if (next_turn < static_cast<int32_t>(conv.spec.turns.size())) {
-        const double think =
-            conv.think_times[static_cast<size_t>(outcome.request.turn_index)];
-        arrivals.push(Arrival{outcome.finish_time + think, conv_index, next_turn});
-      }
+      arrivals.OnRequestFinished(outcome);
     }
     ++steps;
     if (options.max_steps > 0 && steps >= options.max_steps) {
@@ -108,18 +69,10 @@ ServingSummary RunServingExperiment(Engine* engine, const WorkloadTrace& trace,
     }
   }
 
-  // Steady-state window: skip the warm-up (first 10% of the conversation
-  // arrival span) and cut off at the end of the arrival process so that a
-  // few long think-time chains don't dominate the throughput denominator.
-  double arrival_span = 0.0;
-  for (const TraceConversation& conv : conversations) {
-    arrival_span = std::max(arrival_span, conv.first_arrival);
-  }
-  const double window_begin = 0.1 * arrival_span;
-  const double window_end =
-      arrival_span > 0.0 ? arrival_span : last_finish_time;
+  const SteadyStateWindow window =
+      ComputeSteadyStateWindow(ArrivalSpan(trace), last_finish_time);
   return metrics.Summarize(engine->name(), last_finish_time, engine->stats(),
-                           window_begin, window_end);
+                           window.begin, window.end);
 }
 
 }  // namespace pensieve

@@ -39,6 +39,28 @@ struct EngineStats {
   double recompute_seconds = 0.0;
   double restore_stall_seconds = 0.0;
 
+  // Field-wise accumulation, used wherever stats from several engines (or
+  // several engine incarnations of one replica, across crashes) are summed.
+  EngineStats& operator+=(const EngineStats& other) {
+    steps += other.steps;
+    generated_tokens += other.generated_tokens;
+    prefill_tokens += other.prefill_tokens;
+    reused_gpu_tokens += other.reused_gpu_tokens;
+    reused_cpu_tokens += other.reused_cpu_tokens;
+    recomputed_history_tokens += other.recomputed_history_tokens;
+    suspensions += other.suspensions;
+    preemptions += other.preemptions;
+    forced_swap_out_tokens += other.forced_swap_out_tokens;
+    aot_swap_out_tokens += other.aot_swap_out_tokens;
+    dropped_tokens += other.dropped_tokens;
+    migrated_out_tokens += other.migrated_out_tokens;
+    migrated_in_tokens += other.migrated_in_tokens;
+    busy_seconds += other.busy_seconds;
+    recompute_seconds += other.recompute_seconds;
+    restore_stall_seconds += other.restore_stall_seconds;
+    return *this;
+  }
+
   // Fraction of needed history tokens served from cache (either tier).
   double CacheHitRate() const {
     const int64_t total =
@@ -96,6 +118,14 @@ struct MigratedKvState {
   bool Empty() const { return kv_len == 0; }
 };
 
+// What a crashing (or draining) engine still owed: every queued and running
+// request in arrival order, plus the decode progress that is thrown away
+// (re-routed requests restart generation from scratch elsewhere).
+struct DrainedWork {
+  std::vector<Request> requests;
+  int64_t lost_generated_tokens = 0;
+};
+
 class Engine {
  public:
   virtual ~Engine() = default;
@@ -144,6 +174,18 @@ class Engine {
                                           double now) {
     return 0;
   }
+
+  // --- Fault injection -----------------------------------------------------
+  // Removes every queued and running request (crash/drain path) and returns
+  // them sorted by request id (= arrival order). Cache bookkeeping for the
+  // drained conversations is not released: the caller is about to discard
+  // the whole engine (replica failure) or explicitly migrate the state.
+  virtual DrainedWork DrainUnfinished() { return {}; }
+
+  // Total history tokens with live KV copies on this engine, either tier —
+  // what a replica failure destroys. Stateless engines keep nothing between
+  // requests.
+  virtual int64_t TotalCachedTokens() const { return 0; }
 };
 
 }  // namespace pensieve

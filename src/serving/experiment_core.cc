@@ -1,0 +1,75 @@
+#include "src/serving/experiment_core.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pensieve {
+
+double ArrivalSpan(const WorkloadTrace& trace) {
+  double span = 0.0;
+  for (const TraceConversation& conv : trace.conversations()) {
+    span = std::max(span, conv.first_arrival);
+  }
+  return span;
+}
+
+SteadyStateWindow ComputeSteadyStateWindow(double arrival_span,
+                                           double last_finish) {
+  SteadyStateWindow window;
+  window.begin = 0.1 * arrival_span;
+  window.end = arrival_span > 0.0 ? arrival_span : last_finish;
+  return window;
+}
+
+ArrivalProcess::ArrivalProcess(const WorkloadTrace& trace, EventQueue* events)
+    : trace_(trace), events_(events) {
+  PENSIEVE_CHECK(events_ != nullptr);
+  const auto& conversations = trace_.conversations();
+  for (int64_t i = 0; i < static_cast<int64_t>(conversations.size()); ++i) {
+    SimEvent event;
+    event.time = conversations[static_cast<size_t>(i)].first_arrival;
+    event.kind = SimEventKind::kArrival;
+    event.id = i;
+    event.turn = 0;
+    events_->Push(event);
+  }
+}
+
+Request ArrivalProcess::BuildRequest(const SimEvent& arrival) {
+  PENSIEVE_CHECK(arrival.kind == SimEventKind::kArrival);
+  const TraceConversation& conv =
+      trace_.conversations()[static_cast<size_t>(arrival.id)];
+  const TurnSpec& turn = conv.spec.turns[static_cast<size_t>(arrival.turn)];
+  Request req;
+  req.request_id = next_request_id_++;
+  req.conversation_id = conv.spec.conversation_id;
+  req.turn_index = arrival.turn;
+  req.new_prompt_len = turn.input_len;
+  req.history_len = conv.spec.HistoryLenBeforeTurn(arrival.turn);
+  req.target_output_len = turn.output_len;
+  req.arrival_time = arrival.time;
+  return req;
+}
+
+void ArrivalProcess::OnRequestFinished(const RequestOutcome& outcome) {
+  // Conversation ids are validated dense at trace load, so the id doubles as
+  // the index.
+  const int64_t conv_index = outcome.request.conversation_id;
+  const TraceConversation& conv =
+      trace_.conversations()[static_cast<size_t>(conv_index)];
+  const int32_t next_turn = outcome.request.turn_index + 1;
+  if (next_turn >= static_cast<int32_t>(conv.spec.turns.size())) {
+    return;
+  }
+  const double think =
+      conv.think_times[static_cast<size_t>(outcome.request.turn_index)];
+  SimEvent event;
+  event.time = outcome.finish_time + think;
+  event.kind = SimEventKind::kArrival;
+  event.id = conv_index;
+  event.turn = next_turn;
+  events_->Push(event);
+}
+
+}  // namespace pensieve

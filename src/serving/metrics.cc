@@ -14,27 +14,46 @@ ServingSummary MetricsCollector::Summarize(const std::string& engine_name,
                                            const EngineStats& engine_stats,
                                            double window_begin,
                                            double window_end) const {
+  return SummarizeMerged({this}, engine_name, makespan, engine_stats,
+                         window_begin, window_end);
+}
+
+ServingSummary MetricsCollector::SummarizeMerged(
+    const std::vector<const MetricsCollector*>& collectors,
+    const std::string& engine_name, double makespan,
+    const EngineStats& engine_stats, double window_begin, double window_end) {
   if (window_end < 0.0) {
     window_end = makespan;
   }
+  int64_t total_outcomes = 0;
+  for (const MetricsCollector* c : collectors) {
+    if (c != nullptr) {
+      total_outcomes += static_cast<int64_t>(c->outcomes_.size());
+    }
+  }
   ServingSummary summary;
   summary.engine_name = engine_name;
-  summary.completed_requests = static_cast<int64_t>(outcomes_.size());
+  summary.completed_requests = total_outcomes;
   summary.makespan = makespan;
 
   auto collect = [&](double begin, double end) {
     SampleStats latency;
     int64_t tokens = 0;
     int64_t completions = 0;
-    for (const RequestOutcome& o : outcomes_) {
-      if (o.finish_time < begin || o.finish_time > end) {
+    for (const MetricsCollector* c : collectors) {
+      if (c == nullptr) {
         continue;
       }
-      latency.Add(o.NormalizedLatency());
-      // Tokens actually generated, not the target: an early-terminated
-      // request must not inflate token throughput.
-      tokens += o.generated_tokens;
-      ++completions;
+      for (const RequestOutcome& o : c->outcomes_) {
+        if (o.finish_time < begin || o.finish_time > end) {
+          continue;
+        }
+        latency.Add(o.NormalizedLatency());
+        // Tokens actually generated, not the target: an early-terminated
+        // request must not inflate token throughput.
+        tokens += o.generated_tokens;
+        ++completions;
+      }
     }
     return std::make_tuple(std::move(latency), tokens, completions);
   };
@@ -42,8 +61,7 @@ ServingSummary MetricsCollector::Summarize(const std::string& engine_name,
   auto [latency, tokens, completions] = collect(window_begin, window_end);
   // Fall back to the full run when the window holds too few samples (small
   // unit-test traces).
-  const int64_t min_samples =
-      std::max<int64_t>(10, static_cast<int64_t>(outcomes_.size()) / 20);
+  const int64_t min_samples = std::max<int64_t>(10, total_outcomes / 20);
   if (completions < min_samples) {
     window_begin = 0.0;
     window_end = makespan;

@@ -48,6 +48,16 @@ class MetricsCollector {
                            double window_begin = 0.0,
                            double window_end = -1.0) const;
 
+  // Summarizes the union of several collectors' outcomes (in collector
+  // order) without copying them anywhere: the cluster driver merges its
+  // per-replica collectors this way, so every outcome is stored exactly
+  // once. Null entries are skipped.
+  static ServingSummary SummarizeMerged(
+      const std::vector<const MetricsCollector*>& collectors,
+      const std::string& engine_name, double makespan,
+      const EngineStats& engine_stats, double window_begin = 0.0,
+      double window_end = -1.0);
+
   const std::vector<RequestOutcome>& outcomes() const { return outcomes_; }
 
  private:

@@ -455,6 +455,36 @@ MigratedKvState PensieveEngine::ExportConversationState(int64_t conversation_id)
   return state;
 }
 
+DrainedWork PensieveEngine::DrainUnfinished() {
+  DrainedWork drained;
+  drained.requests.reserve(waiting_.size() + running_.size());
+  for (const Running& r : running_) {
+    drained.requests.push_back(r.request);
+    drained.lost_generated_tokens += r.generated;
+  }
+  for (const Running& r : waiting_) {
+    drained.requests.push_back(r.request);
+    drained.lost_generated_tokens += r.generated;
+  }
+  std::sort(drained.requests.begin(), drained.requests.end(),
+            [](const Request& a, const Request& b) {
+              return a.request_id < b.request_id;
+            });
+  running_.clear();
+  waiting_.clear();
+  inflight_.clear();
+  pending_forced_stall_ = 0.0;
+  return drained;
+}
+
+int64_t PensieveEngine::TotalCachedTokens() const {
+  int64_t total = 0;
+  for (const auto& [id, conv] : cache_.conversations()) {
+    total += conv.kv_len() - conv.LeadingDroppedTokens();
+  }
+  return total;
+}
+
 int64_t PensieveEngine::ImportConversationState(int64_t conversation_id,
                                                 const MigratedKvState& state,
                                                 double now) {

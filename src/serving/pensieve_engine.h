@@ -71,6 +71,10 @@ class PensieveEngine final : public Engine {
                                   const MigratedKvState& state,
                                   double now) override;
 
+  // Fault injection: hand back all queued/running requests (crash path).
+  DrainedWork DrainUnfinished() override;
+  int64_t TotalCachedTokens() const override;
+
   // Introspection for tests.
   const TwoTierKvCache& cache() const { return cache_; }
   int64_t num_waiting() const { return static_cast<int64_t>(waiting_.size()); }

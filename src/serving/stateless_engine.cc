@@ -44,6 +44,28 @@ void StatelessEngine::FreeSequence(Sequence* seq) {
   seq->context_len = 0;
 }
 
+DrainedWork StatelessEngine::DrainUnfinished() {
+  DrainedWork drained;
+  drained.requests.reserve(waiting_.size() + running_.size());
+  for (Sequence& seq : running_) {
+    drained.requests.push_back(seq.request);
+    drained.lost_generated_tokens += seq.generated;
+    FreeSequence(&seq);
+  }
+  for (Sequence& seq : waiting_) {
+    drained.requests.push_back(seq.request);
+    drained.lost_generated_tokens += seq.generated;
+    FreeSequence(&seq);
+  }
+  std::sort(drained.requests.begin(), drained.requests.end(),
+            [](const Request& a, const Request& b) {
+              return a.request_id < b.request_id;
+            });
+  running_.clear();
+  waiting_.clear();
+  return drained;
+}
+
 void StatelessEngine::Preempt(Sequence* seq) {
   // Recompute-preemption (vLLM default): release all memory; on
   // readmission the prompt plus already-emitted output is prefull-ed again.

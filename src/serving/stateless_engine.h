@@ -47,6 +47,9 @@ class StatelessEngine final : public Engine {
   // No cross-request state, so the migration defaults (no-op) apply.
   EngineLoad Load() const override;
 
+  // Fault injection: hand back all queued/running requests (crash path).
+  DrainedWork DrainUnfinished() override;
+
  private:
   struct Sequence {
     Request request;

@@ -1,0 +1,24 @@
+#include "src/sim/event_loop.h"
+
+#include <limits>
+
+namespace pensieve {
+
+const char* SimEventKindName(SimEventKind kind) {
+  switch (kind) {
+    case SimEventKind::kArrival:
+      return "arrival";
+    case SimEventKind::kReplicaFail:
+      return "fail";
+    case SimEventKind::kReplicaRecover:
+      return "recover";
+  }
+  return "?";
+}
+
+double EventQueue::NextTime() const {
+  return heap_.empty() ? std::numeric_limits<double>::infinity()
+                       : heap_.top().time;
+}
+
+}  // namespace pensieve

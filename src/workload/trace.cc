@@ -33,6 +33,17 @@ WorkloadTrace::WorkloadTrace(std::vector<ConversationSpec> conversations,
   BuildTimeline(std::move(conversations), &rng);
 }
 
+void WorkloadTrace::ValidateDenseConversationIds() const {
+  // The experiment core (ArrivalProcess) indexes conversations() by
+  // conversation id without bounds checks, so the "id doubles as a dense
+  // index" invariant is enforced once here, at load, instead of being
+  // re-checked by every driver's finish handler.
+  for (size_t i = 0; i < conversations_.size(); ++i) {
+    PENSIEVE_CHECK_EQ(conversations_[i].spec.conversation_id,
+                      static_cast<int64_t>(i));
+  }
+}
+
 void WorkloadTrace::BuildTimeline(std::vector<ConversationSpec> specs, Rng* rng) {
   double arrival = 0.0;
   conversations_.reserve(specs.size());
@@ -51,6 +62,7 @@ void WorkloadTrace::BuildTimeline(std::vector<ConversationSpec> specs, Rng* rng)
     }
     conversations_.push_back(std::move(conv));
   }
+  ValidateDenseConversationIds();
 }
 
 int64_t WorkloadTrace::TotalRequests() const {

@@ -56,6 +56,9 @@ class WorkloadTrace {
 
  private:
   void BuildTimeline(std::vector<ConversationSpec> specs, Rng* rng);
+  // CHECKs that conversation ids equal their index (the drivers' experiment
+  // core relies on it); runs once at load.
+  void ValidateDenseConversationIds() const;
 
   DatasetProfile profile_;
   TraceOptions options_;

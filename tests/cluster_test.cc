@@ -12,6 +12,7 @@
 #include "src/core/experiment.h"
 #include "src/model/model_config.h"
 #include "src/serving/driver.h"
+#include "src/serving/experiment_core.h"
 #include "src/sim/cluster_link.h"
 #include "src/sim/hardware.h"
 
@@ -310,6 +311,167 @@ TEST(ClusterDriverTest, DeterministicAcrossRuns) {
   ExpectSummaryEq(s1.cluster, s2.cluster);
   EXPECT_DOUBLE_EQ(s1.load_imbalance, s2.load_imbalance);
   EXPECT_EQ(s1.migration.migrations, s2.migration.migrations);
+}
+
+TEST(RouterTest, RoundRobinSkipsDeadReplicas) {
+  RouterOptions options;
+  options.policy = RouterPolicy::kRoundRobin;
+  auto router = MakeRouter(options);
+  std::vector<ReplicaView> replicas(3);
+  router->NotifyReplicaDown(1);  // no-op for round-robin, but legal
+  replicas[1].alive = false;
+  Request req;
+  EXPECT_EQ(router->Route(req, replicas).target, 0);
+  EXPECT_EQ(router->Route(req, replicas).target, 2);
+  EXPECT_EQ(router->Route(req, replicas).target, 0);
+  EXPECT_EQ(router->Route(req, replicas).target, 2);
+  // The rotation picks replica 1 back up once it is alive again.
+  replicas[1].alive = true;
+  EXPECT_EQ(router->Route(req, replicas).target, 0);
+  EXPECT_EQ(router->Route(req, replicas).target, 1);
+  EXPECT_EQ(router->Route(req, replicas).target, 2);
+}
+
+TEST(RouterTest, LeastLoadedSkipsDeadReplicas) {
+  RouterOptions options;
+  options.policy = RouterPolicy::kLeastLoaded;
+  auto router = MakeRouter(options);
+  std::vector<ReplicaView> replicas(3);
+  // Replica 1 would win on load, but it is dead.
+  replicas[0].load.queued_input_tokens = 100;
+  replicas[1].alive = false;
+  replicas[2].load.queued_input_tokens = 50;
+  Request req;
+  EXPECT_EQ(router->Route(req, replicas).target, 2);
+}
+
+TEST(RouterTest, SessionAffinityRehomesAfterReplicaDown) {
+  RouterOptions options;
+  options.policy = RouterPolicy::kSessionAffinity;
+  auto router = MakeRouter(options);
+  std::vector<ReplicaView> replicas(2);
+  replicas[0].load.queued_input_tokens = 100;
+  Request req;
+  req.conversation_id = 5;
+  ASSERT_EQ(router->Route(req, replicas).target, 1);  // home = 1
+
+  // The home dies: its KV is gone, so the affinity entry must go with it and
+  // the conversation re-homes as first contact onto an alive replica.
+  router->NotifyReplicaDown(1);
+  replicas[1].alive = false;
+  RoutingDecision decision = router->Route(req, replicas);
+  EXPECT_EQ(decision.target, 0);
+  EXPECT_FALSE(decision.migrate);  // nothing to migrate from a dead replica
+  // The new home sticks even after the old one recovers (empty anyway).
+  router->NotifyReplicaUp(1);
+  replicas[1].alive = true;
+  replicas[0].load.queued_input_tokens = 100;
+  EXPECT_EQ(router->Route(req, replicas).target, 0);
+}
+
+TEST(ClusterDriverTest, ReplicaFailureMidRunStillCompletesEverything) {
+  GpuCostModel model = Opt13BModel();
+  WorkloadTrace trace = SmallTrace(/*conversations=*/30, /*rate=*/1.0,
+                                   /*think=*/5.0, /*seed=*/19);
+  ClusterOptions options;
+  options.num_replicas = 2;
+  options.router.policy = RouterPolicy::kSessionAffinity;
+  ClusterSummary baseline =
+      RunClusterExperiment(PensieveFactory(model), trace, options);
+
+  options.faults.push_back(
+      ReplicaFault{0.5 * ArrivalSpan(trace), /*replica_id=*/0,
+                   /*recover=*/false});
+  ClusterSummary faulted =
+      RunClusterExperiment(PensieveFactory(model), trace, options);
+
+  // The survivor absorbs everything: no request is lost to the crash.
+  EXPECT_EQ(faulted.cluster.completed_requests, trace.TotalRequests());
+  EXPECT_EQ(faulted.faults.failures, 1);
+  EXPECT_EQ(faulted.faults.recoveries, 0);
+  EXPECT_EQ(faulted.faults.orphaned_requests, 0);
+  EXPECT_GT(faulted.faults.lost_kv_tokens, 0);
+  // Re-homed conversations restart their history from scratch.
+  EXPECT_GE(faulted.cluster.engine_stats.recomputed_history_tokens,
+            baseline.cluster.engine_stats.recomputed_history_tokens);
+}
+
+TEST(ClusterDriverTest, FailAndRecoverRoundTrip) {
+  GpuCostModel model = Opt13BModel();
+  WorkloadTrace trace = SmallTrace(/*conversations=*/30, /*rate=*/1.0,
+                                   /*think=*/5.0, /*seed=*/23);
+  const double span = ArrivalSpan(trace);
+  ClusterOptions options;
+  options.num_replicas = 2;
+  options.router.policy = RouterPolicy::kRoundRobin;
+  options.faults.push_back(ReplicaFault{0.3 * span, 0, /*recover=*/false});
+  options.faults.push_back(ReplicaFault{0.6 * span, 0, /*recover=*/true});
+  ClusterSummary summary =
+      RunClusterExperiment(PensieveFactory(model), trace, options);
+
+  EXPECT_EQ(summary.cluster.completed_requests, trace.TotalRequests());
+  EXPECT_EQ(summary.faults.failures, 1);
+  EXPECT_EQ(summary.faults.recoveries, 1);
+  // The recovered replica comes back empty but must end up serving work
+  // again: its engine ran steps after t=0.6*span.
+  ASSERT_EQ(summary.replicas.size(), 2u);
+  EXPECT_GT(summary.replicas[0].engine_stats.steps, 0);
+}
+
+TEST(ClusterDriverTest, DeterministicAcrossRunsWithFaults) {
+  GpuCostModel model = Opt13BModel();
+  WorkloadTrace trace = SmallTrace(/*conversations=*/25, /*rate=*/1.0,
+                                   /*think=*/5.0, /*seed=*/29);
+  const double span = ArrivalSpan(trace);
+  ClusterOptions options;
+  options.num_replicas = 2;
+  options.router.policy = RouterPolicy::kSessionAffinity;
+  options.faults.push_back(ReplicaFault{0.4 * span, 1, /*recover=*/false});
+  options.faults.push_back(ReplicaFault{0.8 * span, 1, /*recover=*/true});
+  ClusterSummary s1 = RunClusterExperiment(PensieveFactory(model), trace, options);
+  ClusterSummary s2 = RunClusterExperiment(PensieveFactory(model), trace, options);
+  ExpectSummaryEq(s1.cluster, s2.cluster);
+  EXPECT_EQ(s1.faults.failures, s2.faults.failures);
+  EXPECT_EQ(s1.faults.recoveries, s2.faults.recoveries);
+  EXPECT_EQ(s1.faults.rerouted_requests, s2.faults.rerouted_requests);
+  EXPECT_EQ(s1.faults.orphaned_requests, s2.faults.orphaned_requests);
+  EXPECT_EQ(s1.faults.lost_kv_tokens, s2.faults.lost_kv_tokens);
+  EXPECT_EQ(s1.faults.lost_generated_tokens, s2.faults.lost_generated_tokens);
+}
+
+TEST(ClusterDriverTest, SoleReplicaCrashOrphansUntilRecovery) {
+  GpuCostModel model = Opt13BModel();
+  WorkloadTrace trace = SmallTrace(/*conversations=*/20, /*rate=*/1.0,
+                                   /*think=*/5.0, /*seed=*/31);
+  const double span = ArrivalSpan(trace);
+  ClusterOptions options;
+  options.num_replicas = 1;
+  options.faults.push_back(ReplicaFault{0.2 * span, 0, /*recover=*/false});
+  options.faults.push_back(ReplicaFault{0.9 * span, 0, /*recover=*/true});
+  ClusterSummary summary =
+      RunClusterExperiment(PensieveFactory(model), trace, options);
+
+  // Arrivals during the outage had nowhere to go; the recovery flushes the
+  // orphan buffer and the run still completes every request.
+  EXPECT_GT(summary.faults.orphaned_requests, 0);
+  EXPECT_EQ(summary.cluster.completed_requests, trace.TotalRequests());
+}
+
+TEST(ClusterDriverTest, CrashWithoutRecoveryTerminates) {
+  GpuCostModel model = Opt13BModel();
+  WorkloadTrace trace = SmallTrace(/*conversations=*/20, /*rate=*/1.0,
+                                   /*think=*/5.0, /*seed=*/31);
+  ClusterOptions options;
+  options.num_replicas = 1;
+  options.faults.push_back(
+      ReplicaFault{0.2 * ArrivalSpan(trace), 0, /*recover=*/false});
+  // The loop must drain the remaining arrival events into the orphan buffer
+  // and exit rather than spin waiting for a replica that never comes back.
+  ClusterSummary summary =
+      RunClusterExperiment(PensieveFactory(model), trace, options);
+  EXPECT_LT(summary.cluster.completed_requests, trace.TotalRequests());
+  EXPECT_GT(summary.faults.orphaned_requests, 0);
+  EXPECT_EQ(summary.faults.recoveries, 0);
 }
 
 TEST(ClusterDriverTest, StepTraceTagsReplicas) {

@@ -1,0 +1,202 @@
+// Tests for the shared experiment core: event-queue ordering, the
+// steady-state window edge cases, replay determinism, and a golden summary
+// pinning the refactored single-engine driver to its pre-refactor output.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/model/model_config.h"
+#include "src/serving/driver.h"
+#include "src/serving/experiment_core.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/hardware.h"
+#include "src/workload/trace.h"
+
+namespace pensieve {
+namespace {
+
+SimEvent MakeEvent(double time, SimEventKind kind, int64_t id) {
+  SimEvent event;
+  event.time = time;
+  event.kind = kind;
+  event.id = id;
+  return event;
+}
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue queue;
+  queue.Push(MakeEvent(3.0, SimEventKind::kArrival, 0));
+  queue.Push(MakeEvent(1.0, SimEventKind::kArrival, 1));
+  queue.Push(MakeEvent(2.0, SimEventKind::kArrival, 2));
+  EXPECT_DOUBLE_EQ(queue.NextTime(), 1.0);
+  EXPECT_EQ(queue.Pop().id, 1);
+  EXPECT_EQ(queue.Pop().id, 2);
+  EXPECT_EQ(queue.Pop().id, 0);
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_TRUE(std::isinf(queue.NextTime()));
+}
+
+TEST(EventQueueTest, TieBreaksArrivalBeforeFailBeforeRecover) {
+  // At an exact time tie, arrivals must pop before failures and failures
+  // before recoveries, regardless of push order.
+  EventQueue queue;
+  queue.Push(MakeEvent(5.0, SimEventKind::kReplicaRecover, 0));
+  queue.Push(MakeEvent(5.0, SimEventKind::kReplicaFail, 0));
+  queue.Push(MakeEvent(5.0, SimEventKind::kArrival, 7));
+  EXPECT_EQ(queue.Pop().kind, SimEventKind::kArrival);
+  EXPECT_EQ(queue.Pop().kind, SimEventKind::kReplicaFail);
+  EXPECT_EQ(queue.Pop().kind, SimEventKind::kReplicaRecover);
+}
+
+TEST(EventQueueTest, SameKindSameTimePopsInPushOrder) {
+  EventQueue queue;
+  for (int64_t i = 0; i < 5; ++i) {
+    queue.Push(MakeEvent(1.0, SimEventKind::kArrival, i));
+  }
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(queue.Pop().id, i);
+  }
+}
+
+TEST(SteadyStateWindowTest, SkipsWarmupOfArrivalSpan) {
+  const SteadyStateWindow window =
+      ComputeSteadyStateWindow(/*arrival_span=*/200.0, /*last_finish=*/500.0);
+  EXPECT_DOUBLE_EQ(window.begin, 20.0);
+  EXPECT_DOUBLE_EQ(window.end, 200.0);
+}
+
+TEST(SteadyStateWindowTest, ZeroSpanFallsBackToFullRun) {
+  // Single-burst traces (every conversation arrives at t=0) have no arrival
+  // span; the window must cover [0, last_finish] instead of degenerating to
+  // the empty interval [0, 0].
+  const SteadyStateWindow window =
+      ComputeSteadyStateWindow(/*arrival_span=*/0.0, /*last_finish=*/42.0);
+  EXPECT_DOUBLE_EQ(window.begin, 0.0);
+  EXPECT_DOUBLE_EQ(window.end, 42.0);
+}
+
+TEST(SteadyStateWindowTest, ZeroSpanZeroFinishIsEmptyAtOrigin) {
+  const SteadyStateWindow window = ComputeSteadyStateWindow(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(window.begin, 0.0);
+  EXPECT_DOUBLE_EQ(window.end, 0.0);
+}
+
+WorkloadTrace SmallTrace() {
+  TraceOptions options;
+  options.num_conversations = 20;
+  options.conversation_rate = 0.5;
+  options.mean_think_time = 10.0;
+  options.seed = 1;
+  return WorkloadTrace(ShareGptProfile(), options);
+}
+
+TEST(ArrivalProcessTest, SeedsOneArrivalPerConversation) {
+  WorkloadTrace trace = SmallTrace();
+  EventQueue events;
+  ArrivalProcess arrivals(trace, &events);
+  int64_t seeded = 0;
+  std::vector<bool> seen(trace.conversations().size(), false);
+  while (!events.Empty()) {
+    const SimEvent event = events.Pop();
+    EXPECT_EQ(event.kind, SimEventKind::kArrival);
+    EXPECT_EQ(event.turn, 0);
+    EXPECT_FALSE(seen[static_cast<size_t>(event.id)]);
+    seen[static_cast<size_t>(event.id)] = true;
+    ++seeded;
+  }
+  EXPECT_EQ(seeded, static_cast<int64_t>(trace.conversations().size()));
+}
+
+TEST(ArrivalProcessTest, BuildRequestAssignsDenseIds) {
+  WorkloadTrace trace = SmallTrace();
+  EventQueue events;
+  ArrivalProcess arrivals(trace, &events);
+  int64_t expected_id = 0;
+  while (!events.Empty()) {
+    const Request req = arrivals.BuildRequest(events.Pop());
+    EXPECT_EQ(req.request_id, expected_id++);
+  }
+  EXPECT_EQ(arrivals.requests_built(), expected_id);
+}
+
+// Two replays of the same trace through fresh engines must be identical down
+// to the individual scheduler steps, not just the summary.
+TEST(DeterminismTest, ReplayIsStepForStepIdentical) {
+  GpuCostModel model(Opt13BConfig(), A100Spec(1));
+  WorkloadTrace trace = SmallTrace();
+
+  std::vector<StepTraceEntry> trace1, trace2;
+  auto e1 = MakeEngine(SystemKind::kPensieve, model);
+  auto e2 = MakeEngine(SystemKind::kPensieve, model);
+  DriverOptions o1, o2;
+  o1.step_trace = &trace1;
+  o2.step_trace = &trace2;
+  ServingSummary s1 = RunServingExperiment(e1.get(), trace, o1);
+  ServingSummary s2 = RunServingExperiment(e2.get(), trace, o2);
+
+  ASSERT_EQ(trace1.size(), trace2.size());
+  for (size_t i = 0; i < trace1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(trace1[i].start, trace2[i].start);
+    EXPECT_DOUBLE_EQ(trace1[i].duration, trace2[i].duration);
+    EXPECT_EQ(trace1[i].batch_requests, trace2[i].batch_requests);
+    EXPECT_EQ(trace1[i].batch_tokens, trace2[i].batch_tokens);
+    EXPECT_EQ(trace1[i].finished, trace2[i].finished);
+  }
+  EXPECT_EQ(s1.completed_requests, s2.completed_requests);
+  EXPECT_DOUBLE_EQ(s1.makespan, s2.makespan);
+  EXPECT_DOUBLE_EQ(s1.throughput_rps, s2.throughput_rps);
+  EXPECT_DOUBLE_EQ(s1.p99_normalized_latency, s2.p99_normalized_latency);
+  EXPECT_EQ(s1.engine_stats.steps, s2.engine_stats.steps);
+  EXPECT_EQ(s1.engine_stats.generated_tokens, s2.engine_stats.generated_tokens);
+}
+
+void ExpectNearRel(double expected, double actual) {
+  // The golden values were captured at RelWithDebInfo; other optimization
+  // levels may legally reassociate float math, so pin doubles to a tight
+  // relative tolerance instead of bit equality.
+  EXPECT_NEAR(actual, expected, std::abs(expected) * 1e-9 + 1e-12);
+}
+
+// Golden regression for the driver refactor: this summary was captured from
+// the pre-refactor RunServingExperiment on the same trace (opt-13b, A100x1,
+// pensieve engine, 20 conversations, rate 0.5, think 10 s, seed 1). The thin
+// client built on the shared event core must reproduce it.
+TEST(GoldenTest, RefactoredDriverMatchesPreRefactorSummary) {
+  GpuCostModel model(Opt13BConfig(), A100Spec(1));
+  WorkloadTrace trace = SmallTrace();
+  auto engine = MakeEngine(SystemKind::kPensieve, model);
+  std::vector<StepTraceEntry> steps;
+  DriverOptions options;
+  options.step_trace = &steps;
+  ServingSummary s = RunServingExperiment(engine.get(), trace, options);
+
+  EXPECT_EQ(s.completed_requests, 124);
+  ExpectNearRel(350.00928058107962, s.makespan);
+  ExpectNearRel(2.462348760941568, s.window_begin);
+  ExpectNearRel(24.623487609415676, s.window_end);
+  EXPECT_EQ(s.window_completions, 28);
+  ExpectNearRel(1.2634729736341108, s.throughput_rps);
+  ExpectNearRel(236.63043834775991, s.token_throughput);
+  ExpectNearRel(0.01731055351762972, s.mean_normalized_latency);
+  ExpectNearRel(0.017263899251851046, s.p50_normalized_latency);
+  ExpectNearRel(0.017734923671687493, s.p90_normalized_latency);
+  ExpectNearRel(0.017844557260573646, s.p99_normalized_latency);
+
+  EXPECT_EQ(s.engine_stats.steps, 11588);
+  EXPECT_EQ(s.engine_stats.generated_tokens, 23275);
+  EXPECT_EQ(s.engine_stats.prefill_tokens, 4322);
+  EXPECT_EQ(s.engine_stats.reused_gpu_tokens, 134043);
+  EXPECT_EQ(s.engine_stats.reused_cpu_tokens, 0);
+  EXPECT_EQ(s.engine_stats.recomputed_history_tokens, 0);
+  ExpectNearRel(207.65515339862759, s.engine_stats.busy_seconds);
+
+  ASSERT_EQ(steps.size(), 11588u);
+  ExpectNearRel(0.29330745617825099, steps.front().start);
+  ExpectNearRel(349.98981066427962, steps.back().start);
+}
+
+}  // namespace
+}  // namespace pensieve

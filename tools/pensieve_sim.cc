@@ -22,6 +22,38 @@
 namespace pensieve {
 namespace {
 
+// Parses a fault list of the form "ID@T[,ID@T...]" (replica id, virtual
+// time in seconds) into ReplicaFault events.
+bool ParseFaultList(const std::string& spec, bool recover,
+                    std::vector<ReplicaFault>* out) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    const std::string item = spec.substr(pos, comma - pos);
+    const size_t at = item.find('@');
+    if (at == std::string::npos || at == 0 || at + 1 >= item.size()) {
+      return false;
+    }
+    ReplicaFault fault;
+    fault.recover = recover;
+    try {
+      fault.replica_id = static_cast<int32_t>(std::stol(item.substr(0, at)));
+      fault.time = std::stod(item.substr(at + 1));
+    } catch (...) {
+      return false;
+    }
+    if (fault.replica_id < 0 || fault.time < 0.0) {
+      return false;
+    }
+    out->push_back(fault);
+    pos = comma + 1;
+  }
+  return true;
+}
+
 int Run(int argc, char** argv) {
   FlagParser flags;
   flags.AddString("model", "opt-13b",
@@ -48,6 +80,12 @@ int Run(int argc, char** argv) {
   flags.AddDouble("overload_factor", 2.0,
                   "affinity failover: overloaded when outstanding tokens also "
                   "exceed this multiple of the cluster mean");
+  flags.AddString("fail-replica", "",
+                  "kill replica ID at virtual time T: ID@T[,ID@T...]; its KV "
+                  "is lost and its requests re-route to surviving replicas");
+  flags.AddString("recover-replica", "",
+                  "bring replica ID back (empty) at virtual time T: "
+                  "ID@T[,ID@T...]");
   flags.AddBool("split_scheduling", false,
                 "disable unified batching (Figure 13 ablation)");
   flags.AddString("trace_csv", "",
@@ -139,12 +177,33 @@ int Run(int argc, char** argv) {
                  flags.GetString("router").c_str());
     return 2;
   }
-  if (replicas > 1) {
+  std::vector<ReplicaFault> fault_events;
+  if (!ParseFaultList(flags.GetString("fail-replica"), /*recover=*/false,
+                      &fault_events) ||
+      !ParseFaultList(flags.GetString("recover-replica"), /*recover=*/true,
+                      &fault_events)) {
+    std::fprintf(stderr,
+                 "malformed fault spec (expected ID@T[,ID@T...]): "
+                 "--fail-replica='%s' --recover-replica='%s'\n",
+                 flags.GetString("fail-replica").c_str(),
+                 flags.GetString("recover-replica").c_str());
+    return 2;
+  }
+  for (const ReplicaFault& fault : fault_events) {
+    if (fault.replica_id >= replicas) {
+      std::fprintf(stderr, "fault names replica %d but only %ld configured\n",
+                   fault.replica_id, static_cast<long>(replicas));
+      return 2;
+    }
+  }
+  // Fault injection runs through the cluster layer even with one replica.
+  if (replicas > 1 || !fault_events.empty()) {
     ClusterOptions cluster_options;
     cluster_options.num_replicas = static_cast<int32_t>(replicas);
     cluster_options.router.policy = router_policy;
     cluster_options.router.min_overload_tokens = flags.GetInt("overload_tokens");
     cluster_options.router.overload_factor = flags.GetDouble("overload_factor");
+    cluster_options.faults = std::move(fault_events);
     std::vector<RequestOutcome> outcomes;
     std::vector<ClusterStepTraceEntry> steps;
     cluster_options.outcomes = &outcomes;
@@ -181,6 +240,17 @@ int Run(int argc, char** argv) {
                 cs.migration.migrated_bytes / 1e6,
                 static_cast<long>(cs.migration.migrated_tokens),
                 cs.migration.migration_stall_seconds);
+    if (cs.faults.failures > 0 || cs.faults.recoveries > 0) {
+      std::printf("faults:            %ld failure(s), %ld recovery(ies); %ld "
+                  "requests re-routed (%ld orphaned), %ld KV tokens lost, %ld "
+                  "generated tokens lost\n",
+                  static_cast<long>(cs.faults.failures),
+                  static_cast<long>(cs.faults.recoveries),
+                  static_cast<long>(cs.faults.rerouted_requests),
+                  static_cast<long>(cs.faults.orphaned_requests),
+                  static_cast<long>(cs.faults.lost_kv_tokens),
+                  static_cast<long>(cs.faults.lost_generated_tokens));
+    }
     for (size_t i = 0; i < cs.replicas.size(); ++i) {
       const ServingSummary& r = cs.replicas[i];
       std::printf("  replica %-2zu       %ld requests, %.1f s busy, hit %.3f\n",
