@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "bench_serving_common.h"
 #include "bench/bench_serving_common.h"
 #include "src/model/model_config.h"
 #include "src/serving/pensieve_engine.h"
@@ -79,7 +80,8 @@ void RunAblations() {
 }  // namespace
 }  // namespace pensieve
 
-int main() {
+int main(int argc, char** argv) {
+  pensieve::ConsumeThreadsFlag(&argc, argv);
   pensieve::RunAblations();
   return 0;
 }

@@ -33,6 +33,9 @@ int Run(int argc, char** argv) {
                "per-replica conversation count");
   flags.AddDouble("think", 20.0, "mean user think time (s)");
   flags.AddInt("seed", 42, "workload seed");
+  flags.AddInt("threads", 0,
+               "worker threads for kernels/GEMMs; 0 = PENSIEVE_THREADS env "
+               "var, else hardware concurrency");
   flags.AddBool("help", false, "print usage");
   Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
@@ -45,6 +48,7 @@ int Run(int argc, char** argv) {
                 flags.Help().c_str());
     return 0;
   }
+  ThreadPool::SetGlobalThreads(static_cast<int>(flags.GetInt("threads")));
 
   ModelConfig model;
   if (!ModelConfigByName(flags.GetString("model"), &model)) {

@@ -44,6 +44,9 @@ int Run(int argc, char** argv) {
   flags.AddDouble("recover_frac", 0.7,
                   "recover replica 0 at this fraction of the arrival span "
                   "(>= 1 disables recovery)");
+  flags.AddInt("threads", 0,
+               "worker threads for kernels/GEMMs; 0 = PENSIEVE_THREADS env "
+               "var, else hardware concurrency");
   flags.AddBool("help", false, "print usage");
   Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
@@ -56,6 +59,7 @@ int Run(int argc, char** argv) {
                 flags.Help().c_str());
     return 0;
   }
+  ThreadPool::SetGlobalThreads(static_cast<int>(flags.GetInt("threads")));
 
   ModelConfig model;
   if (!ModelConfigByName(flags.GetString("model"), &model)) {

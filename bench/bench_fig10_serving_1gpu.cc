@@ -10,6 +10,7 @@
 // the cached history); the gap is larger on ShareGPT (more turns per
 // conversation) and larger for Llama 2-13B (GQA stores 4x more KV tokens).
 
+#include "bench_serving_common.h"
 #include "bench/bench_serving_common.h"
 #include "src/model/model_config.h"
 #include "src/sim/hardware.h"
@@ -40,7 +41,8 @@ void RunFigure10() {
 }  // namespace
 }  // namespace pensieve
 
-int main() {
+int main(int argc, char** argv) {
+  pensieve::ConsumeThreadsFlag(&argc, argv);
   pensieve::RunFigure10();
   return 0;
 }

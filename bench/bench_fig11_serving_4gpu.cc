@@ -7,6 +7,7 @@
 // Llama 2-70B (GQA group 8) benefits most, including the GPU-cache-only
 // variant.
 
+#include "bench_serving_common.h"
 #include "bench/bench_serving_common.h"
 #include "src/model/model_config.h"
 #include "src/sim/hardware.h"
@@ -34,7 +35,8 @@ void RunFigure11() {
 }  // namespace
 }  // namespace pensieve
 
-int main() {
+int main(int argc, char** argv) {
+  pensieve::ConsumeThreadsFlag(&argc, argv);
   pensieve::RunFigure11();
   return 0;
 }

@@ -20,12 +20,23 @@
 // figure shape: both straw-men add significant overhead, Pensieve matches
 // the ideal contiguous kernel.
 
+// A third mode, --scaling, measures wall-clock thread scaling of the real
+// CPU kernels (and a transformer-GEMM proxy) on the global thread pool and
+// writes machine-readable JSON (default BENCH_kernel_scaling.json) with
+// tokens/s per kernel per thread count, verifying along the way that every
+// thread count produces bit-identical outputs.
+
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "bench_serving_common.h"
+#include "src/common/thread_pool.h"
 #include "src/kernels/attention.h"
 #include "src/kvcache/kv_pool.h"
 #include "src/model/model_config.h"
@@ -192,10 +203,207 @@ void PrintGpuModelTable() {
               "context per token; Pensieve matches the ideal kernel.\n");
 }
 
+// ---------------------------------------------------------------------------
+// Thread-scaling mode (--scaling): wall-clock tokens/s per kernel per thread
+// count, emitted as JSON so the perf trajectory is tracked across PRs.
+// ---------------------------------------------------------------------------
+
+struct ScalingOptions {
+  bool enabled = false;
+  int64_t context = 2048;
+  int64_t iters = 3;
+  std::string json_path = "BENCH_kernel_scaling.json";
+  std::vector<int> threads = {1, 2, 4, 8};
+};
+
+// Consumes the --scaling* flags so google-benchmark never sees them.
+bool ConsumeScalingFlags(int* argc, char** argv, ScalingOptions* opts) {
+  int write = 1;
+  for (int read = 1; read < *argc; ++read) {
+    const std::string arg = argv[read];
+    if (arg == "--scaling") {
+      opts->enabled = true;
+    } else if (arg.rfind("--scaling_context=", 0) == 0) {
+      opts->context = std::atoll(arg.c_str() + 18);
+    } else if (arg.rfind("--scaling_iters=", 0) == 0) {
+      opts->iters = std::atoll(arg.c_str() + 16);
+    } else if (arg.rfind("--scaling_json=", 0) == 0) {
+      opts->json_path = arg.substr(15);
+    } else if (arg.rfind("--scaling_threads=", 0) == 0) {
+      opts->threads.clear();
+      const std::string list = arg.substr(18);
+      size_t pos = 0;
+      while (pos < list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) {
+          comma = list.size();
+        }
+        const int t = std::atoi(list.substr(pos, comma - pos).c_str());
+        if (t < 1) {
+          return false;
+        }
+        opts->threads.push_back(t);
+        pos = comma + 1;
+      }
+      if (opts->threads.empty()) {
+        return false;
+      }
+    } else {
+      argv[write++] = argv[read];
+      continue;
+    }
+  }
+  *argc = write;
+  return opts->context >= 16 && opts->iters >= 1;
+}
+
+struct ScalingResult {
+  std::string kernel;
+  int threads;
+  double mean_seconds;
+  double tokens_per_s;
+};
+
+int RunScalingMode(const ScalingOptions& opts) {
+  Workspace& ws = SharedWorkspace(opts.context);
+  // The GEMM proxy mirrors a transformer projection: weights stored
+  // [out, in], activations [tokens, in].
+  const int64_t gemm_tokens = 256;
+  const int64_t gemm_in = 512;
+  const int64_t gemm_out = 1024;
+  Tensor gemm_a({gemm_tokens, gemm_in});
+  Tensor gemm_w({gemm_out, gemm_in});
+  FillNormal(gemm_a, 11, 1.0f);
+  FillNormal(gemm_w, 12, 1.0f);
+
+  struct KernelCase {
+    const char* name;
+    int64_t tokens_per_run;
+  };
+  const std::vector<KernelCase> cases = {
+      {"pensieve_multi_token", kBatch * kQuery},
+      {"ideal_contiguous", kBatch * kQuery},
+      {"copyout", kBatch * kQuery},
+      {"multiround", kBatch * kQuery},
+      {"gemm_proj_256x512x1024", gemm_tokens},
+  };
+  auto run_kernel = [&](const std::string& name) -> const Tensor* {
+    if (name == "pensieve_multi_token") {
+      MultiTokenPagedAttention(ws.pool, 0, ws.query, ws.subs, 0.25f, &ws.out);
+      return &ws.out;
+    }
+    if (name == "ideal_contiguous") {
+      ContiguousAttention(ws.query, ws.dense, 0.25f, &ws.out);
+      return &ws.out;
+    }
+    if (name == "copyout") {
+      CopyOutPagedAttention(ws.pool, 0, ws.query, ws.subs, 0.25f, &ws.out);
+      return &ws.out;
+    }
+    if (name == "multiround") {
+      MultiRoundPagedAttention(ws.pool, 0, ws.query, ws.subs, 0.25f, &ws.out);
+      return &ws.out;
+    }
+    static Tensor gemm_c;
+    gemm_c = MatMulTransposedB(gemm_a, gemm_w);
+    return &gemm_c;
+  };
+
+  std::printf("# kernel thread scaling: context=%ld batch=%ld query=%ld iters=%ld\n",
+              static_cast<long>(opts.context), static_cast<long>(kBatch),
+              static_cast<long>(kQuery), static_cast<long>(opts.iters));
+  std::printf("%-26s %-8s %-14s %-14s %-10s\n", "kernel", "threads", "mean_s",
+              "tokens_per_s", "speedup");
+  std::vector<ScalingResult> results;
+  std::vector<std::vector<float>> reference(cases.size());
+  for (const int t : opts.threads) {
+    ThreadPool::SetGlobalThreads(t);
+    for (size_t c = 0; c < cases.size(); ++c) {
+      run_kernel(cases[c].name);  // warm-up (also the determinism sample)
+      const Tensor* warm = run_kernel(cases[c].name);
+      if (reference[c].empty()) {
+        reference[c].assign(warm->data(), warm->data() + warm->numel());
+      } else if (std::memcmp(reference[c].data(), warm->data(),
+                             static_cast<size_t>(warm->numel()) * sizeof(float)) != 0) {
+        std::fprintf(stderr,
+                     "FATAL: %s output at %d thread(s) differs from %d-thread "
+                     "reference — determinism contract violated\n",
+                     cases[c].name, t, opts.threads.front());
+        return 1;
+      }
+      const auto start = std::chrono::steady_clock::now();
+      for (int64_t i = 0; i < opts.iters; ++i) {
+        benchmark::DoNotOptimize(run_kernel(cases[c].name));
+      }
+      const double total =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      ScalingResult r;
+      r.kernel = cases[c].name;
+      r.threads = t;
+      r.mean_seconds = total / static_cast<double>(opts.iters);
+      r.tokens_per_s =
+          static_cast<double>(cases[c].tokens_per_run) / r.mean_seconds;
+      double speedup = 1.0;
+      for (const ScalingResult& base : results) {
+        if (base.kernel == r.kernel && base.threads == opts.threads.front()) {
+          speedup = base.mean_seconds / r.mean_seconds;
+        }
+      }
+      std::printf("%-26s %-8d %-14.6f %-14.1f %-10.2f\n", r.kernel.c_str(), t,
+                  r.mean_seconds, r.tokens_per_s, speedup);
+      results.push_back(r);
+    }
+  }
+  ThreadPool::SetGlobalThreads(0);
+
+  std::FILE* f = std::fopen(opts.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"kernel_scaling\",\n  \"batch\": %ld,\n"
+               "  \"query\": %ld,\n  \"context\": %ld,\n  \"iters\": %ld,\n"
+               "  \"results\": [\n",
+               static_cast<long>(kBatch), static_cast<long>(kQuery),
+               static_cast<long>(opts.context), static_cast<long>(opts.iters));
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScalingResult& r = results[i];
+    double base_seconds = r.mean_seconds;
+    for (const ScalingResult& base : results) {
+      if (base.kernel == r.kernel && base.threads == opts.threads.front()) {
+        base_seconds = base.mean_seconds;
+      }
+    }
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"threads\": %d, \"mean_seconds\": "
+                 "%.9f, \"tokens_per_s\": %.3f, \"speedup_vs_%dt\": %.4f}%s\n",
+                 r.kernel.c_str(), r.threads, r.mean_seconds, r.tokens_per_s,
+                 opts.threads.front(), base_seconds / r.mean_seconds,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", opts.json_path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace pensieve
 
 int main(int argc, char** argv) {
+  pensieve::ScalingOptions scaling;
+  if (!pensieve::ConsumeScalingFlags(&argc, argv, &scaling)) {
+    std::fprintf(stderr,
+                 "bad --scaling flags (need --scaling_context>=16, "
+                 "--scaling_iters>=1, --scaling_threads=t1[,t2...])\n");
+    return 2;
+  }
+  pensieve::ConsumeThreadsFlag(&argc, argv);
+  if (scaling.enabled) {
+    return pensieve::RunScalingMode(scaling);
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -6,6 +6,7 @@
 // and throughput because prefills no longer run as separate small-batch
 // kernel invocations that stall the decoding requests.
 
+#include "bench_serving_common.h"
 #include "bench/bench_serving_common.h"
 #include "src/model/model_config.h"
 #include "src/sim/hardware.h"
@@ -37,7 +38,8 @@ void RunFigure13() {
 }  // namespace
 }  // namespace pensieve
 
-int main() {
+int main(int argc, char** argv) {
+  pensieve::ConsumeThreadsFlag(&argc, argv);
   pensieve::RunFigure13();
   return 0;
 }

@@ -12,6 +12,7 @@
 //
 // A second section sweeps the eviction chunk size (32 in the paper).
 
+#include "bench_serving_common.h"
 #include "bench/bench_serving_common.h"
 #include "src/model/model_config.h"
 #include "src/serving/pensieve_engine.h"
@@ -93,7 +94,8 @@ void ChunkSizeAblation() {
 }  // namespace
 }  // namespace pensieve
 
-int main() {
+int main(int argc, char** argv) {
+  pensieve::ConsumeThreadsFlag(&argc, argv);
   pensieve::PolicyComparison();
   pensieve::ChunkSizeAblation();
   return 0;

@@ -6,6 +6,7 @@
 // cache before the conversation returns, shrinking (but not eliminating)
 // Pensieve's advantage over vLLM.
 
+#include "bench_serving_common.h"
 #include "bench/bench_serving_common.h"
 #include "src/model/model_config.h"
 #include "src/sim/hardware.h"
@@ -44,7 +45,8 @@ void RunFigure15() {
 }  // namespace
 }  // namespace pensieve
 
-int main() {
+int main(int argc, char** argv) {
+  pensieve::ConsumeThreadsFlag(&argc, argv);
   pensieve::RunFigure15();
   return 0;
 }

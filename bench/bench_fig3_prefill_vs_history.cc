@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_serving_common.h"
 #include "src/model/model_config.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/hardware.h"
@@ -59,7 +60,8 @@ void RunFigure3() {
 }  // namespace
 }  // namespace pensieve
 
-int main() {
+int main(int argc, char** argv) {
+  pensieve::ConsumeThreadsFlag(&argc, argv);
   pensieve::RunFigure3();
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_serving_common.h"
 #include "src/eviction/cost_estimator.h"
 #include "src/kernels/attention.h"
 #include "src/model/model_config.h"
@@ -108,7 +109,8 @@ void MeasuredCpuTable() {
 }  // namespace
 }  // namespace pensieve
 
-int main() {
+int main(int argc, char** argv) {
+  pensieve::ConsumeThreadsFlag(&argc, argv);
   pensieve::ModelBasedTable();
   pensieve::MeasuredCpuTable();
   return 0;

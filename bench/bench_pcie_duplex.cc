@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench_serving_common.h"
 #include "bench/bench_serving_common.h"
 #include "src/model/model_config.h"
 #include "src/sim/hardware.h"
@@ -57,7 +58,8 @@ void EndToEnd() {
 }  // namespace
 }  // namespace pensieve
 
-int main() {
+int main(int argc, char** argv) {
+  pensieve::ConsumeThreadsFlag(&argc, argv);
   pensieve::LinkLevel();
   pensieve::EndToEnd();
   return 0;

@@ -5,9 +5,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/core/experiment.h"
 
 namespace pensieve {
@@ -20,6 +22,31 @@ inline int64_t BenchConversations(int64_t default_value = 300) {
     return std::strtoll(env, nullptr, 10);
   }
   return default_value;
+}
+
+// Uniform --threads plumbing for every bench binary: consumes
+// `--threads=N` / `--threads N` from argv (so binaries with their own flag
+// handling never see it) and sizes the global pool. N <= 0 or an absent
+// flag keeps the default (PENSIEVE_THREADS env var, else hardware
+// concurrency).
+inline void ConsumeThreadsFlag(int* argc, char** argv) {
+  int threads = 0;
+  int write = 1;
+  for (int read = 1; read < *argc; ++read) {
+    const char* arg = argv[read];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads = std::atoi(arg + 10);
+      continue;
+    }
+    if (std::strcmp(arg, "--threads") == 0 && read + 1 < *argc) {
+      threads = std::atoi(argv[read + 1]);
+      ++read;
+      continue;
+    }
+    argv[write++] = argv[read];
+  }
+  *argc = write;
+  ThreadPool::SetGlobalThreads(threads);
 }
 
 inline void RunSystemsSweep(const std::string& title, const GpuCostModel& cost_model,

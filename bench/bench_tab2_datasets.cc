@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "bench_serving_common.h"
 #include "src/workload/dataset.h"
 
 namespace pensieve {
@@ -51,7 +52,8 @@ void RunTable2() {
 }  // namespace
 }  // namespace pensieve
 
-int main() {
+int main(int argc, char** argv) {
+  pensieve::ConsumeThreadsFlag(&argc, argv);
   pensieve::RunTable2();
   return 0;
 }

@@ -1,0 +1,183 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+namespace pensieve {
+
+namespace {
+// Set while a thread executes a chunk; a ParallelFor issued under it runs
+// inline so the pool cannot wait on itself.
+thread_local bool tls_in_chunk = false;
+}  // namespace
+
+struct ThreadPool::Task {
+  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t chunk_size = 0;
+  int64_t num_chunks = 0;
+  std::atomic<int64_t> next_chunk{0};
+  std::atomic<int64_t> chunks_done{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::exception_ptr first_error;  // guarded by done_mu
+};
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(num_threads, 1)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (task_ != nullptr && generation_ != seen_generation);
+    });
+    if (stop_) {
+      return;
+    }
+    seen_generation = generation_;
+    // Keep a shared reference so the task outlives the caller's stack frame
+    // even if this worker is still draining the (empty) dispenser after the
+    // caller observed completion and returned.
+    std::shared_ptr<Task> task = task_;
+    lock.unlock();
+    RunChunks(task.get());
+    lock.lock();
+  }
+}
+
+void ThreadPool::RunChunks(Task* task) {
+  for (;;) {
+    const int64_t c = task->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= task->num_chunks) {
+      return;
+    }
+    const int64_t chunk_begin = task->begin + c * task->chunk_size;
+    const int64_t chunk_end = std::min(task->end, chunk_begin + task->chunk_size);
+    tls_in_chunk = true;
+    try {
+      (*task->fn)(chunk_begin, chunk_end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(task->done_mu);
+      if (!task->first_error) {
+        task->first_error = std::current_exception();
+      }
+    }
+    tls_in_chunk = false;
+    if (task->chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        task->num_chunks) {
+      // Lock so the notify cannot slip between the waiter's predicate check
+      // and its wait.
+      std::lock_guard<std::mutex> lock(task->done_mu);
+      task->done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end,
+                             const std::function<void(int64_t, int64_t)>& fn,
+                             int64_t grain) {
+  const int64_t n = end - begin;
+  if (n <= 0) {
+    return;
+  }
+  grain = std::max<int64_t>(grain, 1);
+  const int64_t chunk_size =
+      std::max(grain, (n + num_threads_ - 1) / static_cast<int64_t>(num_threads_));
+  const int64_t num_chunks = (n + chunk_size - 1) / chunk_size;
+  if (num_threads_ <= 1 || tls_in_chunk || num_chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+
+  auto task = std::make_shared<Task>();
+  task->fn = &fn;
+  task->begin = begin;
+  task->end = end;
+  task->chunk_size = chunk_size;
+  task->num_chunks = num_chunks;
+
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> dispatch(dispatch_mu_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      task_ = task;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    RunChunks(task.get());  // The caller is always one of the executors.
+    {
+      std::unique_lock<std::mutex> lock(task->done_mu);
+      task->done_cv.wait(lock, [&] {
+        return task->chunks_done.load(std::memory_order_acquire) ==
+               task->num_chunks;
+      });
+      error = task->first_error;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      task_.reset();
+    }
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+namespace {
+std::mutex g_global_mu;
+std::unique_ptr<ThreadPool> g_global_pool;
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (!g_global_pool) {
+    g_global_pool = std::make_unique<ThreadPool>(DefaultThreads());
+  }
+  return *g_global_pool;
+}
+
+void ThreadPool::SetGlobalThreads(int num_threads) {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  g_global_pool =
+      std::make_unique<ThreadPool>(num_threads > 0 ? num_threads : DefaultThreads());
+}
+
+int ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("PENSIEVE_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) {
+      return static_cast<int>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)>& fn, int64_t grain) {
+  ThreadPool::Global().ParallelFor(begin, end, fn, grain);
+}
+
+}  // namespace pensieve

@@ -1,0 +1,114 @@
+// Deterministic intra-op parallelism for the CPU compute substrate.
+//
+// The real Pensieve artifact gets its parallelism from CUDA (Cutlass GEMMs,
+// a FlashAttention-style fused softmax, paper §5). This pool is the CPU
+// analogue: a persistent set of workers plus ParallelFor with *static
+// index-range partitioning*, used by the attention kernels (src/kernels),
+// the dense operators (src/tensor) and the reference transformer
+// (src/model).
+//
+// Determinism contract. ParallelFor splits [begin, end) into contiguous
+// chunks and runs fn(chunk_begin, chunk_end). Callers may only partition
+// loops whose iterations write disjoint outputs and whose per-iteration
+// floating-point reduction order does not depend on the chunk boundaries
+// (e.g. one output row / one (query token, head) pair per index). Under
+// that discipline results are bit-identical for every thread count — the
+// same fixed-reduction-order discipline vLLM-style paged kernels apply per
+// (query, head) pair. tests/thread_determinism_test.cc enforces it at
+// threads ∈ {1, 2, 8}.
+//
+// Scheduling. Chunk *boundaries* are a pure function of (range, grain,
+// num_threads): chunk_size = max(grain, ceil(n / num_threads)). Which
+// thread executes which chunk is first-come-first-served (and thus
+// non-deterministic), which is harmless because chunk contents are fixed.
+// Small ranges (n <= grain), single-thread pools, and nested calls (a
+// ParallelFor issued from inside a chunk) all run inline on the calling
+// thread, so the pool can never deadlock on itself.
+
+#ifndef PENSIEVE_SRC_COMMON_THREAD_POOL_H_
+#define PENSIEVE_SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pensieve {
+
+class ThreadPool {
+ public:
+  // Spawns num_threads - 1 workers; the caller of ParallelFor is always the
+  // remaining executor. num_threads < 1 is clamped to 1 (pure inline pool).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Runs fn(chunk_begin, chunk_end) over a static partition of [begin, end)
+  // into at most num_threads() contiguous chunks of at least `grain`
+  // indices. Blocks until every chunk finished. The first exception thrown
+  // by any chunk is rethrown here (remaining chunks still run; outputs are
+  // then unspecified). Concurrent top-level callers are serialized.
+  void ParallelFor(int64_t begin, int64_t end,
+                   const std::function<void(int64_t, int64_t)>& fn,
+                   int64_t grain = 1);
+
+  // Process-wide pool used by the compute layer. Lazily built with
+  // DefaultThreads() on first use.
+  static ThreadPool& Global();
+
+  // Rebuilds the global pool with the given size; num_threads <= 0 resets
+  // to DefaultThreads(). Must not race with in-flight ParallelFor calls —
+  // call it from setup code (flag parsing, test fixtures) only.
+  static void SetGlobalThreads(int num_threads);
+
+  // PENSIEVE_THREADS env var if set to a positive integer, else
+  // std::thread::hardware_concurrency() (min 1).
+  static int DefaultThreads();
+
+ private:
+  struct Task;
+
+  void WorkerLoop();
+  // Executes chunks of `task` until its dispenser is exhausted.
+  static void RunChunks(Task* task);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  // Guards task_ / generation_ / stop_; workers sleep on work_cv_.
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::shared_ptr<Task> task_;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+
+  // Serializes top-level ParallelFor callers (one active task at a time).
+  std::mutex dispatch_mu_;
+};
+
+// ParallelFor on the global pool.
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)>& fn,
+                 int64_t grain = 1);
+
+// Grain-size heuristic: the minimum indices per chunk so that one chunk
+// carries at least ~32K arithmetic operations, given the cost of a single
+// index. Keeps dispatch overhead below ~1% for fine-grained loops while
+// leaving heavy loops (attention over a long context) at grain 1.
+inline int64_t GrainForItemCost(int64_t per_item_cost) {
+  constexpr int64_t kMinTaskCost = 32 * 1024;
+  const int64_t cost = per_item_cost > 1 ? per_item_cost : 1;
+  const int64_t grain = kMinTaskCost / cost;
+  return grain > 1 ? grain : 1;
+}
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_COMMON_THREAD_POOL_H_

@@ -1,9 +1,11 @@
 #include "src/kernels/attention.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
 #include "src/common/logging.h"
+#include "src/common/thread_pool.h"
 #include "src/tensor/ops.h"
 
 namespace pensieve {
@@ -24,22 +26,35 @@ std::pair<int64_t, int64_t> CheckQueryShape(const KvPool& pool, const Tensor& qu
 
 // Streaming-softmax accumulator for one (query token, head) pair. Matches
 // the fused no-materialization formulation the real kernel uses (paper cites
-// FlashAttention [10]); avoids the O(context) score buffer.
+// FlashAttention [10]); avoids the O(context) score buffer. The accumulator
+// storage is caller-provided scratch (head_dim floats) so one task reuses a
+// single buffer across its whole (token, head) walk instead of paying a heap
+// allocation per pair.
 struct OnlineSoftmax {
-  float running_max = -std::numeric_limits<float>::infinity();
-  float running_sum = 0.0f;
-  std::vector<float> acc;
+  float running_max;
+  float running_sum;
+  float* acc;  // caller-owned, head_dim floats
+  int64_t head_dim;
 
-  explicit OnlineSoftmax(int64_t head_dim) : acc(static_cast<size_t>(head_dim), 0.0f) {}
+  OnlineSoftmax(float* scratch, int64_t head_dim_in)
+      : acc(scratch), head_dim(head_dim_in) {
+    Reset();
+  }
 
-  void Observe(float score, const float* value, int64_t head_dim) {
+  void Reset() {
+    running_max = -std::numeric_limits<float>::infinity();
+    running_sum = 0.0f;
+    std::fill(acc, acc + head_dim, 0.0f);
+  }
+
+  void Observe(float score, const float* value) {
     if (score > running_max) {
       const float correction =
           running_max == -std::numeric_limits<float>::infinity()
               ? 0.0f
               : std::exp(running_max - score);
       for (int64_t d = 0; d < head_dim; ++d) {
-        acc[static_cast<size_t>(d)] *= correction;
+        acc[d] *= correction;
       }
       running_sum *= correction;
       running_max = score;
@@ -47,24 +62,34 @@ struct OnlineSoftmax {
     const float w = std::exp(score - running_max);
     running_sum += w;
     for (int64_t d = 0; d < head_dim; ++d) {
-      acc[static_cast<size_t>(d)] += w * value[d];
+      acc[d] += w * value[d];
     }
   }
 
-  void Finalize(float* out, int64_t head_dim) const {
+  void Finalize(float* out) const {
     const float inv = running_sum > 0.0f ? 1.0f / running_sum : 0.0f;
     for (int64_t d = 0; d < head_dim; ++d) {
-      out[d] = acc[static_cast<size_t>(d)] * inv;
+      out[d] = acc[d] * inv;
     }
   }
 };
 
+// Four independent accumulators let the compiler vectorize; the combine
+// order (a0+a1)+(a2+a3) is fixed so the result is a pure function of the
+// inputs — identical for every thread count and every chunk boundary.
 float Dot(const float* a, const float* b, int64_t n) {
-  float acc = 0.0f;
-  for (int64_t i = 0; i < n; ++i) {
-    acc += a[i] * b[i];
+  float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    a0 += a[i] * b[i];
+    a1 += a[i + 1] * b[i + 1];
+    a2 += a[i + 2] * b[i + 2];
+    a3 += a[i + 3] * b[i + 3];
   }
-  return acc;
+  for (; i < n; ++i) {
+    a0 += a[i] * b[i];
+  }
+  return (a0 + a1) + (a2 + a3);
 }
 
 void CheckSubRequest(const KvPool& pool, const Tensor& query,
@@ -78,6 +103,31 @@ void CheckSubRequest(const KvPool& pool, const Tensor& query,
   PENSIEVE_CHECK_GE(static_cast<int64_t>(sub.block_table->size()), blocks_needed);
 }
 
+// Exclusive prefix sum of per-sub flat item counts ((query token, head)
+// pairs); also returns the mean context length for the grain heuristic.
+struct FlatIndex {
+  std::vector<int64_t> prefix;  // size subs.size() + 1
+  int64_t total = 0;
+  int64_t mean_context = 1;
+};
+
+FlatIndex BuildFlatIndex(const std::vector<AttentionSubRequest>& subs,
+                         int64_t items_per_token) {
+  FlatIndex index;
+  index.prefix.resize(subs.size() + 1, 0);
+  int64_t context_sum = 0;
+  for (size_t i = 0; i < subs.size(); ++i) {
+    index.prefix[i + 1] = index.prefix[i] + subs[i].query_len * items_per_token;
+    context_sum += subs[i].context_len;
+  }
+  index.total = index.prefix.back();
+  if (!subs.empty()) {
+    index.mean_context =
+        std::max<int64_t>(1, context_sum / static_cast<int64_t>(subs.size()));
+  }
+  return index;
+}
+
 }  // namespace
 
 void MultiTokenPagedAttention(const KvPool& pool, int64_t layer, const Tensor& query,
@@ -86,40 +136,60 @@ void MultiTokenPagedAttention(const KvPool& pool, int64_t layer, const Tensor& q
   const auto [num_heads, head_dim] = CheckQueryShape(pool, query, out);
   const int64_t group = num_heads / pool.num_kv_heads();
   const int64_t block_size = pool.block_size();
+  const int64_t token_stride = pool.num_kv_heads() * head_dim;
 
   for (const AttentionSubRequest& sub : subs) {
     CheckSubRequest(pool, query, sub);
-    const std::vector<BlockId>& table = *sub.block_table;
-    for (int64_t j = 0; j < sub.query_len; ++j) {
-      // Causal mask, fused: token j sees positions [0, end_pos].
-      const int64_t end_pos = sub.context_len - sub.query_len + j;
-      const int64_t token_row = sub.query_start + j;
-      for (int64_t h = 0; h < num_heads; ++h) {
-        const int64_t kv_head = h / group;
-        const float* q = query.data() + (token_row * num_heads + h) * head_dim;
-        OnlineSoftmax softmax(head_dim);
-        // Walk the context block by block, mirroring the real kernel's
-        // block-granular loads from non-contiguous memory.
-        for (int64_t pos = 0; pos <= end_pos;) {
-          const int64_t block_idx = pos / block_size;
-          const int64_t slot_begin = pos % block_size;
-          const int64_t slot_end =
-              std::min(block_size, end_pos + 1 - block_idx * block_size);
-          const BlockId block = table[static_cast<size_t>(block_idx)];
-          const float* k_base = pool.TokenData(block, layer, /*kv=*/0, 0);
-          const float* v_base = pool.TokenData(block, layer, /*kv=*/1, 0);
-          const int64_t token_stride = pool.num_kv_heads() * head_dim;
-          for (int64_t slot = slot_begin; slot < slot_end; ++slot) {
-            const float* k = k_base + slot * token_stride + kv_head * head_dim;
-            const float* v = v_base + slot * token_stride + kv_head * head_dim;
-            softmax.Observe(Dot(q, k, head_dim) * scale, v, head_dim);
-          }
-          pos = block_idx * block_size + slot_end;
-        }
-        softmax.Finalize(out->data() + (token_row * num_heads + h) * head_dim, head_dim);
-      }
-    }
   }
+  const FlatIndex index = BuildFlatIndex(subs, num_heads);
+  // One flat item = one (sub, query token, head) pair; its whole context
+  // walk (the floating-point reduction) stays inside a single chunk, so
+  // partitioning cannot change reduction order.
+  ParallelFor(
+      0, index.total,
+      [&, num_heads = num_heads, head_dim = head_dim](int64_t item_begin,
+                                                      int64_t item_end) {
+        std::vector<float> scratch(static_cast<size_t>(head_dim));
+        OnlineSoftmax softmax(scratch.data(), head_dim);
+        size_t s = static_cast<size_t>(
+            std::upper_bound(index.prefix.begin(), index.prefix.end(), item_begin) -
+            index.prefix.begin() - 1);
+        for (int64_t item = item_begin; item < item_end; ++item) {
+          while (item >= index.prefix[s + 1]) {
+            ++s;
+          }
+          const AttentionSubRequest& sub = subs[s];
+          const std::vector<BlockId>& table = *sub.block_table;
+          const int64_t local = item - index.prefix[s];
+          const int64_t j = local / num_heads;
+          const int64_t h = local % num_heads;
+          // Causal mask, fused: token j sees positions [0, end_pos].
+          const int64_t end_pos = sub.context_len - sub.query_len + j;
+          const int64_t token_row = sub.query_start + j;
+          const int64_t kv_head = h / group;
+          const float* q = query.data() + (token_row * num_heads + h) * head_dim;
+          softmax.Reset();
+          // Walk the context block by block, mirroring the real kernel's
+          // block-granular loads from non-contiguous memory.
+          for (int64_t pos = 0; pos <= end_pos;) {
+            const int64_t block_idx = pos / block_size;
+            const int64_t slot_begin = pos % block_size;
+            const int64_t slot_end =
+                std::min(block_size, end_pos + 1 - block_idx * block_size);
+            const BlockId block = table[static_cast<size_t>(block_idx)];
+            const float* k_base = pool.TokenData(block, layer, /*kv=*/0, 0);
+            const float* v_base = pool.TokenData(block, layer, /*kv=*/1, 0);
+            for (int64_t slot = slot_begin; slot < slot_end; ++slot) {
+              const float* k = k_base + slot * token_stride + kv_head * head_dim;
+              const float* v = v_base + slot * token_stride + kv_head * head_dim;
+              softmax.Observe(Dot(q, k, head_dim) * scale, v);
+            }
+            pos = block_idx * block_size + slot_end;
+          }
+          softmax.Finalize(out->data() + (token_row * num_heads + h) * head_dim);
+        }
+      },
+      GrainForItemCost(index.mean_context * head_dim));
 }
 
 void SingleTokenPagedAttention(const KvPool& pool, int64_t layer, const Tensor& query,
@@ -142,7 +212,10 @@ void ContiguousAttention(const Tensor& query,
   const int64_t num_heads = query.dim(1);
   const int64_t head_dim = query.dim(2);
 
-  for (const ContiguousAttentionRequest& req : reqs) {
+  std::vector<int64_t> prefix(reqs.size() + 1, 0);
+  int64_t context_sum = 0;
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    const ContiguousAttentionRequest& req = reqs[i];
     PENSIEVE_CHECK(req.keys != nullptr);
     PENSIEVE_CHECK(req.values != nullptr);
     PENSIEVE_CHECK_EQ(req.keys->rank(), 3u);
@@ -152,25 +225,49 @@ void ContiguousAttention(const Tensor& query,
     PENSIEVE_CHECK_EQ(req.keys->dim(2), head_dim);
     PENSIEVE_CHECK_EQ(num_heads % num_kv_heads, 0);
     PENSIEVE_CHECK_GE(context_len, req.query_len);
-    const int64_t group = num_heads / num_kv_heads;
-    const int64_t kv_stride = num_kv_heads * head_dim;
-    for (int64_t j = 0; j < req.query_len; ++j) {
-      const int64_t end_pos = context_len - req.query_len + j;
-      const int64_t token_row = req.query_start + j;
-      for (int64_t h = 0; h < num_heads; ++h) {
-        const int64_t kv_head = h / group;
-        const float* q = query.data() + (token_row * num_heads + h) * head_dim;
-        OnlineSoftmax softmax(head_dim);
-        const float* k_base = req.keys->data() + kv_head * head_dim;
-        const float* v_base = req.values->data() + kv_head * head_dim;
-        for (int64_t pos = 0; pos <= end_pos; ++pos) {
-          softmax.Observe(Dot(q, k_base + pos * kv_stride, head_dim) * scale,
-                          v_base + pos * kv_stride, head_dim);
-        }
-        softmax.Finalize(out->data() + (token_row * num_heads + h) * head_dim, head_dim);
-      }
-    }
+    prefix[i + 1] = prefix[i] + req.query_len * num_heads;
+    context_sum += context_len;
   }
+  const int64_t total = prefix.back();
+  const int64_t mean_context =
+      reqs.empty() ? 1
+                   : std::max<int64_t>(1, context_sum /
+                                              static_cast<int64_t>(reqs.size()));
+  ParallelFor(
+      0, total,
+      [&](int64_t item_begin, int64_t item_end) {
+        std::vector<float> scratch(static_cast<size_t>(head_dim));
+        OnlineSoftmax softmax(scratch.data(), head_dim);
+        size_t r = static_cast<size_t>(
+            std::upper_bound(prefix.begin(), prefix.end(), item_begin) -
+            prefix.begin() - 1);
+        for (int64_t item = item_begin; item < item_end; ++item) {
+          while (item >= prefix[r + 1]) {
+            ++r;
+          }
+          const ContiguousAttentionRequest& req = reqs[r];
+          const int64_t context_len = req.keys->dim(0);
+          const int64_t num_kv_heads = req.keys->dim(1);
+          const int64_t group = num_heads / num_kv_heads;
+          const int64_t kv_stride = num_kv_heads * head_dim;
+          const int64_t local = item - prefix[r];
+          const int64_t j = local / num_heads;
+          const int64_t h = local % num_heads;
+          const int64_t end_pos = context_len - req.query_len + j;
+          const int64_t token_row = req.query_start + j;
+          const int64_t kv_head = h / group;
+          const float* q = query.data() + (token_row * num_heads + h) * head_dim;
+          softmax.Reset();
+          const float* k_base = req.keys->data() + kv_head * head_dim;
+          const float* v_base = req.values->data() + kv_head * head_dim;
+          for (int64_t pos = 0; pos <= end_pos; ++pos) {
+            softmax.Observe(Dot(q, k_base + pos * kv_stride, head_dim) * scale,
+                            v_base + pos * kv_stride);
+          }
+          softmax.Finalize(out->data() + (token_row * num_heads + h) * head_dim);
+        }
+      },
+      GrainForItemCost(mean_context * head_dim));
 }
 
 void CopyOutPagedAttention(const KvPool& pool, int64_t layer, const Tensor& query,
@@ -182,30 +279,48 @@ void CopyOutPagedAttention(const KvPool& pool, int64_t layer, const Tensor& quer
   const int64_t token_stride = pool.num_kv_heads() * head_dim;
 
   // The extra cost this straw-man models: materializing the whole context
-  // into contiguous buffers before attention can run.
+  // into contiguous buffers before attention can run. The gather is
+  // partitioned over the flattened (sub, position) space; every position
+  // writes a disjoint row, so the copy is order-independent.
   std::vector<Tensor> key_bufs;
   std::vector<Tensor> value_bufs;
   std::vector<ContiguousAttentionRequest> dense;
   key_bufs.reserve(subs.size());
   value_bufs.reserve(subs.size());
   dense.reserve(subs.size());
-  for (const AttentionSubRequest& sub : subs) {
-    CheckSubRequest(pool, query, sub);
-    Tensor keys({sub.context_len, pool.num_kv_heads(), head_dim});
-    Tensor values({sub.context_len, pool.num_kv_heads(), head_dim});
-    for (int64_t pos = 0; pos < sub.context_len; ++pos) {
-      const BlockId block = (*sub.block_table)[static_cast<size_t>(pos / block_size)];
-      const int64_t slot = pos % block_size;
-      std::memcpy(keys.data() + pos * token_stride,
-                  pool.TokenData(block, layer, /*kv=*/0, slot),
-                  static_cast<size_t>(token_stride) * sizeof(float));
-      std::memcpy(values.data() + pos * token_stride,
-                  pool.TokenData(block, layer, /*kv=*/1, slot),
-                  static_cast<size_t>(token_stride) * sizeof(float));
-    }
-    key_bufs.push_back(std::move(keys));
-    value_bufs.push_back(std::move(values));
+  std::vector<int64_t> prefix(subs.size() + 1, 0);
+  for (size_t i = 0; i < subs.size(); ++i) {
+    CheckSubRequest(pool, query, subs[i]);
+    key_bufs.emplace_back(
+        Tensor({subs[i].context_len, pool.num_kv_heads(), head_dim}));
+    value_bufs.emplace_back(
+        Tensor({subs[i].context_len, pool.num_kv_heads(), head_dim}));
+    prefix[i + 1] = prefix[i] + subs[i].context_len;
   }
+  ParallelFor(
+      0, prefix.back(),
+      [&, head_dim = head_dim](int64_t item_begin, int64_t item_end) {
+        size_t s = static_cast<size_t>(
+            std::upper_bound(prefix.begin(), prefix.end(), item_begin) -
+            prefix.begin() - 1);
+        for (int64_t item = item_begin; item < item_end; ++item) {
+          while (item >= prefix[s + 1]) {
+            ++s;
+          }
+          const AttentionSubRequest& sub = subs[s];
+          const int64_t pos = item - prefix[s];
+          const BlockId block =
+              (*sub.block_table)[static_cast<size_t>(pos / block_size)];
+          const int64_t slot = pos % block_size;
+          std::memcpy(key_bufs[s].data() + pos * token_stride,
+                      pool.TokenData(block, layer, /*kv=*/0, slot),
+                      static_cast<size_t>(token_stride) * sizeof(float));
+          std::memcpy(value_bufs[s].data() + pos * token_stride,
+                      pool.TokenData(block, layer, /*kv=*/1, slot),
+                      static_cast<size_t>(token_stride) * sizeof(float));
+        }
+      },
+      GrainForItemCost(token_stride));
   for (size_t i = 0; i < subs.size(); ++i) {
     dense.push_back(ContiguousAttentionRequest{subs[i].query_start, subs[i].query_len,
                                                &key_bufs[i], &value_bufs[i]});
@@ -227,7 +342,6 @@ void MultiRoundPagedAttention(const KvPool& pool, int64_t layer, const Tensor& q
   }
   for (int64_t round = 0; round < max_query_len; ++round) {
     std::vector<AttentionSubRequest> round_subs;
-    std::vector<int64_t> round_rows;
     for (const AttentionSubRequest& sub : subs) {
       if (round >= sub.query_len) {
         continue;
@@ -238,12 +352,10 @@ void MultiRoundPagedAttention(const KvPool& pool, int64_t layer, const Tensor& q
       single.context_len = sub.context_len - sub.query_len + round + 1;
       single.block_table = sub.block_table;
       round_subs.push_back(single);
-      round_rows.push_back(single.query_start);
     }
     // The single-token kernel reads rows addressed by query_start directly
     // from the shared Q/out tensors, so no repacking is needed.
     SingleTokenPagedAttention(pool, layer, query, round_subs, scale, out);
-    (void)round_rows;
   }
 }
 
@@ -256,7 +368,14 @@ void NaiveMaskedAttention(const KvPool& pool, int64_t layer, const Tensor& query
 
   for (const AttentionSubRequest& sub : subs) {
     CheckSubRequest(pool, query, sub);
-    for (int64_t h = 0; h < num_heads; ++h) {
+  }
+  // One flat item = one (sub, head): each materializes its own score matrix.
+  const int64_t total = static_cast<int64_t>(subs.size()) * num_heads;
+  ParallelFor(0, total, [&, num_heads = num_heads,
+                         head_dim = head_dim](int64_t item_begin, int64_t item_end) {
+    for (int64_t item = item_begin; item < item_end; ++item) {
+      const AttentionSubRequest& sub = subs[static_cast<size_t>(item / num_heads)];
+      const int64_t h = item % num_heads;
       const int64_t kv_head = h / group;
       // Materialize the full [query_len, context_len] score matrix with an
       // explicit causal mask, then do a plain softmax + weighted sum.
@@ -298,7 +417,7 @@ void NaiveMaskedAttention(const KvPool& pool, int64_t layer, const Tensor& query
         }
       }
     }
-  }
+  });
 }
 
 }  // namespace pensieve

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/common/thread_pool.h"
 #include "src/tensor/ops.h"
 
 namespace pensieve {
@@ -78,24 +79,35 @@ Tensor Transformer::Forward(KvPool* pool, const ForwardBatch& batch) const {
   const int64_t num_kv_heads = config_.num_kv_heads;
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
 
-  // Token (+ learned position) embeddings.
-  Tensor x({num_tokens, h});
+  // Token (+ learned position) embeddings. Validate serially (CHECK failures
+  // must not fire on a pool worker), then gather rows in parallel.
   for (int64_t t = 0; t < num_tokens; ++t) {
     const int32_t tok = batch.tokens[static_cast<size_t>(t)];
     PENSIEVE_CHECK_GE(tok, 0);
     PENSIEVE_CHECK_LT(tok, config_.vocab_size);
-    const float* src = embedding_.data() + static_cast<int64_t>(tok) * h;
-    std::copy(src, src + h, x.data() + t * h);
     if (config_.pos_embedding == PositionEmbedding::kLearned) {
-      const int64_t pos = batch.positions[static_cast<size_t>(t)];
-      PENSIEVE_CHECK_LT(pos, config_.max_context);
-      const float* pe = pos_embedding_.data() + pos * h;
-      float* row = x.data() + t * h;
-      for (int64_t j = 0; j < h; ++j) {
-        row[j] += pe[j];
-      }
+      PENSIEVE_CHECK_LT(batch.positions[static_cast<size_t>(t)], config_.max_context);
     }
   }
+  Tensor x({num_tokens, h});
+  ParallelFor(
+      0, num_tokens,
+      [&](int64_t token_begin, int64_t token_end) {
+        for (int64_t t = token_begin; t < token_end; ++t) {
+          const int32_t tok = batch.tokens[static_cast<size_t>(t)];
+          const float* src = embedding_.data() + static_cast<int64_t>(tok) * h;
+          std::copy(src, src + h, x.data() + t * h);
+          if (config_.pos_embedding == PositionEmbedding::kLearned) {
+            const int64_t pos = batch.positions[static_cast<size_t>(t)];
+            const float* pe = pos_embedding_.data() + pos * h;
+            float* row = x.data() + t * h;
+            for (int64_t j = 0; j < h; ++j) {
+              row[j] += pe[j];
+            }
+          }
+        }
+      },
+      GrainForItemCost(h));
 
   for (int64_t l = 0; l < config_.num_layers; ++l) {
     const LayerWeights& w = layers_[static_cast<size_t>(l)];
@@ -112,12 +124,17 @@ Tensor Transformer::Forward(KvPool* pool, const ForwardBatch& batch) const {
     const int64_t q_width = num_heads * head_dim;
     const int64_t kv_width = num_kv_heads * head_dim;
     const int64_t qkv_width = q_width + 2 * kv_width;
-    for (int64_t t = 0; t < num_tokens; ++t) {
-      const float* row = qkv.data() + t * qkv_width;
-      std::copy(row, row + q_width, q.data() + t * q_width);
-      std::copy(row + q_width, row + q_width + kv_width, k.data() + t * kv_width);
-      std::copy(row + q_width + kv_width, row + qkv_width, v.data() + t * kv_width);
-    }
+    ParallelFor(
+        0, num_tokens,
+        [&](int64_t token_begin, int64_t token_end) {
+          for (int64_t t = token_begin; t < token_end; ++t) {
+            const float* row = qkv.data() + t * qkv_width;
+            std::copy(row, row + q_width, q.data() + t * q_width);
+            std::copy(row + q_width, row + q_width + kv_width, k.data() + t * kv_width);
+            std::copy(row + q_width + kv_width, row + qkv_width, v.data() + t * kv_width);
+          }
+        },
+        GrainForItemCost(qkv_width));
     if (config_.pos_embedding == PositionEmbedding::kRotary) {
       ApplyRotaryInPlace(q, batch.positions, kRotaryBase);
       ApplyRotaryInPlace(k, batch.positions, kRotaryBase);

@@ -1,0 +1,217 @@
+// Tests for the intra-op thread pool (src/common/thread_pool).
+//
+// The pool underpins the determinism contract of every parallel kernel, so
+// beyond basic coverage these tests pin down the edge semantics the kernels
+// rely on: inline fallback for small ranges and nested calls, exception
+// propagation, and stable reuse across many dispatches.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+
+namespace pensieve {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  constexpr int64_t kN = 10000;
+  std::vector<int> hits(kN, 0);
+  pool.ParallelFor(0, kN, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      ++hits[static_cast<size_t>(i)];  // chunks are disjoint, no race
+    }
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, NonZeroBeginIsRespected) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(100, 200, [&](int64_t begin, int64_t end) {
+    int64_t local = 0;
+    for (int64_t i = begin; i < end; ++i) {
+      local += i;
+    }
+    sum += local;
+  });
+  EXPECT_EQ(sum.load(), (100 + 199) * 100 / 2);
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokes) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelFor(5, 5, [&](int64_t, int64_t) { called = true; });
+  pool.ParallelFor(7, 3, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SingleElementRunsInlineOnCaller) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  pool.ParallelFor(3, 4, [&](int64_t begin, int64_t end) {
+    EXPECT_EQ(begin, 3);
+    EXPECT_EQ(end, 4);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, GrainBoundsChunkSizeAndForcesInline) {
+  ThreadPool pool(8);
+  // n <= grain: one inline call covering the whole range.
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  pool.ParallelFor(
+      0, 64,
+      [&](int64_t begin, int64_t end) {
+        EXPECT_EQ(begin, 0);
+        EXPECT_EQ(end, 64);
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        ++calls;
+      },
+      /*grain=*/64);
+  EXPECT_EQ(calls, 1);
+  // n > grain: chunk_size = max(30, ceil(100/8)) = 30, so every chunk except
+  // the tail holds at least `grain` indices.
+  std::atomic<int> small_chunks{0};
+  std::atomic<int64_t> covered{0};
+  pool.ParallelFor(
+      0, 100,
+      [&](int64_t begin, int64_t end) {
+        covered += end - begin;
+        if (end - begin < 30 && end != 100) {
+          ++small_chunks;  // only the tail chunk may be short
+        }
+      },
+      /*grain=*/30);
+  EXPECT_EQ(covered.load(), 100);
+  EXPECT_EQ(small_chunks.load(), 0);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<int> hits(1000, 0);
+  pool.ParallelFor(0, 1000, [&](int64_t begin, int64_t end) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    for (int64_t i = begin; i < end; ++i) {
+      ++hits[static_cast<size_t>(i)];
+    }
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 1000,
+                       [&](int64_t begin, int64_t end) {
+                         for (int64_t i = begin; i < end; ++i) {
+                           if (i == 617) {
+                             throw std::runtime_error("boom");
+                           }
+                         }
+                       }),
+      std::runtime_error);
+  // The pool survives a throwing task and keeps working.
+  std::atomic<int64_t> count{0};
+  pool.ParallelFor(0, 100, [&](int64_t begin, int64_t end) { count += end - begin; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, InlineExceptionAlsoPropagates) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(
+                   0, 10, [](int64_t, int64_t) { throw std::logic_error("inline"); }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolTest, NestedCallFallsBackInline) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> inner_total{0};
+  std::atomic<bool> inner_same_thread{true};
+  pool.ParallelFor(0, 8, [&](int64_t begin, int64_t end) {
+    const std::thread::id outer_thread = std::this_thread::get_id();
+    for (int64_t i = begin; i < end; ++i) {
+      // A nested ParallelFor must run inline on the chunk's thread — even
+      // for a range big enough to otherwise go parallel.
+      pool.ParallelFor(0, 5000, [&](int64_t inner_begin, int64_t inner_end) {
+        if (std::this_thread::get_id() != outer_thread) {
+          inner_same_thread = false;
+        }
+        inner_total += inner_end - inner_begin;
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 5000);
+  EXPECT_TRUE(inner_same_thread.load());
+}
+
+TEST(ThreadPoolTest, ReuseAcrossManyDispatches) {
+  ThreadPool pool(8);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(0, 1000, [&](int64_t begin, int64_t end) {
+      int64_t local = 0;
+      for (int64_t i = begin; i < end; ++i) {
+        local += i;
+      }
+      sum += local;
+    });
+    ASSERT_EQ(sum.load(), 999 * 1000 / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, OversubscriptionBeyondHardwareWorks) {
+  // More threads than cores must still terminate and cover the range.
+  ThreadPool pool(16);
+  std::atomic<int64_t> covered{0};
+  pool.ParallelFor(0, 4096, [&](int64_t begin, int64_t end) { covered += end - begin; });
+  EXPECT_EQ(covered.load(), 4096);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsHonorsEnvVar) {
+  const char* saved = std::getenv("PENSIEVE_THREADS");
+  const std::string saved_copy = saved != nullptr ? saved : "";
+  setenv("PENSIEVE_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreads(), 3);
+  setenv("PENSIEVE_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);  // falls back to hardware
+  if (saved != nullptr) {
+    setenv("PENSIEVE_THREADS", saved_copy.c_str(), 1);
+  } else {
+    unsetenv("PENSIEVE_THREADS");
+  }
+}
+
+TEST(ThreadPoolTest, GlobalPoolResizes) {
+  ThreadPool::SetGlobalThreads(2);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 2);
+  std::atomic<int64_t> covered{0};
+  ParallelFor(0, 1000, [&](int64_t begin, int64_t end) { covered += end - begin; });
+  EXPECT_EQ(covered.load(), 1000);
+  ThreadPool::SetGlobalThreads(0);  // back to default for other tests
+  EXPECT_EQ(ThreadPool::Global().num_threads(), ThreadPool::DefaultThreads());
+}
+
+TEST(ThreadPoolTest, GrainForItemCostScalesInversely) {
+  EXPECT_EQ(GrainForItemCost(32 * 1024), 1);
+  EXPECT_EQ(GrainForItemCost(16 * 1024), 2);
+  EXPECT_EQ(GrainForItemCost(1), 32 * 1024);
+  EXPECT_EQ(GrainForItemCost(0), 32 * 1024);    // clamped item cost
+  EXPECT_EQ(GrainForItemCost(1 << 30), 1);      // never below 1
+}
+
+}  // namespace
+}  // namespace pensieve

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "src/common/flags.h"
+#include "src/common/thread_pool.h"
 #include "src/core/pensieve.h"
 #include "src/serving/telemetry.h"
 #include "src/workload/trace_io.h"
@@ -93,6 +94,10 @@ int Run(int argc, char** argv) {
                   "instead of synthesizing them");
   flags.AddString("outcomes_csv", "", "write per-request outcomes CSV here");
   flags.AddString("steps_csv", "", "write per-step trace CSV here");
+  flags.AddInt("threads", 0,
+               "worker threads for the CPU kernels/GEMMs (default: "
+               "PENSIEVE_THREADS env var, else hardware concurrency); results "
+               "are bit-identical for every value");
   flags.AddBool("help", false, "print usage");
   Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
@@ -105,6 +110,7 @@ int Run(int argc, char** argv) {
                 flags.Help().c_str());
     return 0;
   }
+  ThreadPool::SetGlobalThreads(static_cast<int>(flags.GetInt("threads")));
 
   ModelConfig model;
   if (!ModelConfigByName(flags.GetString("model"), &model)) {
