@@ -15,7 +15,8 @@ thread_local bool tls_in_chunk = false;
 }  // namespace
 
 struct ThreadPool::Task {
-  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  const void* fn_obj = nullptr;
+  ChunkFnRef::Invoker fn_invoke = nullptr;
   int64_t begin = 0;
   int64_t end = 0;
   int64_t chunk_size = 0;
@@ -28,6 +29,14 @@ struct ThreadPool::Task {
 };
 
 ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(num_threads, 1)) {
+  // Pre-seed the dispatch cache with num_threads records. At most the
+  // num_threads - 1 workers can each pin one record at a time, so AcquireTask
+  // always finds a free one and steady-state dispatch provably never
+  // allocates.
+  task_cache_.reserve(static_cast<size_t>(num_threads_));
+  for (int i = 0; i < num_threads_; ++i) {
+    task_cache_.push_back(std::make_shared<Task>());
+  }
   workers_.reserve(static_cast<size_t>(num_threads_ - 1));
   for (int i = 0; i < num_threads_ - 1; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -58,10 +67,13 @@ void ThreadPool::WorkerLoop() {
     seen_generation = generation_;
     // Keep a shared reference so the task outlives the caller's stack frame
     // even if this worker is still draining the (empty) dispenser after the
-    // caller observed completion and returned.
+    // caller observed completion and returned. The reference also keeps the
+    // record out of the dispatch cache (use_count > 1) until released, so a
+    // reused Task is never mutated under a draining worker.
     std::shared_ptr<Task> task = task_;
     lock.unlock();
     RunChunks(task.get());
+    task.reset();
     lock.lock();
   }
 }
@@ -76,7 +88,7 @@ void ThreadPool::RunChunks(Task* task) {
     const int64_t chunk_end = std::min(task->end, chunk_begin + task->chunk_size);
     tls_in_chunk = true;
     try {
-      (*task->fn)(chunk_begin, chunk_end);
+      task->fn_invoke(task->fn_obj, chunk_begin, chunk_end, static_cast<int>(c));
     } catch (...) {
       std::lock_guard<std::mutex> lock(task->done_mu);
       if (!task->first_error) {
@@ -94,8 +106,27 @@ void ThreadPool::RunChunks(Task* task) {
   }
 }
 
-void ThreadPool::ParallelFor(int64_t begin, int64_t end,
-                             const std::function<void(int64_t, int64_t)>& fn,
+std::shared_ptr<ThreadPool::Task> ThreadPool::AcquireTask() {
+  // Called under dispatch_mu_. Workers obtain Task references only from
+  // task_ (under mu_), and task_ is cleared before the previous dispatch
+  // releases dispatch_mu_ — so once an entry's use_count() reads 1 here, no
+  // new reference can appear and the record is exclusively ours.
+  for (std::shared_ptr<Task>& cached : task_cache_) {
+    if (cached.use_count() == 1) {
+      cached->next_chunk.store(0, std::memory_order_relaxed);
+      cached->chunks_done.store(0, std::memory_order_relaxed);
+      cached->first_error = nullptr;
+      return cached;
+    }
+  }
+  // Unreachable in practice: the cache is pre-seeded with num_threads
+  // records and at most num_threads - 1 workers can pin one each. Kept as a
+  // safe fallback rather than a CHECK.
+  task_cache_.push_back(std::make_shared<Task>());
+  return task_cache_.back();
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, ChunkFnRef fn,
                              int64_t grain) {
   const int64_t n = end - begin;
   if (n <= 0) {
@@ -106,20 +137,20 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
       std::max(grain, (n + num_threads_ - 1) / static_cast<int64_t>(num_threads_));
   const int64_t num_chunks = (n + chunk_size - 1) / chunk_size;
   if (num_threads_ <= 1 || tls_in_chunk || num_chunks <= 1) {
-    fn(begin, end);
+    fn(begin, end, 0);
     return;
   }
-
-  auto task = std::make_shared<Task>();
-  task->fn = &fn;
-  task->begin = begin;
-  task->end = end;
-  task->chunk_size = chunk_size;
-  task->num_chunks = num_chunks;
 
   std::exception_ptr error;
   {
     std::lock_guard<std::mutex> dispatch(dispatch_mu_);
+    std::shared_ptr<Task> task = AcquireTask();
+    task->fn_obj = fn.obj();
+    task->fn_invoke = fn.invoker();
+    task->begin = begin;
+    task->end = end;
+    task->chunk_size = chunk_size;
+    task->num_chunks = num_chunks;
     {
       std::lock_guard<std::mutex> lock(mu_);
       task_ = task;
@@ -175,8 +206,7 @@ int ThreadPool::DefaultThreads() {
   return hw >= 1 ? static_cast<int>(hw) : 1;
 }
 
-void ParallelFor(int64_t begin, int64_t end,
-                 const std::function<void(int64_t, int64_t)>& fn, int64_t grain) {
+void ParallelFor(int64_t begin, int64_t end, ChunkFnRef fn, int64_t grain) {
   ThreadPool::Global().ParallelFor(begin, end, fn, grain);
 }
 

@@ -8,14 +8,14 @@
 // (src/model).
 //
 // Determinism contract. ParallelFor splits [begin, end) into contiguous
-// chunks and runs fn(chunk_begin, chunk_end). Callers may only partition
-// loops whose iterations write disjoint outputs and whose per-iteration
-// floating-point reduction order does not depend on the chunk boundaries
-// (e.g. one output row / one (query token, head) pair per index). Under
-// that discipline results are bit-identical for every thread count — the
-// same fixed-reduction-order discipline vLLM-style paged kernels apply per
-// (query, head) pair. tests/thread_determinism_test.cc enforces it at
-// threads ∈ {1, 2, 8}.
+// chunks and runs fn(chunk_begin, chunk_end[, chunk_index]). Callers may
+// only partition loops whose iterations write disjoint outputs and whose
+// per-iteration floating-point reduction order does not depend on the chunk
+// boundaries (e.g. one output row / one (query token, head) pair per
+// index). Under that discipline results are bit-identical for every thread
+// count — the same fixed-reduction-order discipline vLLM-style paged
+// kernels apply per (query, head) pair. tests/thread_determinism_test.cc
+// enforces it at threads ∈ {1, 2, 8}.
 //
 // Scheduling. Chunk *boundaries* are a pure function of (range, grain,
 // num_threads): chunk_size = max(grain, ceil(n / num_threads)). Which
@@ -24,19 +24,67 @@
 // Small ranges (n <= grain), single-thread pools, and nested calls (a
 // ParallelFor issued from inside a chunk) all run inline on the calling
 // thread, so the pool can never deadlock on itself.
+//
+// Allocation contract. A steady-state ParallelFor performs no heap
+// allocations: the callback is passed as a non-owning ChunkFnRef (no
+// std::function type erasure), and dispatch reuses pooled Task records
+// once warmed up. This is what lets Transformer::ForwardInto run
+// allocation-free (see src/tensor/workspace.h).
 
 #ifndef PENSIEVE_SRC_COMMON_THREAD_POOL_H_
 #define PENSIEVE_SRC_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace pensieve {
+
+// Non-owning reference to a chunk callback, invoked as fn(chunk_begin,
+// chunk_end, chunk_index). Callables taking only (chunk_begin, chunk_end)
+// are adapted transparently. ParallelFor blocks until every chunk has run,
+// so binding the caller's stack-allocated lambda by reference is safe —
+// and, unlike std::function, construction never heap-allocates.
+//
+// chunk_index is in [0, num_chunks) with num_chunks <= num_threads(); the
+// inline path always passes 0. Kernels use it to index pre-sized per-chunk
+// scratch (see src/kernels/attention.cc) instead of allocating per task.
+class ChunkFnRef {
+ public:
+  using Invoker = void (*)(const void*, int64_t, int64_t, int);
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, ChunkFnRef>>>
+  ChunkFnRef(const F& fn) : obj_(&fn) {  // NOLINT(runtime/explicit)
+    if constexpr (std::is_invocable_v<const F&, int64_t, int64_t, int>) {
+      invoke_ = [](const void* obj, int64_t begin, int64_t end, int chunk) {
+        (*static_cast<const F*>(obj))(begin, end, chunk);
+      };
+    } else {
+      static_assert(std::is_invocable_v<const F&, int64_t, int64_t>,
+                    "ParallelFor callback must accept (int64_t begin, int64_t end"
+                    "[, int chunk_index])");
+      invoke_ = [](const void* obj, int64_t begin, int64_t end, int /*chunk*/) {
+        (*static_cast<const F*>(obj))(begin, end);
+      };
+    }
+  }
+
+  void operator()(int64_t begin, int64_t end, int chunk) const {
+    invoke_(obj_, begin, end, chunk);
+  }
+
+  const void* obj() const { return obj_; }
+  Invoker invoker() const { return invoke_; }
+
+ private:
+  const void* obj_;
+  Invoker invoke_;
+};
 
 class ThreadPool {
  public:
@@ -50,14 +98,17 @@ class ThreadPool {
 
   int num_threads() const { return num_threads_; }
 
-  // Runs fn(chunk_begin, chunk_end) over a static partition of [begin, end)
-  // into at most num_threads() contiguous chunks of at least `grain`
-  // indices. Blocks until every chunk finished. The first exception thrown
-  // by any chunk is rethrown here (remaining chunks still run; outputs are
-  // then unspecified). Concurrent top-level callers are serialized.
-  void ParallelFor(int64_t begin, int64_t end,
-                   const std::function<void(int64_t, int64_t)>& fn,
-                   int64_t grain = 1);
+  // Runs fn(chunk_begin, chunk_end, chunk_index) over a static partition of
+  // [begin, end) into at most num_threads() contiguous chunks of at least
+  // `grain` indices. Blocks until every chunk finished. The first exception
+  // thrown by any chunk is rethrown here (remaining chunks still run;
+  // outputs are then unspecified). Concurrent top-level callers are
+  // serialized.
+  void ParallelFor(int64_t begin, int64_t end, ChunkFnRef fn, int64_t grain = 1);
+
+  // Upper bound on the chunk_index a ParallelFor on this pool can pass:
+  // indices are always < num_threads(). Used to size per-chunk scratch.
+  int max_chunks() const { return num_threads_; }
 
   // Process-wide pool used by the compute layer. Lazily built with
   // DefaultThreads() on first use.
@@ -78,6 +129,9 @@ class ThreadPool {
   void WorkerLoop();
   // Executes chunks of `task` until its dispenser is exhausted.
   static void RunChunks(Task* task);
+  // Returns a Task no worker still references, reusing pooled records where
+  // possible (steady-state dispatch allocates nothing).
+  std::shared_ptr<Task> AcquireTask();
 
   const int num_threads_;
   std::vector<std::thread> workers_;
@@ -91,12 +145,15 @@ class ThreadPool {
 
   // Serializes top-level ParallelFor callers (one active task at a time).
   std::mutex dispatch_mu_;
+  // Recycled Task records, guarded by dispatch_mu_. An entry is reusable
+  // once its use_count() drops to 1 (no worker is still draining it); the
+  // vector grows to at most ~num_threads entries before every dispatch hits
+  // the cache.
+  std::vector<std::shared_ptr<Task>> task_cache_;
 };
 
 // ParallelFor on the global pool.
-void ParallelFor(int64_t begin, int64_t end,
-                 const std::function<void(int64_t, int64_t)>& fn,
-                 int64_t grain = 1);
+void ParallelFor(int64_t begin, int64_t end, ChunkFnRef fn, int64_t grain = 1);
 
 // Grain-size heuristic: the minimum indices per chunk so that one chunk
 // carries at least ~32K arithmetic operations, given the cost of a single

@@ -7,6 +7,7 @@
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/workspace.h"
 
 namespace pensieve {
 
@@ -104,23 +105,25 @@ void CheckSubRequest(const KvPool& pool, const Tensor& query,
 }
 
 // Exclusive prefix sum of per-sub flat item counts ((query token, head)
-// pairs); also returns the mean context length for the grain heuristic.
+// pairs), written into caller-owned storage (workspace or stack fallback);
+// also returns the mean context length for the grain heuristic.
 struct FlatIndex {
-  std::vector<int64_t> prefix;  // size subs.size() + 1
+  const int64_t* prefix = nullptr;  // subs.size() + 1 entries
   int64_t total = 0;
   int64_t mean_context = 1;
 };
 
 FlatIndex BuildFlatIndex(const std::vector<AttentionSubRequest>& subs,
-                         int64_t items_per_token) {
+                         int64_t items_per_token, int64_t* prefix) {
   FlatIndex index;
-  index.prefix.resize(subs.size() + 1, 0);
+  index.prefix = prefix;
+  prefix[0] = 0;
   int64_t context_sum = 0;
   for (size_t i = 0; i < subs.size(); ++i) {
-    index.prefix[i + 1] = index.prefix[i] + subs[i].query_len * items_per_token;
+    prefix[i + 1] = prefix[i] + subs[i].query_len * items_per_token;
     context_sum += subs[i].context_len;
   }
-  index.total = index.prefix.back();
+  index.total = prefix[subs.size()];
   if (!subs.empty()) {
     index.mean_context =
         std::max<int64_t>(1, context_sum / static_cast<int64_t>(subs.size()));
@@ -132,7 +135,7 @@ FlatIndex BuildFlatIndex(const std::vector<AttentionSubRequest>& subs,
 
 void MultiTokenPagedAttention(const KvPool& pool, int64_t layer, const Tensor& query,
                               const std::vector<AttentionSubRequest>& subs, float scale,
-                              Tensor* out) {
+                              Tensor* out, Workspace* ws) {
   const auto [num_heads, head_dim] = CheckQueryShape(pool, query, out);
   const int64_t group = num_heads / pool.num_kv_heads();
   const int64_t block_size = pool.block_size();
@@ -141,19 +144,37 @@ void MultiTokenPagedAttention(const KvPool& pool, int64_t layer, const Tensor& q
   for (const AttentionSubRequest& sub : subs) {
     CheckSubRequest(pool, query, sub);
   }
-  const FlatIndex index = BuildFlatIndex(subs, num_heads);
+  // Transient buffers come from the workspace when available (steady-state
+  // decode must not touch the heap); otherwise from one-off locals. The
+  // softmax scratch is sized for every chunk the pool can dispatch and
+  // indexed by chunk_index, so chunks never share or allocate.
+  const int64_t max_chunks = ThreadPool::Global().max_chunks();
+  std::vector<int64_t> prefix_fallback;
+  std::vector<float> scratch_fallback;
+  int64_t* prefix;
+  float* scratch;
+  if (ws != nullptr) {
+    prefix = ws->AllocInts(static_cast<int64_t>(subs.size()) + 1);
+    scratch = ws->AllocFloats(max_chunks * head_dim);
+  } else {
+    prefix_fallback.resize(subs.size() + 1);
+    scratch_fallback.resize(static_cast<size_t>(max_chunks * head_dim));
+    prefix = prefix_fallback.data();
+    scratch = scratch_fallback.data();
+  }
+  const FlatIndex index = BuildFlatIndex(subs, num_heads, prefix);
+  const int64_t* prefix_end = index.prefix + subs.size() + 1;
   // One flat item = one (sub, query token, head) pair; its whole context
   // walk (the floating-point reduction) stays inside a single chunk, so
   // partitioning cannot change reduction order.
   ParallelFor(
       0, index.total,
       [&, num_heads = num_heads, head_dim = head_dim](int64_t item_begin,
-                                                      int64_t item_end) {
-        std::vector<float> scratch(static_cast<size_t>(head_dim));
-        OnlineSoftmax softmax(scratch.data(), head_dim);
+                                                      int64_t item_end, int chunk) {
+        OnlineSoftmax softmax(scratch + chunk * head_dim, head_dim);
         size_t s = static_cast<size_t>(
-            std::upper_bound(index.prefix.begin(), index.prefix.end(), item_begin) -
-            index.prefix.begin() - 1);
+            std::upper_bound(index.prefix, prefix_end, item_begin) -
+            index.prefix - 1);
         for (int64_t item = item_begin; item < item_end; ++item) {
           while (item >= index.prefix[s + 1]) {
             ++s;
@@ -194,14 +215,14 @@ void MultiTokenPagedAttention(const KvPool& pool, int64_t layer, const Tensor& q
 
 void SingleTokenPagedAttention(const KvPool& pool, int64_t layer, const Tensor& query,
                                const std::vector<AttentionSubRequest>& subs, float scale,
-                               Tensor* out) {
+                               Tensor* out, Workspace* ws) {
   for (const AttentionSubRequest& sub : subs) {
     PENSIEVE_CHECK_EQ(sub.query_len, 1)
         << "PagedAttention-style kernel is restricted to one input token per request";
   }
   // With query_len == 1 the causal mask is a no-op and the computation
   // degenerates to the matrix-vector form of the multi-token kernel.
-  MultiTokenPagedAttention(pool, layer, query, subs, scale, out);
+  MultiTokenPagedAttention(pool, layer, query, subs, scale, out, ws);
 }
 
 void ContiguousAttention(const Tensor& query,
@@ -233,11 +254,12 @@ void ContiguousAttention(const Tensor& query,
       reqs.empty() ? 1
                    : std::max<int64_t>(1, context_sum /
                                               static_cast<int64_t>(reqs.size()));
+  std::vector<float> scratch(
+      static_cast<size_t>(ThreadPool::Global().max_chunks() * head_dim));
   ParallelFor(
       0, total,
-      [&](int64_t item_begin, int64_t item_end) {
-        std::vector<float> scratch(static_cast<size_t>(head_dim));
-        OnlineSoftmax softmax(scratch.data(), head_dim);
+      [&](int64_t item_begin, int64_t item_end, int chunk) {
+        OnlineSoftmax softmax(scratch.data() + chunk * head_dim, head_dim);
         size_t r = static_cast<size_t>(
             std::upper_bound(prefix.begin(), prefix.end(), item_begin) -
             prefix.begin() - 1);

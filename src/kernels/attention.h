@@ -34,6 +34,8 @@
 
 namespace pensieve {
 
+class Workspace;
+
 // One attention work item. A request in its generation phase contributes a
 // query_len == 1 item; a prefill request contributes one item — or two items
 // sharing a block table when a dropped prefix is being recomputed alongside
@@ -52,14 +54,19 @@ struct AttentionSubRequest {
 
 // Pensieve's kernel: batched, ragged multi-token attention over paged KV.
 // query/out: [total_query_tokens, num_heads, head_dim].
+//
+// When `ws` is non-null its arena supplies the kernel's transient buffers
+// (sub-request prefix table, per-chunk softmax scratch) so the call performs
+// no heap allocation; the caller must not Reset the workspace while the
+// kernel runs. With ws == nullptr the kernel allocates its own scratch.
 void MultiTokenPagedAttention(const KvPool& pool, int64_t layer, const Tensor& query,
                               const std::vector<AttentionSubRequest>& subs, float scale,
-                              Tensor* out);
+                              Tensor* out, Workspace* ws = nullptr);
 
 // vLLM-style decode kernel: every sub-request must have query_len == 1.
 void SingleTokenPagedAttention(const KvPool& pool, int64_t layer, const Tensor& query,
                                const std::vector<AttentionSubRequest>& subs, float scale,
-                               Tensor* out);
+                               Tensor* out, Workspace* ws = nullptr);
 
 // Ideal baseline: context K/V are dense tensors [context_len, num_kv_heads,
 // head_dim] supplied per request (contiguous memory).

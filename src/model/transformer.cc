@@ -1,6 +1,7 @@
 #include "src/model/transformer.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
@@ -55,20 +56,33 @@ Transformer::Transformer(const ModelConfig& config, uint64_t seed) : config_(con
     w.w_down = Tensor({h, config.ffn_hidden});
     FillNormal(w.w_down, next_seed(), 1.0f / std::sqrt(static_cast<float>(config.ffn_hidden)));
     w.b_down = Tensor::Zeros({h});
+    // Repack the static projections once; Forward multiplies only against
+    // the packed forms.
+    w.wqkv_packed = PackedMatrix(w.wqkv);
+    w.wo_packed = PackedMatrix(w.wo);
+    w.w_up_packed = PackedMatrix(w.w_up);
+    if (config.gated_ffn) {
+      w.w_gate_packed = PackedMatrix(w.w_gate);
+    }
+    w.w_down_packed = PackedMatrix(w.w_down);
     layers_.push_back(std::move(w));
   }
+  lm_head_packed_ = PackedMatrix(embedding_);
 }
 
-Tensor Transformer::Normalize(const Tensor& x, const Tensor& gain,
-                              const Tensor& bias) const {
+void Transformer::NormalizeInto(const Tensor& x, const Tensor& gain,
+                                const Tensor& bias, Tensor* out) const {
   if (config_.norm == NormKind::kRmsNorm) {
-    return RmsNorm(x, gain, kNormEps);
+    RmsNormInto(x, gain, kNormEps, out);
+  } else {
+    LayerNormInto(x, gain, bias, kNormEps, out);
   }
-  return LayerNorm(x, gain, bias, kNormEps);
 }
 
-Tensor Transformer::Forward(KvPool* pool, const ForwardBatch& batch) const {
+void Transformer::ForwardInto(KvPool* pool, const ForwardBatch& batch,
+                              Tensor* logits) const {
   PENSIEVE_CHECK(pool != nullptr);
+  PENSIEVE_CHECK(logits != nullptr);
   const int64_t num_tokens = static_cast<int64_t>(batch.tokens.size());
   PENSIEVE_CHECK_GT(num_tokens, 0);
   PENSIEVE_CHECK_EQ(batch.positions.size(), batch.tokens.size());
@@ -77,10 +91,14 @@ Tensor Transformer::Forward(KvPool* pool, const ForwardBatch& batch) const {
   const int64_t head_dim = config_.head_dim;
   const int64_t num_heads = config_.num_heads;
   const int64_t num_kv_heads = config_.num_kv_heads;
+  const int64_t q_width = num_heads * head_dim;
+  const int64_t kv_width = num_kv_heads * head_dim;
+  const int64_t qkv_width = q_width + 2 * kv_width;
+  const int64_t num_logit_rows = static_cast<int64_t>(batch.logit_rows.size());
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
 
-  // Token (+ learned position) embeddings. Validate serially (CHECK failures
-  // must not fire on a pool worker), then gather rows in parallel.
+  // Validate everything serially up front (CHECK failures must not fire on a
+  // pool worker, and nothing below may allocate on the steady-state path).
   for (int64_t t = 0; t < num_tokens; ++t) {
     const int32_t tok = batch.tokens[static_cast<size_t>(t)];
     PENSIEVE_CHECK_GE(tok, 0);
@@ -89,7 +107,32 @@ Tensor Transformer::Forward(KvPool* pool, const ForwardBatch& batch) const {
       PENSIEVE_CHECK_LT(batch.positions[static_cast<size_t>(t)], config_.max_context);
     }
   }
-  Tensor x({num_tokens, h});
+  for (int64_t row : batch.logit_rows) {
+    PENSIEVE_CHECK_GE(row, 0);
+    PENSIEVE_CHECK_LT(row, num_tokens);
+  }
+
+  // All intermediates are borrowed from the arena, hoisted out of the layer
+  // loop and reused across layers. After the first pass at a given batch
+  // size the arena never grows, so the pass is allocation-free.
+  workspace_.Reset();
+  Tensor x = workspace_.Alloc({num_tokens, h});
+  Tensor normed = workspace_.Alloc({num_tokens, h});  // attn + ffn pre-norms
+  Tensor qkv = workspace_.Alloc({num_tokens, qkv_width});
+  Tensor q = workspace_.Alloc({num_tokens, num_heads, head_dim});
+  Tensor k = workspace_.Alloc({num_tokens, num_kv_heads, head_dim});
+  Tensor v = workspace_.Alloc({num_tokens, num_kv_heads, head_dim});
+  Tensor attn_out = workspace_.Alloc({num_tokens, num_heads, head_dim});
+  Tensor proj = workspace_.Alloc({num_tokens, h});  // attn proj + ffn down
+  Tensor up = workspace_.Alloc({num_tokens, config_.ffn_hidden});
+  Tensor gate;
+  if (config_.gated_ffn) {
+    gate = workspace_.Alloc({num_tokens, config_.ffn_hidden});
+  }
+  Tensor selected = workspace_.Alloc({num_logit_rows, h});
+  Tensor selected_normed = workspace_.Alloc({num_logit_rows, h});
+
+  // Token (+ learned position) embeddings: gather rows in parallel.
   ParallelFor(
       0, num_tokens,
       [&](int64_t token_begin, int64_t token_end) {
@@ -112,18 +155,12 @@ Tensor Transformer::Forward(KvPool* pool, const ForwardBatch& batch) const {
   for (int64_t l = 0; l < config_.num_layers; ++l) {
     const LayerWeights& w = layers_[static_cast<size_t>(l)];
     // --- Attention block (pre-norm residual) ---
-    Tensor normed = Normalize(x, w.attn_norm_gain, w.attn_norm_bias);
-    Tensor qkv = MatMulTransposedB(normed, w.wqkv);
+    NormalizeInto(x, w.attn_norm_gain, w.attn_norm_bias, &normed);
+    MatMulPackedInto(normed, w.wqkv_packed, &qkv);
     if (config_.qkv_bias) {
       AddBiasInPlace(qkv, w.bqkv);
     }
     // Split into Q [T, H, D] and K/V [T, KVH, D].
-    Tensor q({num_tokens, num_heads, head_dim});
-    Tensor k({num_tokens, num_kv_heads, head_dim});
-    Tensor v({num_tokens, num_kv_heads, head_dim});
-    const int64_t q_width = num_heads * head_dim;
-    const int64_t kv_width = num_kv_heads * head_dim;
-    const int64_t qkv_width = q_width + 2 * kv_width;
     ParallelFor(
         0, num_tokens,
         [&](int64_t token_begin, int64_t token_end) {
@@ -145,19 +182,23 @@ Tensor Transformer::Forward(KvPool* pool, const ForwardBatch& batch) const {
       pool->WriteToken(slot.block, l, slot.slot, k.data() + t * kv_width,
                        v.data() + t * kv_width);
     }
-    Tensor attn_out({num_tokens, num_heads, head_dim});
-    MultiTokenPagedAttention(*pool, l, q, batch.subs, scale, &attn_out);
-    Tensor attn_flat = attn_out.Reshaped({num_tokens, q_width});
-    Tensor proj = MatMulTransposedB(attn_flat, w.wo);
+    // Rows not addressed by any sub-request must still read as zeros (the
+    // arena hands back dirty memory; the owned-tensor version was zeroed).
+    std::memset(attn_out.data(), 0,
+                static_cast<size_t>(attn_out.numel()) * sizeof(float));
+    MultiTokenPagedAttention(*pool, l, q, batch.subs, scale, &attn_out,
+                             &workspace_);
+    Tensor attn_flat = attn_out.Reshaped({num_tokens, q_width});  // free alias
+    MatMulPackedInto(attn_flat, w.wo_packed, &proj);
     AddBiasInPlace(proj, w.bo);
     AddInPlace(x, proj);
 
     // --- FFN block (pre-norm residual) ---
-    Tensor ffn_in = Normalize(x, w.ffn_norm_gain, w.ffn_norm_bias);
-    Tensor up = MatMulTransposedB(ffn_in, w.w_up);
+    NormalizeInto(x, w.ffn_norm_gain, w.ffn_norm_bias, &normed);
+    MatMulPackedInto(normed, w.w_up_packed, &up);
     AddBiasInPlace(up, w.b_up);
     if (config_.gated_ffn) {
-      Tensor gate = MatMulTransposedB(ffn_in, w.w_gate);
+      MatMulPackedInto(normed, w.w_gate_packed, &gate);
       switch (config_.activation) {
         case Activation::kSilu:
           SiluInPlace(gate);
@@ -183,22 +224,29 @@ Tensor Transformer::Forward(KvPool* pool, const ForwardBatch& batch) const {
           break;
       }
     }
-    Tensor down = MatMulTransposedB(up, w.w_down);
-    AddBiasInPlace(down, w.b_down);
-    AddInPlace(x, down);
+    MatMulPackedInto(up, w.w_down_packed, &proj);
+    AddBiasInPlace(proj, w.b_down);
+    AddInPlace(x, proj);
   }
 
   // Final norm + tied LM head on the requested rows only.
-  Tensor selected({static_cast<int64_t>(batch.logit_rows.size()), h});
   for (size_t i = 0; i < batch.logit_rows.size(); ++i) {
     const int64_t row = batch.logit_rows[i];
-    PENSIEVE_CHECK_GE(row, 0);
-    PENSIEVE_CHECK_LT(row, num_tokens);
     std::copy(x.data() + row * h, x.data() + (row + 1) * h,
               selected.data() + static_cast<int64_t>(i) * h);
   }
-  Tensor normed = Normalize(selected, final_norm_gain_, final_norm_bias_);
-  return MatMulTransposedB(normed, embedding_);
+  NormalizeInto(selected, final_norm_gain_, final_norm_bias_, &selected_normed);
+  const Shape logits_shape{num_logit_rows, config_.vocab_size};
+  if (logits->shape() != logits_shape) {
+    *logits = Tensor(logits_shape);
+  }
+  MatMulPackedInto(selected_normed, lm_head_packed_, logits);
+}
+
+Tensor Transformer::Forward(KvPool* pool, const ForwardBatch& batch) const {
+  Tensor logits;
+  ForwardInto(pool, batch, &logits);
+  return logits;
 }
 
 int32_t Transformer::Greedy(const Tensor& logits, int64_t row) {

@@ -7,6 +7,14 @@
 // Figure 8 steps b-d). Weights are randomly initialized — serving-system
 // behaviour is independent of weight values — and deterministic in the seed,
 // so stateful and stateless execution can be compared token for token.
+//
+// Performance structure. Every projection matrix is repacked once at
+// construction into the panel layout the cache-blocked GEMM consumes
+// (src/tensor/packed_matrix.h). All intermediate activations live in a
+// per-model Workspace arena (src/tensor/workspace.h) that is rewound — not
+// freed — at the top of each pass, so a warmed-up ForwardInto performs zero
+// heap allocations; tests/workspace_test.cc pins that with an
+// operator-new counting hook.
 
 #ifndef PENSIEVE_SRC_MODEL_TRANSFORMER_H_
 #define PENSIEVE_SRC_MODEL_TRANSFORMER_H_
@@ -17,7 +25,9 @@
 #include "src/kernels/attention.h"
 #include "src/kvcache/kv_pool.h"
 #include "src/model/model_config.h"
+#include "src/tensor/packed_matrix.h"
 #include "src/tensor/tensor.h"
+#include "src/tensor/workspace.h"
 
 namespace pensieve {
 
@@ -48,12 +58,24 @@ class Transformer {
 
   const ModelConfig& config() const { return config_; }
 
-  // Runs the batch, updating the pool, and returns logits
-  // [logit_rows.size(), vocab_size].
+  // Runs the batch, updating the pool, and writes logits
+  // [logit_rows.size(), vocab_size] into *logits. If *logits already has
+  // that shape its buffer is reused (the steady-state decode path: no
+  // allocation at all); otherwise it is replaced with a freshly allocated
+  // tensor. Intermediate activations come from the internal workspace, so
+  // the call is NOT reentrant: one Forward/ForwardInto at a time per model
+  // instance.
+  void ForwardInto(KvPool* pool, const ForwardBatch& batch, Tensor* logits) const;
+
+  // Allocating convenience wrapper around ForwardInto. The returned tensor
+  // owns its buffer (it never aliases the workspace).
   Tensor Forward(KvPool* pool, const ForwardBatch& batch) const;
 
   // Argmax over one logits row.
   static int32_t Greedy(const Tensor& logits, int64_t row);
+
+  // Test hook: the activation arena, for asserting reuse across passes.
+  const Workspace& workspace() const { return workspace_; }
 
  private:
   struct LayerWeights {
@@ -70,9 +92,17 @@ class Transformer {
     Tensor w_gate;  // gated FFN only
     Tensor w_down;  // [hidden, ffn_hidden]
     Tensor b_down;  // [hidden]
+    // Panel-packed copies of the projection matrices, built once in the
+    // constructor; the forward pass only ever multiplies against these.
+    PackedMatrix wqkv_packed;
+    PackedMatrix wo_packed;
+    PackedMatrix w_up_packed;
+    PackedMatrix w_gate_packed;  // gated FFN only
+    PackedMatrix w_down_packed;
   };
 
-  Tensor Normalize(const Tensor& x, const Tensor& gain, const Tensor& bias) const;
+  void NormalizeInto(const Tensor& x, const Tensor& gain, const Tensor& bias,
+                     Tensor* out) const;
 
   ModelConfig config_;
   Tensor embedding_;      // [vocab, hidden]; tied LM head
@@ -80,6 +110,10 @@ class Transformer {
   Tensor final_norm_gain_;
   Tensor final_norm_bias_;
   std::vector<LayerWeights> layers_;
+  PackedMatrix lm_head_packed_;  // packed embedding_ (tied LM head)
+  // Activation arena, rewound per pass. Mutable: arena reuse is invisible in
+  // the numeric results, so Forward stays logically const.
+  mutable Workspace workspace_;
 };
 
 }  // namespace pensieve

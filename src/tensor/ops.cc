@@ -21,16 +21,16 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   // i-k-j loop order keeps the inner loop streaming over contiguous rows of
   // B and C, which is the cache-friendly order for row-major data. Rows of C
   // are independent, so the row loop is partitioned; the k-reduction for a
-  // row never crosses a chunk boundary (determinism contract).
+  // row never crosses a chunk boundary (determinism contract). The inner
+  // loop is branch-free: skipping zero A elements would trade a predictable
+  // FMA stream for a value-dependent branch that the predictor loses on
+  // dense activations.
   ParallelFor(
       0, m,
       [&](int64_t row_begin, int64_t row_end) {
         for (int64_t i = row_begin; i < row_end; ++i) {
           for (int64_t kk = 0; kk < k; ++kk) {
             const float av = ap[i * k + kk];
-            if (av == 0.0f) {
-              continue;
-            }
             const float* brow = bp + kk * n;
             float* crow = cp + i * n;
             for (int64_t j = 0; j < n; ++j) {
@@ -43,6 +43,29 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   return c;
 }
 
+namespace {
+
+// Dot product of one activation row against one weight row, with the fixed
+// 4-accumulator association both MatMulTransposedB partitioning paths share
+// (determinism contract: the value of C[i, j] must not depend on which path
+// or chunk computed it).
+inline float TransposedDot(const float* arow, const float* brow, int64_t k) {
+  float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+  int64_t kk = 0;
+  for (; kk + 4 <= k; kk += 4) {
+    a0 += arow[kk] * brow[kk];
+    a1 += arow[kk + 1] * brow[kk + 1];
+    a2 += arow[kk + 2] * brow[kk + 2];
+    a3 += arow[kk + 3] * brow[kk + 3];
+  }
+  for (; kk < k; ++kk) {
+    a0 += arow[kk] * brow[kk];
+  }
+  return (a0 + a1) + (a2 + a3);
+}
+
+}  // namespace
+
 Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
   PENSIEVE_CHECK_EQ(a.rank(), 2u);
   PENSIEVE_CHECK_EQ(b.rank(), 2u);
@@ -54,25 +77,30 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
   const float* ap = a.data();
   const float* bp = b.data();
   float* cp = c.data();
+  if (m <= 8 && m > 0) {
+    // Decode-sized batches: partitioning over the m rows would leave every
+    // thread but one idle, so partition over output columns instead. Each
+    // C element is still one TransposedDot, so bits match the row path.
+    ParallelFor(
+        0, n,
+        [&](int64_t col_begin, int64_t col_end) {
+          for (int64_t i = 0; i < m; ++i) {
+            const float* arow = ap + i * k;
+            for (int64_t j = col_begin; j < col_end; ++j) {
+              cp[i * n + j] = TransposedDot(arow, bp + j * k, k);
+            }
+          }
+        },
+        GrainForItemCost(m * k));
+    return c;
+  }
   ParallelFor(
       0, m,
       [&](int64_t row_begin, int64_t row_end) {
         for (int64_t i = row_begin; i < row_end; ++i) {
           const float* arow = ap + i * k;
           for (int64_t j = 0; j < n; ++j) {
-            const float* brow = bp + j * k;
-            float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
-            int64_t kk = 0;
-            for (; kk + 4 <= k; kk += 4) {
-              a0 += arow[kk] * brow[kk];
-              a1 += arow[kk + 1] * brow[kk + 1];
-              a2 += arow[kk + 2] * brow[kk + 2];
-              a3 += arow[kk + 3] * brow[kk + 3];
-            }
-            for (; kk < k; ++kk) {
-              a0 += arow[kk] * brow[kk];
-            }
-            cp[i * n + j] = (a0 + a1) + (a2 + a3);
+            cp[i * n + j] = TransposedDot(arow, bp + j * k, k);
           }
         }
       },
@@ -142,17 +170,18 @@ void SoftmaxRowsInPlace(Tensor& x) {
       GrainForItemCost(n));
 }
 
-Tensor LayerNorm(const Tensor& x, const Tensor& gain, const Tensor& bias, float eps) {
+void LayerNormInto(const Tensor& x, const Tensor& gain, const Tensor& bias,
+                   float eps, Tensor* out) {
   PENSIEVE_CHECK_EQ(x.rank(), 2u);
   const int64_t m = x.dim(0);
   const int64_t n = x.dim(1);
   PENSIEVE_CHECK_EQ(gain.dim(0), n);
   PENSIEVE_CHECK_EQ(bias.dim(0), n);
-  Tensor out({m, n});
+  PENSIEVE_CHECK(out->SameShape(x));
   const float* xp = x.data();
   const float* gp = gain.data();
   const float* bp = bias.data();
-  float* op = out.data();
+  float* op = out->data();
   ParallelFor(
       0, m,
       [&](int64_t row_begin, int64_t row_end) {
@@ -176,18 +205,23 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gain, const Tensor& bias, float 
         }
       },
       GrainForItemCost(n));
+}
+
+Tensor LayerNorm(const Tensor& x, const Tensor& gain, const Tensor& bias, float eps) {
+  Tensor out(x.shape());
+  LayerNormInto(x, gain, bias, eps, &out);
   return out;
 }
 
-Tensor RmsNorm(const Tensor& x, const Tensor& gain, float eps) {
+void RmsNormInto(const Tensor& x, const Tensor& gain, float eps, Tensor* out) {
   PENSIEVE_CHECK_EQ(x.rank(), 2u);
   const int64_t m = x.dim(0);
   const int64_t n = x.dim(1);
   PENSIEVE_CHECK_EQ(gain.dim(0), n);
-  Tensor out({m, n});
+  PENSIEVE_CHECK(out->SameShape(x));
   const float* xp = x.data();
   const float* gp = gain.data();
-  float* op = out.data();
+  float* op = out->data();
   ParallelFor(
       0, m,
       [&](int64_t row_begin, int64_t row_end) {
@@ -206,6 +240,11 @@ Tensor RmsNorm(const Tensor& x, const Tensor& gain, float eps) {
         }
       },
       GrainForItemCost(n));
+}
+
+Tensor RmsNorm(const Tensor& x, const Tensor& gain, float eps) {
+  Tensor out(x.shape());
+  RmsNormInto(x, gain, eps, &out);
   return out;
 }
 

@@ -37,6 +37,13 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gain, const Tensor& bias, float 
 // RMSNorm (Zhang & Sennrich) over the last dimension with learned gain.
 Tensor RmsNorm(const Tensor& x, const Tensor& gain, float eps);
 
+// Out-parameter norm variants for the allocation-free forward pass; *out
+// must already have x's shape (typically a workspace-borrowed tensor) and
+// may not alias x.
+void LayerNormInto(const Tensor& x, const Tensor& gain, const Tensor& bias,
+                   float eps, Tensor* out);
+void RmsNormInto(const Tensor& x, const Tensor& gain, float eps, Tensor* out);
+
 // Elementwise activations.
 void SiluInPlace(Tensor& x);
 void GeluInPlace(Tensor& x);

@@ -1,0 +1,276 @@
+#include "src/tensor/packed_matrix.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/thread_pool.h"
+
+// x86-64 builds get a runtime-dispatched AVX2+FMA microkernel next to the
+// portable one: the binary itself stays baseline (no -mavx2 build flag
+// required), and the dispatcher below picks the wide kernel only when the
+// CPU reports support.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PENSIEVE_GEMM_X86_DISPATCH 1
+#include <immintrin.h>
+#endif
+
+namespace pensieve {
+
+PackedMatrix::PackedMatrix(const Tensor& w) {
+  PENSIEVE_CHECK_EQ(w.rank(), 2u);
+  out_dim_ = w.dim(0);
+  in_dim_ = w.dim(1);
+  num_panels_ = (out_dim_ + kGemmNR - 1) / kGemmNR;
+  data_.assign(static_cast<size_t>(num_panels_ * in_dim_ * kGemmNR), 0.0f);
+  const float* wp = w.data();
+  float* dp = data_.data();
+  const int64_t k = in_dim_;
+  ParallelFor(
+      0, num_panels_,
+      [&](int64_t p_begin, int64_t p_end) {
+        for (int64_t p = p_begin; p < p_end; ++p) {
+          const int64_t ncols = std::min(kGemmNR, out_dim_ - p * kGemmNR);
+          float* panel = dp + p * k * kGemmNR;
+          for (int64_t j = 0; j < ncols; ++j) {
+            const float* wrow = wp + (p * kGemmNR + j) * k;
+            for (int64_t kk = 0; kk < k; ++kk) {
+              panel[kk * kGemmNR + j] = wrow[kk];
+            }
+          }
+        }
+      },
+      GrainForItemCost(k * kGemmNR));
+}
+
+namespace {
+
+// One MR x kGemmNR register tile over k-range [0, kc) of a packed panel
+// block. `first` selects store-vs-accumulate into C; per output element this
+// yields the fixed reduction order documented in the header. MR is a
+// template parameter so the accumulator array stays in registers; the
+// per-element arithmetic order is identical for every MR, which keeps the
+// same row bit-identical across batch sizes.
+template <int MR>
+void MicroKernel(const float* a, int64_t lda, const float* bblock, int64_t kc,
+                 bool first, float* c, int64_t ldc, int64_t ncols) {
+  float acc[MR][kGemmNR] = {{0.0f}};
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const float* brow = bblock + kk * kGemmNR;
+    for (int r = 0; r < MR; ++r) {
+      const float av = a[r * lda + kk];
+      for (int64_t j = 0; j < kGemmNR; ++j) {
+        acc[r][j] += av * brow[j];
+      }
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    float* crow = c + r * ldc;
+    if (first) {
+      for (int64_t j = 0; j < ncols; ++j) {
+        crow[j] = acc[r][j];
+      }
+    } else {
+      for (int64_t j = 0; j < ncols; ++j) {
+        crow[j] += acc[r][j];
+      }
+    }
+  }
+}
+
+// Computes C rows covered by row-blocks [rb_begin, rb_end) against panels
+// [p_begin, p_end). Shared by both partitioning paths so their
+// per-element reduction order is identical by construction. Loop nest is
+// kb -> panel -> row-block: the kc x kNR packed B block stays L1-resident
+// across all row-blocks of the chunk.
+void ComputeRange(const float* ap, int64_t m, int64_t k, const PackedMatrix& w,
+                  float* cp, int64_t n, int64_t rb_begin, int64_t rb_end,
+                  int64_t p_begin, int64_t p_end) {
+  for (int64_t kb = 0; kb < k; kb += kGemmKC) {
+    const int64_t kc = std::min(kGemmKC, k - kb);
+    const bool first = kb == 0;
+    for (int64_t p = p_begin; p < p_end; ++p) {
+      const int64_t j0 = p * kGemmNR;
+      const int64_t ncols = std::min(kGemmNR, n - j0);
+      const float* bblock = w.panel(p) + kb * kGemmNR;
+      for (int64_t rb = rb_begin; rb < rb_end; ++rb) {
+        const int64_t i0 = rb * kGemmMR;
+        const int64_t mr = std::min(kGemmMR, m - i0);
+        const float* ablock = ap + i0 * k + kb;
+        float* cblock = cp + i0 * n + j0;
+        switch (mr) {
+          case 1:
+            MicroKernel<1>(ablock, k, bblock, kc, first, cblock, n, ncols);
+            break;
+          case 2:
+            MicroKernel<2>(ablock, k, bblock, kc, first, cblock, n, ncols);
+            break;
+          case 3:
+            MicroKernel<3>(ablock, k, bblock, kc, first, cblock, n, ncols);
+            break;
+          default:
+            MicroKernel<4>(ablock, k, bblock, kc, first, cblock, n, ncols);
+            break;
+        }
+      }
+    }
+  }
+}
+
+#if PENSIEVE_GEMM_X86_DISPATCH
+
+// AVX2+FMA twin of MicroKernel: one kGemmNR-wide panel row is exactly one
+// ymm vector, so the MR x NR tile is MR ymm accumulators fed by one fused
+// multiply-add per (row, k) step. Per output element the reduction order is
+// the same kk-ascending order as the generic kernel and identical across
+// every MR, so the batch-size/path bit-identity invariants carry over
+// unchanged; only the rounding differs from the generic kernel (FMA skips
+// the intermediate product rounding), which is why dispatch is per-process:
+// one variant serves every call, whatever its partitioning.
+template <int MR>
+__attribute__((target("avx2,fma"))) void MicroKernelAvx2(
+    const float* a, int64_t lda, const float* bblock, int64_t kc, bool first,
+    float* c, int64_t ldc, int64_t ncols) {
+  static_assert(kGemmNR == 8, "one panel row == one 8-float ymm vector");
+  __m256 acc[MR];
+  for (int r = 0; r < MR; ++r) {
+    acc[r] = _mm256_setzero_ps();
+  }
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const __m256 b = _mm256_loadu_ps(bblock + kk * kGemmNR);
+    for (int r = 0; r < MR; ++r) {
+      acc[r] = _mm256_fmadd_ps(_mm256_set1_ps(a[r * lda + kk]), b, acc[r]);
+    }
+  }
+  if (ncols == kGemmNR) {
+    for (int r = 0; r < MR; ++r) {
+      float* crow = c + r * ldc;
+      if (first) {
+        _mm256_storeu_ps(crow, acc[r]);
+      } else {
+        _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), acc[r]));
+      }
+    }
+  } else {
+    // Ragged last panel: the accumulators hold the full 8 lanes (the panel
+    // is zero-padded), only ncols of them are real outputs.
+    alignas(32) float tmp[kGemmNR];
+    for (int r = 0; r < MR; ++r) {
+      _mm256_store_ps(tmp, acc[r]);
+      float* crow = c + r * ldc;
+      if (first) {
+        for (int64_t j = 0; j < ncols; ++j) {
+          crow[j] = tmp[j];
+        }
+      } else {
+        for (int64_t j = 0; j < ncols; ++j) {
+          crow[j] += tmp[j];
+        }
+      }
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void ComputeRangeAvx2(
+    const float* ap, int64_t m, int64_t k, const PackedMatrix& w, float* cp,
+    int64_t n, int64_t rb_begin, int64_t rb_end, int64_t p_begin,
+    int64_t p_end) {
+  for (int64_t kb = 0; kb < k; kb += kGemmKC) {
+    const int64_t kc = std::min(kGemmKC, k - kb);
+    const bool first = kb == 0;
+    for (int64_t p = p_begin; p < p_end; ++p) {
+      const int64_t j0 = p * kGemmNR;
+      const int64_t ncols = std::min(kGemmNR, n - j0);
+      const float* bblock = w.panel(p) + kb * kGemmNR;
+      for (int64_t rb = rb_begin; rb < rb_end; ++rb) {
+        const int64_t i0 = rb * kGemmMR;
+        const int64_t mr = std::min(kGemmMR, m - i0);
+        const float* ablock = ap + i0 * k + kb;
+        float* cblock = cp + i0 * n + j0;
+        switch (mr) {
+          case 1:
+            MicroKernelAvx2<1>(ablock, k, bblock, kc, first, cblock, n, ncols);
+            break;
+          case 2:
+            MicroKernelAvx2<2>(ablock, k, bblock, kc, first, cblock, n, ncols);
+            break;
+          case 3:
+            MicroKernelAvx2<3>(ablock, k, bblock, kc, first, cblock, n, ncols);
+            break;
+          default:
+            MicroKernelAvx2<4>(ablock, k, bblock, kc, first, cblock, n, ncols);
+            break;
+        }
+      }
+    }
+  }
+}
+
+#endif  // PENSIEVE_GEMM_X86_DISPATCH
+
+using ComputeRangeFn = void (*)(const float*, int64_t, int64_t,
+                                const PackedMatrix&, float*, int64_t, int64_t,
+                                int64_t, int64_t, int64_t);
+
+// Picked once per process so every GEMM call — any path, any thread count —
+// runs the same instruction sequence, keeping results bit-reproducible
+// within a run.
+ComputeRangeFn PickComputeRange() {
+#if PENSIEVE_GEMM_X86_DISPATCH
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return ComputeRangeAvx2;
+  }
+#endif
+  return ComputeRange;
+}
+
+const ComputeRangeFn kComputeRange = PickComputeRange();
+
+// Decode-sized matmuls (m <= kGemvMaxRows) partition over output panels
+// instead of rows; a single-token step otherwise runs on one thread.
+constexpr int64_t kGemvMaxRows = 8;
+
+}  // namespace
+
+void MatMulPackedInto(const Tensor& a, const PackedMatrix& w, Tensor* c) {
+  PENSIEVE_CHECK_EQ(a.rank(), 2u);
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  PENSIEVE_CHECK_EQ(k, w.in_dim());
+  const int64_t n = w.out_dim();
+  PENSIEVE_CHECK_EQ(c->rank(), 2u);
+  PENSIEVE_CHECK_EQ(c->dim(0), m);
+  PENSIEVE_CHECK_EQ(c->dim(1), n);
+  if (m == 0 || n == 0) {
+    return;
+  }
+  const float* ap = a.data();
+  float* cp = c->data();
+  if (k == 0) {
+    std::memset(cp, 0, static_cast<size_t>(m * n) * sizeof(float));
+    return;
+  }
+  const int64_t num_row_blocks = (m + kGemmMR - 1) / kGemmMR;
+  if (m <= kGemvMaxRows) {
+    ParallelFor(
+        0, w.num_panels(),
+        [&](int64_t p_begin, int64_t p_end) {
+          kComputeRange(ap, m, k, w, cp, n, 0, num_row_blocks, p_begin, p_end);
+        },
+        GrainForItemCost(m * k * kGemmNR));
+    return;
+  }
+  ParallelFor(
+      0, num_row_blocks,
+      [&](int64_t rb_begin, int64_t rb_end) {
+        kComputeRange(ap, m, k, w, cp, n, rb_begin, rb_end, 0, w.num_panels());
+      },
+      GrainForItemCost(kGemmMR * k * n));
+}
+
+Tensor MatMulPacked(const Tensor& a, const PackedMatrix& w) {
+  Tensor c({a.dim(0), w.out_dim()});
+  MatMulPackedInto(a, w, &c);
+  return c;
+}
+
+}  // namespace pensieve

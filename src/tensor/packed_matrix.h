@@ -1,0 +1,92 @@
+// Prepacked weight matrices and the cache-blocked GEMM that consumes them.
+//
+// Every static projection matrix in the model (wqkv, wo, the FFN mats, the
+// tied LM head) is multiplied thousands of times against activations but
+// never changes after load. PackedMatrix pays a one-time reorganisation of
+// the [out, in] row-major weight into NR-wide column panels so that the hot
+// GEMM loop reads both operands with unit stride and keeps an MR x NR
+// accumulator tile in registers — the same GotoBLAS/BLIS structure Cutlass
+// applies on the GPU side of the paper's implementation.
+//
+// Layout. Output columns are grouped into panels of kNR; within panel p the
+// elements are k-major: packed[p][kk][j] = W[p * kNR + j][kk]. A microkernel
+// step therefore loads one contiguous kNR-vector of B per k-step. The last
+// panel is zero-padded to full width, so the microkernel never branches on
+// column remainder (stores are still clipped to the real width).
+//
+// Determinism. For every output element C[i][j] the k-reduction order is a
+// pure function of k alone: kKC-sized blocks ascending, plain ascending
+// accumulation inside each block, one add into C per block. Both
+// partitioning strategies (over row-blocks for large m, over panels for the
+// decode GEMV path) and every row-remainder microkernel variant follow this
+// exact order, so results are bit-identical across thread counts, across
+// the two paths, and for the same row regardless of batch size — the
+// contract tests/thread_determinism_test.cc pins.
+//
+// Microkernels. x86-64 builds carry two microkernel bodies: a portable one
+// the autovectorizer lowers to SSE, and an AVX2+FMA one (one panel row ==
+// one ymm, MR fused multiply-adds per k-step) selected once per process via
+// __builtin_cpu_supports — the binary needs no -mavx2 to build or to run on
+// older CPUs. Both follow the reduction order above; FMA rounds differently
+// than mul+add, so absolute values may differ *between* the two variants,
+// but never within a process (one variant serves every call).
+
+#ifndef PENSIEVE_SRC_TENSOR_PACKED_MATRIX_H_
+#define PENSIEVE_SRC_TENSOR_PACKED_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace pensieve {
+
+// Register-tile and cache-block constants for the packed GEMM. Sized for a
+// baseline SSE2 target: an MR x NR = 4 x 8 float accumulator tile uses 8 of
+// the 16 xmm registers, and a kKC x kNR packed B block (512 * 8 * 4B = 16KB)
+// fits in half an L1d.
+inline constexpr int64_t kGemmNR = 8;
+inline constexpr int64_t kGemmMR = 4;
+inline constexpr int64_t kGemmKC = 512;
+
+// A weight matrix W[out, in] repacked into kNR-wide, k-major column panels.
+// Built once at model-construction time; immutable afterwards.
+class PackedMatrix {
+ public:
+  // Empty placeholder (0 x 0); assign a packed value before use.
+  PackedMatrix() = default;
+
+  // Packs w (rank 2, [out, in]). Parallelized over panels.
+  explicit PackedMatrix(const Tensor& w);
+
+  int64_t out_dim() const { return out_dim_; }
+  int64_t in_dim() const { return in_dim_; }
+  int64_t num_panels() const { return num_panels_; }
+
+  // Start of panel p: in_dim() rows of kGemmNR contiguous floats.
+  const float* panel(int64_t p) const {
+    PENSIEVE_CHECK_LT(p, num_panels_);
+    return data_.data() + p * in_dim_ * kGemmNR;
+  }
+
+ private:
+  int64_t out_dim_ = 0;
+  int64_t in_dim_ = 0;
+  int64_t num_panels_ = 0;
+  std::vector<float> data_;
+};
+
+// C[m, out] = A[m, in] * W^T for a prepacked W. Overwrites c (no need to
+// zero it first); c must already have shape [m, out]. Equivalent to
+// MatMulTransposedB(a, w) up to floating-point reassociation.
+//
+// m > 8 partitions over row-blocks; m <= 8 (decode) partitions over column
+// panels so single-token steps still use every thread.
+void MatMulPackedInto(const Tensor& a, const PackedMatrix& w, Tensor* c);
+
+// Allocating wrapper around MatMulPackedInto.
+Tensor MatMulPacked(const Tensor& a, const PackedMatrix& w);
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_TENSOR_PACKED_MATRIX_H_

@@ -1,14 +1,14 @@
 #include "src/tensor/tensor.h"
 
+#include <algorithm>
 #include <cmath>
-#include <numeric>
 #include <sstream>
 
 namespace pensieve {
 
 namespace {
 
-int64_t ComputeNumel(const std::vector<int64_t>& shape) {
+int64_t ComputeNumel(const Shape& shape) {
   int64_t numel = 1;
   for (int64_t d : shape) {
     PENSIEVE_CHECK_GE(d, 0);
@@ -19,23 +19,29 @@ int64_t ComputeNumel(const std::vector<int64_t>& shape) {
 
 }  // namespace
 
-Tensor::Tensor(std::vector<int64_t> shape)
-    : shape_(std::move(shape)), numel_(ComputeNumel(shape_)),
-      data_(static_cast<size_t>(numel_), 0.0f) {
-  PENSIEVE_CHECK_LE(shape_.size(), 4u);
-}
+Tensor::Tensor(Shape shape)
+    : shape_(shape), numel_(ComputeNumel(shape_)),
+      data_(static_cast<size_t>(numel_), 0.0f) {}
 
-Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> data)
-    : shape_(std::move(shape)), numel_(ComputeNumel(shape_)), data_(std::move(data)) {
-  PENSIEVE_CHECK_LE(shape_.size(), 4u);
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(shape), numel_(ComputeNumel(shape_)), data_(std::move(data)) {
   PENSIEVE_CHECK_EQ(static_cast<int64_t>(data_.size()), numel_);
 }
 
-Tensor Tensor::Zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
+Tensor Tensor::Zeros(Shape shape) { return Tensor(shape); }
 
-Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
-  Tensor t(std::move(shape));
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(shape);
   std::fill(t.data_.begin(), t.data_.end(), value);
+  return t;
+}
+
+Tensor Tensor::Borrowed(float* buffer, Shape shape) {
+  Tensor t;
+  t.shape_ = shape;
+  t.numel_ = ComputeNumel(t.shape_);
+  PENSIEVE_CHECK(buffer != nullptr || t.numel_ == 0);
+  t.view_ = buffer;
   return t;
 }
 
@@ -53,16 +59,19 @@ int64_t Tensor::FlatIndex(std::initializer_list<int64_t> idx) const {
 }
 
 float& Tensor::at(std::initializer_list<int64_t> idx) {
-  return data_[static_cast<size_t>(FlatIndex(idx))];
+  return data()[FlatIndex(idx)];
 }
 
 float Tensor::at(std::initializer_list<int64_t> idx) const {
-  return data_[static_cast<size_t>(FlatIndex(idx))];
+  return data()[FlatIndex(idx)];
 }
 
-Tensor Tensor::Reshaped(std::vector<int64_t> new_shape) const {
+Tensor Tensor::Reshaped(Shape new_shape) const {
   PENSIEVE_CHECK_EQ(ComputeNumel(new_shape), numel_);
-  return Tensor(std::move(new_shape), data_);
+  if (view_ != nullptr) {
+    return Borrowed(view_, new_shape);
+  }
+  return Tensor(new_shape, data_);
 }
 
 Tensor Tensor::SliceRows(int64_t begin, int64_t end) const {
@@ -71,11 +80,11 @@ Tensor Tensor::SliceRows(int64_t begin, int64_t end) const {
   PENSIEVE_CHECK_LE(begin, end);
   PENSIEVE_CHECK_LE(end, shape_[0]);
   int64_t row_size = shape_[0] > 0 ? numel_ / shape_[0] : 0;
-  std::vector<int64_t> new_shape = shape_;
+  Shape new_shape = shape_;
   new_shape[0] = end - begin;
-  std::vector<float> new_data(data_.begin() + static_cast<size_t>(begin * row_size),
-                              data_.begin() + static_cast<size_t>(end * row_size));
-  return Tensor(std::move(new_shape), std::move(new_data));
+  const float* base = data();
+  std::vector<float> new_data(base + begin * row_size, base + end * row_size);
+  return Tensor(new_shape, std::move(new_data));
 }
 
 std::string Tensor::ShapeString() const {

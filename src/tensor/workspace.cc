@@ -1,0 +1,93 @@
+#include "src/tensor/workspace.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace pensieve {
+
+namespace {
+
+int64_t AlignUp(int64_t n, int64_t alignment) {
+  return (n + alignment - 1) / alignment * alignment;
+}
+
+}  // namespace
+
+void Workspace::Reset() {
+  if (slabs_.size() > 1) {
+    // The previous pass overflowed the first slab. Replace the slab list
+    // with one slab of the combined capacity so the next pass of the same
+    // footprint bump-allocates out of a single block and never grows again.
+    int64_t total = 0;
+    for (const Slab& s : slabs_) {
+      total += s.size;
+    }
+    slabs_.clear();
+    AddSlab(total);
+  }
+  for (Slab& s : slabs_) {
+    s.used = 0;
+  }
+  bytes_in_use_ = 0;
+}
+
+std::byte* Workspace::AllocBytes(int64_t nbytes) {
+  PENSIEVE_CHECK_GE(nbytes, 0);
+  nbytes = AlignUp(nbytes, kAlignment);
+  if (slabs_.empty() || slabs_.back().used + nbytes > slabs_.back().size) {
+    AddSlab(nbytes);
+  }
+  Slab& slab = slabs_.back();
+  std::byte* p = slab.base + slab.used;
+  slab.used += nbytes;
+  bytes_in_use_ += nbytes;
+  return p;
+}
+
+void Workspace::AddSlab(int64_t min_size) {
+  int64_t size = std::max<int64_t>(min_size, kMinSlabBytes);
+  if (!slabs_.empty()) {
+    // Geometric growth keeps the number of overflow slabs (and therefore the
+    // number of coalescing re-allocations across the arena's lifetime)
+    // logarithmic in the peak footprint.
+    size = std::max(size, 2 * slabs_.back().size);
+  }
+  Slab slab;
+  slab.storage = std::make_unique<std::byte[]>(static_cast<size_t>(size + kAlignment));
+  ++total_slab_allocs_;
+  auto addr = reinterpret_cast<uintptr_t>(slab.storage.get());
+  uintptr_t aligned = (addr + kAlignment - 1) / kAlignment * kAlignment;
+  slab.base = slab.storage.get() + (aligned - addr);
+  slab.size = size;
+  slab.used = 0;
+  slabs_.push_back(std::move(slab));
+}
+
+float* Workspace::AllocFloats(int64_t n) {
+  return reinterpret_cast<float*>(AllocBytes(n * static_cast<int64_t>(sizeof(float))));
+}
+
+int64_t* Workspace::AllocInts(int64_t n) {
+  return reinterpret_cast<int64_t*>(
+      AllocBytes(n * static_cast<int64_t>(sizeof(int64_t))));
+}
+
+Tensor Workspace::Alloc(Shape shape) {
+  int64_t numel = 1;
+  for (int64_t d : shape) {
+    numel *= d;
+  }
+  return Tensor::Borrowed(AllocFloats(numel), shape);
+}
+
+int64_t Workspace::capacity_bytes() const {
+  int64_t total = 0;
+  for (const Slab& s : slabs_) {
+    total += s.size;
+  }
+  return total;
+}
+
+}  // namespace pensieve

@@ -1,0 +1,89 @@
+// Per-forward workspace arena: a bump allocator for transient compute
+// buffers, reused across layers and steps.
+//
+// The paper's implementation leans on PyTorch's caching allocator to keep
+// steady-state decode off the system allocator; this arena is our explicit
+// equivalent. The engine (Transformer) owns one Workspace, calls Reset() at
+// the top of each forward pass, and hands out borrowed Tensors
+// (Tensor::Borrowed) over bump-allocated storage. After the first pass has
+// sized the arena, every subsequent pass of the same or smaller footprint
+// performs zero heap allocations — tests/workspace_test.cc pins this with a
+// global operator-new counting hook.
+//
+// Lifetime rules:
+//  * A pointer or borrowed Tensor obtained from the arena is valid until
+//    the next Reset(). Reset() does not free memory, it rewinds the bump
+//    pointer (and coalesces overflow slabs into one, so the next pass runs
+//    out of a single allocation).
+//  * Nothing that must survive the forward pass may live in the arena —
+//    Transformer::ForwardInto writes logits to caller-owned storage.
+//  * The arena is single-writer: one forward pass at a time. Parallel
+//    kernels receive their scratch slices *before* the parallel region
+//    starts (see the chunk-indexed scratch in src/kernels/attention.cc).
+//
+// Buffers are 64-byte aligned so tiles used by the packed GEMM microkernel
+// never straddle cache lines.
+
+#ifndef PENSIEVE_SRC_TENSOR_WORKSPACE_H_
+#define PENSIEVE_SRC_TENSOR_WORKSPACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace pensieve {
+
+class Workspace {
+ public:
+  Workspace() = default;
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  // Rewinds the arena to empty, invalidating everything allocated since the
+  // previous Reset. Capacity is kept; if the previous pass overflowed into
+  // extra slabs they are coalesced into one slab of the combined size.
+  void Reset();
+
+  // Bump-allocates uninitialized, 64-byte-aligned storage valid until the
+  // next Reset().
+  float* AllocFloats(int64_t n);
+  int64_t* AllocInts(int64_t n);
+
+  // Borrowed tensor over AllocFloats(numel(shape)); contents uninitialized.
+  Tensor Alloc(Shape shape);
+
+  // Bytes handed out since the last Reset().
+  int64_t bytes_in_use() const { return bytes_in_use_; }
+  // Total capacity across slabs.
+  int64_t capacity_bytes() const;
+  // Test hook: number of slab (heap) allocations ever made. Stable across
+  // passes once the arena is warm.
+  int64_t total_slab_allocs() const { return total_slab_allocs_; }
+  size_t num_slabs() const { return slabs_.size(); }
+
+ private:
+  static constexpr int64_t kAlignment = 64;
+  static constexpr int64_t kMinSlabBytes = 64 * 1024;
+
+  struct Slab {
+    std::unique_ptr<std::byte[]> storage;  // raw, over-allocated by kAlignment
+    std::byte* base = nullptr;             // aligned start
+    int64_t size = 0;                      // usable bytes from base
+    int64_t used = 0;
+  };
+
+  std::byte* AllocBytes(int64_t nbytes);
+  void AddSlab(int64_t min_size);
+
+  std::vector<Slab> slabs_;
+  int64_t bytes_in_use_ = 0;
+  int64_t total_slab_allocs_ = 0;
+};
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_TENSOR_WORKSPACE_H_

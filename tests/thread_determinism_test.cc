@@ -22,6 +22,7 @@
 #include "src/kvcache/kv_pool.h"
 #include "src/model/transformer.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/packed_matrix.h"
 
 namespace pensieve {
 namespace {
@@ -182,6 +183,11 @@ TEST_F(ThreadDeterminismTest, DenseOps) {
   ExpectIdenticalAcrossThreadCounts([&] { return MatMul(a, b); }, "MatMul");
   ExpectIdenticalAcrossThreadCounts([&] { return MatMulTransposedB(a, bt); },
                                     "MatMulTransposedB");
+  // m <= 8 takes MatMulTransposedB's column-partitioned decode path.
+  Tensor a1({1, 53});
+  FillNormal(a1, 12, 1.0f);
+  ExpectIdenticalAcrossThreadCounts([&] { return MatMulTransposedB(a1, bt); },
+                                    "MatMulTransposedB(m=1)");
   ExpectIdenticalAcrossThreadCounts([&] { return LayerNorm(a, gain, bias, 1e-5f); },
                                     "LayerNorm");
   ExpectIdenticalAcrossThreadCounts([&] { return RmsNorm(a, gain, 1e-5f); },
@@ -211,6 +217,73 @@ TEST_F(ThreadDeterminismTest, DenseOps) {
         return x;
       },
       "ApplyRotaryInPlace");
+}
+
+// The packed GEMM's two partitioning strategies — row-blocks for large m,
+// output panels for the decode GEMV path — must both be bit-stable across
+// thread counts, and bit-identical to each other for the same row. Shapes
+// straddle the kKC = 512 cache block and leave remainder tiles on both axes.
+TEST_F(ThreadDeterminismTest, PackedGemm) {
+  Tensor w({130, 515});
+  FillNormal(w, 21, 1.0f);
+  const PackedMatrix packed(w);
+  Tensor big({37, 515});
+  FillNormal(big, 22, 1.0f);
+  ExpectIdenticalAcrossThreadCounts([&] { return MatMulPacked(big, packed); },
+                                    "MatMulPacked(row path)");
+  Tensor one({1, 515});
+  FillNormal(one, 23, 1.0f);
+  ExpectIdenticalAcrossThreadCounts([&] { return MatMulPacked(one, packed); },
+                                    "MatMulPacked(GEMV path)");
+  // Cross-path: a single row computed by the GEMV path must equal the same
+  // row inside a batch computed by the row path, at every thread count.
+  for (int threads : kThreadCounts) {
+    ThreadPool::SetGlobalThreads(threads);
+    const Tensor batch = MatMulPacked(big, packed);
+    const Tensor row = MatMulPacked(big.SliceRows(7, 8), packed);
+    EXPECT_EQ(0, std::memcmp(batch.data() + 7 * w.dim(0), row.data(),
+                             static_cast<size_t>(w.dim(0)) * sizeof(float)))
+        << "GEMV path diverges from row path at " << threads << " threads";
+  }
+}
+
+// A workspace-backed ForwardInto (the allocation-free serving path) must be
+// as thread-stable as the allocating wrapper, including when the same model
+// instance's arena is reused across runs.
+TEST_F(ThreadDeterminismTest, WorkspaceForwardInto) {
+  ModelConfig config;
+  config.name = "tiny";
+  config.num_layers = 2;
+  config.hidden_size = 24;
+  config.num_heads = 4;
+  config.num_kv_heads = 2;
+  config.head_dim = 6;
+  config.ffn_hidden = 48;
+  config.vocab_size = 50;
+  config.activation = Activation::kSilu;
+  config.norm = NormKind::kRmsNorm;
+  config.pos_embedding = PositionEmbedding::kRotary;
+  config.gated_ffn = true;
+  config.qkv_bias = false;
+  const Transformer model(config, /*seed=*/321);
+  Tensor logits;
+  ExpectIdenticalAcrossThreadCounts(
+      [&] {
+        KvPool pool(8, /*block_size=*/4, config.num_layers, config.num_kv_heads,
+                    config.head_dim);
+        const std::vector<BlockId> table = {0, 1};
+        ForwardBatch batch;
+        for (int64_t t = 0; t < 5; ++t) {
+          batch.tokens.push_back(static_cast<int32_t>(t + 1));
+          batch.positions.push_back(t);
+          batch.kv_slots.push_back({table[static_cast<size_t>(t / 4)], t % 4});
+        }
+        batch.subs.push_back({0, 5, 5, &table});
+        batch.logit_rows = {4};
+        model.ForwardInto(&pool, batch, &logits);
+        return logits;
+      },
+      "Transformer::ForwardInto");
 }
 
 // End-to-end: a full transformer forward (mixed prefill + decode batch,

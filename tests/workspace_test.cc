@@ -1,0 +1,238 @@
+// Workspace arena semantics (src/tensor/workspace.h) and the headline
+// property it exists for: a warmed-up Transformer::ForwardInto performs ZERO
+// heap allocations in steady-state decode. The whole-binary operator
+// new/delete overrides below count every allocation; the steady-state test
+// snapshots the counter around forward passes and requires a delta of 0.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/kvcache/kv_pool.h"
+#include "src/model/transformer.h"
+#include "src/tensor/tensor.h"
+#include "src/tensor/workspace.h"
+
+namespace {
+std::atomic<long long> g_alloc_calls{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+}  // namespace
+
+// Global replacements: every operator new in this binary funnels through
+// CountedAlloc (malloc keeps the hooks sanitizer-friendly — asan intercepts
+// malloc/free underneath). GCC pairs inlined new/delete sites and flags the
+// free() as mismatched; with both operators replaced the pairing is
+// malloc/free by construction.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpragmas"
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void* operator new(std::size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace pensieve {
+namespace {
+
+long long AllocCalls() { return g_alloc_calls.load(std::memory_order_relaxed); }
+
+TEST(WorkspaceTest, AlignmentAndAccounting) {
+  Workspace ws;
+  EXPECT_EQ(ws.bytes_in_use(), 0);
+  float* a = ws.AllocFloats(3);
+  int64_t* b = ws.AllocInts(5);
+  float* c = ws.AllocFloats(100);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(c) % 64, 0u);
+  // Each request rounds up to the 64-byte alignment quantum.
+  EXPECT_EQ(ws.bytes_in_use(), 64 + 64 + 448);
+  EXPECT_GE(ws.capacity_bytes(), ws.bytes_in_use());
+}
+
+TEST(WorkspaceTest, ResetReusesSameStorage) {
+  Workspace ws;
+  float* first = ws.AllocFloats(1000);
+  first[0] = 1.0f;
+  const int64_t slabs_after_warmup = ws.total_slab_allocs();
+  for (int i = 0; i < 5; ++i) {
+    ws.Reset();
+    EXPECT_EQ(ws.bytes_in_use(), 0);
+    float* again = ws.AllocFloats(1000);
+    EXPECT_EQ(again, first) << "Reset must rewind, not reallocate";
+  }
+  EXPECT_EQ(ws.total_slab_allocs(), slabs_after_warmup);
+}
+
+TEST(WorkspaceTest, OverflowSlabsCoalesceOnReset) {
+  Workspace ws;
+  // Force several overflow slabs within one pass.
+  ws.AllocFloats(20 * 1024);   // 80KB > the 64KB minimum slab
+  ws.AllocFloats(60 * 1024);   // exceeds remaining capacity -> new slab
+  ws.AllocFloats(200 * 1024);  // and again
+  EXPECT_GT(ws.num_slabs(), 1u);
+  const int64_t capacity = ws.capacity_bytes();
+  ws.Reset();
+  // Coalesced into one slab of the combined capacity...
+  EXPECT_EQ(ws.num_slabs(), 1u);
+  EXPECT_EQ(ws.capacity_bytes(), capacity);
+  const int64_t allocs_after_coalesce = ws.total_slab_allocs();
+  // ...so an identical second pass fits without any new slab.
+  ws.AllocFloats(20 * 1024);
+  ws.AllocFloats(60 * 1024);
+  ws.AllocFloats(200 * 1024);
+  EXPECT_EQ(ws.num_slabs(), 1u);
+  EXPECT_EQ(ws.total_slab_allocs(), allocs_after_coalesce);
+}
+
+TEST(WorkspaceTest, BorrowedTensorsAliasTheArena) {
+  Workspace ws;
+  Tensor t = ws.Alloc({4, 6});
+  EXPECT_FALSE(t.owns_data());
+  t.at({2, 3}) = 42.0f;
+  // Copies and reshapes of a borrowed tensor are views of the same buffer.
+  Tensor copy = t;
+  Tensor reshaped = t.Reshaped({24});
+  EXPECT_EQ(copy.data(), t.data());
+  EXPECT_EQ(reshaped.data(), t.data());
+  reshaped[2 * 6 + 3] = 7.0f;
+  EXPECT_EQ(t.at({2, 3}), 7.0f);
+  // An owned tensor's reshape is still a copy.
+  Tensor owned({2, 2});
+  EXPECT_TRUE(owned.owns_data());
+  EXPECT_NE(owned.Reshaped({4}).data(), owned.data());
+}
+
+// Tiny Llama-style model shared by the forward-pass tests.
+ModelConfig TinyConfig() {
+  ModelConfig config;
+  config.name = "tiny";
+  config.num_layers = 2;
+  config.hidden_size = 24;
+  config.num_heads = 4;
+  config.num_kv_heads = 2;
+  config.head_dim = 6;
+  config.ffn_hidden = 48;
+  config.vocab_size = 50;
+  config.activation = Activation::kSilu;
+  config.norm = NormKind::kRmsNorm;
+  config.pos_embedding = PositionEmbedding::kRotary;
+  config.gated_ffn = true;
+  config.qkv_bias = false;
+  return config;
+}
+
+TEST(WorkspaceForwardTest, RepeatedForwardReusesArenaAndStaysBitIdentical) {
+  const ModelConfig config = TinyConfig();
+  const Transformer model(config, /*seed=*/11);
+  KvPool pool(8, /*block_size=*/4, config.num_layers, config.num_kv_heads,
+              config.head_dim);
+  const std::vector<BlockId> table = {0, 1};
+  ForwardBatch batch;
+  for (int64_t t = 0; t < 5; ++t) {
+    batch.tokens.push_back(static_cast<int32_t>(t + 1));
+    batch.positions.push_back(t);
+    batch.kv_slots.push_back({table[static_cast<size_t>(t / 4)], t % 4});
+  }
+  batch.subs.push_back({0, 5, 5, &table});
+  batch.logit_rows = {4};
+
+  // The same batch re-run writes the same K/V to the same slots, so logits
+  // must be byte-identical run to run — and after the first pass the arena
+  // must never grow another slab.
+  Tensor logits;
+  model.ForwardInto(&pool, batch, &logits);
+  const int64_t warm_slab_allocs = model.workspace().total_slab_allocs();
+  Tensor first(logits.shape());
+  std::memcpy(first.data(), logits.data(),
+              static_cast<size_t>(logits.numel()) * sizeof(float));
+  for (int i = 0; i < 3; ++i) {
+    model.ForwardInto(&pool, batch, &logits);
+    EXPECT_EQ(0, std::memcmp(first.data(), logits.data(),
+                             static_cast<size_t>(logits.numel()) * sizeof(float)));
+  }
+  EXPECT_EQ(model.workspace().total_slab_allocs(), warm_slab_allocs);
+  EXPECT_LE(model.workspace().num_slabs(), 1u);
+}
+
+TEST(WorkspaceForwardTest, SteadyStateDecodeIsAllocationFree) {
+  const ModelConfig config = TinyConfig();
+  const Transformer model(config, /*seed=*/29);
+  KvPool pool(8, /*block_size=*/4, config.num_layers, config.num_kv_heads,
+              config.head_dim);
+  const std::vector<BlockId> table = {0, 1, 2};
+
+  // Prefill 4 tokens, then decode one token at a time, exactly as the
+  // serving loop does.
+  ForwardBatch prefill;
+  for (int64_t t = 0; t < 4; ++t) {
+    prefill.tokens.push_back(static_cast<int32_t>(t + 1));
+    prefill.positions.push_back(t);
+    prefill.kv_slots.push_back({table[0], t});
+  }
+  prefill.subs.push_back({0, 4, 4, &table});
+  prefill.logit_rows = {3};
+  Tensor logits;
+  model.ForwardInto(&pool, prefill, &logits);
+
+  ForwardBatch decode;
+  decode.tokens.assign(1, 0);
+  decode.positions.assign(1, 0);
+  decode.kv_slots.assign(1, ForwardBatch::KvSlot{table[0], 0});
+  decode.subs.assign(1, AttentionSubRequest{0, 1, 1, &table});
+  decode.logit_rows.assign(1, 0);
+  auto decode_step = [&](int64_t pos) {
+    decode.tokens[0] = Transformer::Greedy(logits, 0);
+    decode.positions[0] = pos;
+    decode.kv_slots[0] = {table[static_cast<size_t>(pos / 4)], pos % 4};
+    decode.subs[0].context_len = pos + 1;
+    model.ForwardInto(&pool, decode, &logits);
+  };
+  // Warm up: grows the arena to its decode footprint, pre-touches the
+  // thread-pool dispatch cache, sizes the logits buffer.
+  decode_step(4);
+  decode_step(5);
+
+  const long long before = AllocCalls();
+  decode_step(6);
+  decode_step(7);
+  decode_step(8);
+  const long long after = AllocCalls();
+  EXPECT_EQ(after - before, 0)
+      << "steady-state decode performed " << (after - before)
+      << " heap allocations inside ForwardInto";
+  EXPECT_GT(before, 0) << "the counting hook is not active";
+}
+
+}  // namespace
+}  // namespace pensieve
