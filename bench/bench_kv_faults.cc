@@ -1,0 +1,170 @@
+// KV-transfer fault-injection sweep: serving cost of an unreliable PCIe link.
+//
+// Replays the same trace through the Pensieve engine at increasing link
+// fault rates (a mix of timeouts, stalls, partial transfers and silent
+// corruption split across the PCIe fault profile) and tabulates what the
+// faults cost: retries and backoff charged to the simulated clock, p99
+// normalized-latency inflation, and how much history had to be recomputed
+// when retries exhausted and the engine degraded corrupted or undeliverable
+// KV to the recompute path. The cache is deliberately scaled down so swap
+// traffic — and therefore fault exposure — is heavy.
+//
+// Every row is checked against two invariants from the failure model:
+//   * accounting: injected timeouts + partials + corruptions ==
+//     recovered + unrecovered faults (stalls deliver late, never retry);
+//   * no dropped requests: every fault rate completes exactly the requests
+//     the fault-free row completes.
+// A violated invariant fails the binary, which makes --smoke a real test.
+//
+// Accepts the pensieve_sim workload flags (--model, --dataset, --rate,
+// --conversations, --think, --seed) plus --cache_scale, --max_attempts and
+// --smoke (CI-sized run: 12 conversations, rates {0, 0.05}).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_serving_common.h"
+#include "src/common/flags.h"
+#include "src/serving/driver.h"
+
+namespace pensieve {
+namespace {
+
+// Splits one scalar fault rate across the four fault kinds so every
+// mechanism (retry, late delivery, checksum rejection) stays exercised.
+LinkFaultProfile MixedProfile(double rate) {
+  LinkFaultProfile profile;
+  profile.timeout_rate = 0.35 * rate;
+  profile.stall_rate = 0.15 * rate;
+  profile.partial_rate = 0.15 * rate;
+  profile.corruption_rate = 0.35 * rate;
+  return profile;
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("model", "opt-13b",
+                  "model preset: opt-13b, opt-66b, llama2-13b, llama2-70b");
+  flags.AddString("dataset", "sharegpt",
+                  "workload profile: sharegpt or ultrachat");
+  flags.AddDouble("rate", 1.2, "conversation arrival rate (conversations/s)");
+  flags.AddInt("conversations", BenchConversations(120),
+               "number of conversations in the trace");
+  flags.AddDouble("think", 20.0, "mean user think time (s)");
+  flags.AddInt("seed", 42, "workload seed");
+  flags.AddDouble("cache_scale", 0.15,
+                  "KV-cache scale; small values force swap traffic");
+  flags.AddInt("max_attempts", 4, "transfer attempts before degrading");
+  flags.AddInt("fault_seed", 7, "fault-injection RNG seed");
+  flags.AddBool("smoke", false,
+                "CI-sized run: 12 conversations, rates {0, 0.05}");
+  flags.AddBool("help", false, "print usage");
+  ConsumeThreadsFlag(&argc, argv);
+  Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n\nflags:\n%s", status.ToString().c_str(),
+                 flags.Help().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help")) {
+    std::printf("bench_kv_faults: KV-transfer fault-injection sweep\n\nflags:\n%s",
+                flags.Help().c_str());
+    return 0;
+  }
+  const bool smoke = flags.GetBool("smoke");
+
+  ModelConfig model;
+  if (!ModelConfigByName(flags.GetString("model"), &model)) {
+    std::fprintf(stderr, "unknown model '%s'\n",
+                 flags.GetString("model").c_str());
+    return 2;
+  }
+  const DatasetProfile profile = flags.GetString("dataset") == "ultrachat"
+                                     ? UltraChatProfile()
+                                     : ShareGptProfile();
+  const GpuCostModel cost_model(model, A100Spec(model.num_gpus));
+
+  TraceOptions trace_options;
+  trace_options.num_conversations =
+      smoke ? 12 : flags.GetInt("conversations");
+  trace_options.conversation_rate = flags.GetDouble("rate");
+  trace_options.mean_think_time = flags.GetDouble("think");
+  trace_options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const WorkloadTrace trace(profile, trace_options);
+
+  std::vector<double> rates;
+  if (smoke) {
+    rates = {0.0, 0.05};
+  } else {
+    rates = {0.0, 1e-3, 1e-2, 5e-2, 1e-1};
+  }
+
+  std::printf("==== KV-transfer faults (%s, %s, cache x%.2f, %ld attempts) ====\n",
+              model.name.c_str(), flags.GetString("dataset").c_str(),
+              flags.GetDouble("cache_scale"),
+              static_cast<long>(flags.GetInt("max_attempts")));
+  std::printf("%-10s %9s %10s %12s %9s %8s %8s %7s %9s %11s %9s\n",
+              "fault_rate", "completed", "req/s", "p99 ms/tok", "injected",
+              "retries", "recov", "unrec", "degraded", "recompute+",
+              "backoff_s");
+
+  int64_t baseline_completed = -1;
+  int failures = 0;
+  for (double rate : rates) {
+    EngineOverrides overrides;
+    overrides.cache_scale = flags.GetDouble("cache_scale");
+    overrides.pcie_fault_profile = MixedProfile(rate);
+    overrides.fault_retry.max_attempts =
+        static_cast<int32_t>(flags.GetInt("max_attempts"));
+    overrides.fault_seed = static_cast<uint64_t>(flags.GetInt("fault_seed"));
+    auto engine = MakeEngine(SystemKind::kPensieve, cost_model, overrides);
+    const ServingSummary s = RunServingExperiment(engine.get(), trace);
+
+    const LinkFaultStats& lf = s.engine_stats.link_faults;
+    std::printf("%-10.3g %9ld %10.3f %12.1f %9ld %8ld %8ld %7ld %9ld %11ld %9.3f\n",
+                rate, static_cast<long>(s.completed_requests),
+                s.throughput_rps, s.p99_normalized_latency * 1e3,
+                static_cast<long>(lf.InjectedFaults()),
+                static_cast<long>(lf.retries),
+                static_cast<long>(lf.recovered_faults),
+                static_cast<long>(lf.unrecovered_faults),
+                static_cast<long>(s.engine_stats.fault_degraded_admissions),
+                static_cast<long>(s.engine_stats.fault_recompute_tokens),
+                lf.retry_backoff_seconds);
+
+    // Invariant: every retryable fault is accounted recovered or unrecovered.
+    const int64_t retryable =
+        lf.injected_timeouts + lf.injected_partials + lf.injected_corruptions;
+    if (retryable != lf.recovered_faults + lf.unrecovered_faults) {
+      std::fprintf(stderr,
+                   "FAIL rate=%g: fault accounting leak (%ld retryable != "
+                   "%ld recovered + %ld unrecovered)\n",
+                   rate, static_cast<long>(retryable),
+                   static_cast<long>(lf.recovered_faults),
+                   static_cast<long>(lf.unrecovered_faults));
+      ++failures;
+    }
+    // Invariant: faults degrade latency, never drop requests.
+    if (baseline_completed < 0) {
+      baseline_completed = s.completed_requests;
+    } else if (s.completed_requests != baseline_completed) {
+      std::fprintf(stderr,
+                   "FAIL rate=%g: completed %ld != fault-free %ld (request "
+                   "dropped by a KV fault)\n",
+                   rate, static_cast<long>(s.completed_requests),
+                   static_cast<long>(baseline_completed));
+      ++failures;
+    }
+  }
+  if (failures > 0) {
+    return 1;
+  }
+  std::printf("\ninvariants held: fault accounting balanced, no requests "
+              "dropped at any rate\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pensieve
+
+int main(int argc, char** argv) { return pensieve::Run(argc, argv); }

@@ -30,6 +30,8 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
   }
   std::unique_ptr<Router> router = MakeRouter(options.router);
   ClusterInterconnect interconnect(options.num_replicas, options.interconnect);
+  LinkFaultInjector nic_faults(options.fault_seed, options.nic_fault_profile,
+                               options.fault_retry);
 
   // One typed event queue drives the run: arrivals and scheduled faults pop
   // in deterministic order (arrival < fail < recover on time ties), and
@@ -99,14 +101,29 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
       MigratedKvState state =
           source.engine().ExportConversationState(req.conversation_id);
       if (state.resident_tokens > 0) {
-        // The request cannot start at its new home before its KV lands.
-        const double done = interconnect.ScheduleTransfer(
-            decision.source, decision.target, now, state.bytes);
-        delivery.time = done;
-        delivery.migration_stall = done - now;
+        // The request cannot start at its new home before its KV lands (or
+        // the transfer is abandoned; either way it waits out every attempt).
+        const LinkTransferOutcome out = nic_faults.Transfer(
+            now, state.bytes, [&](double start, double bytes) {
+              return interconnect.ScheduleTransfer(decision.source,
+                                                   decision.target, start, bytes);
+            });
+        delivery.time = out.done;
+        delivery.migration_stall = out.done - now;
         ++migration.migrations;
-        migration.migrated_bytes += state.bytes;
         migration.migration_stall_seconds += delivery.migration_stall;
+        if (out.delivered) {
+          migration.migrated_bytes += state.bytes;
+        } else {
+          // KV lost in transit: the conversation is still re-homed, but
+          // arrives with bookkeeping only — its history recomputes at the
+          // destination through the dropped-prefix path.
+          ++migration.failed_migrations;
+          migration.kv_tokens_lost_in_transit += state.resident_tokens;
+          faults.lost_kv_tokens += state.resident_tokens;
+          state.resident_tokens = 0;
+          state.bytes = 0.0;
+        }
       }
       delivery.migrated = state;
     }
@@ -252,9 +269,13 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
   summary.migration.migrations = migration.migrations;
   summary.migration.migrated_bytes = migration.migrated_bytes;
   summary.migration.migration_stall_seconds = migration.migration_stall_seconds;
+  summary.migration.failed_migrations = migration.failed_migrations;
+  summary.migration.kv_tokens_lost_in_transit =
+      migration.kv_tokens_lost_in_transit;
   summary.migration.rehomes = router->counters().rehomes;
   summary.migration.overload_queued = router->counters().overload_queued;
   summary.faults = faults;
+  summary.nic_link_faults = nic_faults.stats();
   return summary;
 }
 

@@ -31,6 +31,7 @@
 #include "src/cluster/router.h"
 #include "src/serving/engine.h"
 #include "src/sim/cluster_link.h"
+#include "src/sim/fault_injector.h"
 #include "src/workload/trace.h"
 
 namespace pensieve {
@@ -53,6 +54,13 @@ struct ClusterOptions {
   // Scheduled replica fault injection, interleaved with arrivals and steps
   // in deterministic event order (arrival < fail < recover on time ties).
   std::vector<ReplicaFault> faults;
+  // KV-migration fault injection on the inter-replica NIC (off by default:
+  // all rates zero). A migration whose transfer exhausts its retries loses
+  // the KV in transit; the conversation is still re-homed and recomputes
+  // its history at the destination — the request is never dropped.
+  LinkFaultProfile nic_fault_profile;
+  LinkRetryPolicy fault_retry;
+  uint64_t fault_seed = 0;
   // Safety valve on total scheduler iterations across all replicas
   // (0 = unlimited).
   int64_t max_steps = 0;

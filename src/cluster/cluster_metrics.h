@@ -15,6 +15,7 @@
 #include "src/common/status.h"
 #include "src/serving/metrics.h"
 #include "src/serving/telemetry.h"
+#include "src/sim/fault_injector.h"
 
 namespace pensieve {
 
@@ -36,6 +37,10 @@ struct MigrationStats {
   double migrated_bytes = 0.0;  // bytes on the inter-replica links
   // Extra arrival delay requests paid waiting for their KV to land.
   double migration_stall_seconds = 0.0;
+  // Migrations whose NIC transfer exhausted its retries: the KV was lost in
+  // transit and the conversation recomputes at its destination.
+  int64_t failed_migrations = 0;
+  int64_t kv_tokens_lost_in_transit = 0;
 };
 
 // Fault-injection accounting: what replica failures cost the run. The lost
@@ -69,6 +74,10 @@ struct ClusterSummary {
   double load_imbalance = 0.0;
   MigrationStats migration;
   FaultStats faults;
+  // Injected-fault accounting for the inter-replica NIC (migration link).
+  // Per-replica PCIe fault stats live in each replica's
+  // EngineStats::link_faults and sum into `cluster`.
+  LinkFaultStats nic_link_faults;
 };
 
 // Field-wise sum of per-replica engine stats.

@@ -25,6 +25,7 @@ enum class StatusCode : uint8_t {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kDataLoss,
 };
 
 // Human-readable name for a status code ("OK", "RESOURCE_EXHAUSTED", ...).
@@ -58,6 +59,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

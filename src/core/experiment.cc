@@ -53,6 +53,9 @@ std::unique_ptr<Engine> MakeEngine(SystemKind kind, const GpuCostModel& cost_mod
       options.pipelined_restore = overrides.pipelined_restore;
       options.prioritize_swap_in = overrides.prioritize_swap_in;
       options.policy = overrides.policy;
+      options.pcie_fault_profile = overrides.pcie_fault_profile;
+      options.fault_retry = overrides.fault_retry;
+      options.fault_seed = overrides.fault_seed;
       return std::make_unique<PensieveEngine>(cost_model, options);
     }
     case SystemKind::kVllm:

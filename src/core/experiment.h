@@ -48,6 +48,11 @@ struct EngineOverrides {
   // Scales both cache tiers (useful for stress tests); 1.0 = paper setup.
   double cache_scale = 1.0;
   std::string name_suffix;
+  // PCIe KV-transfer fault injection (Pensieve variants only; the stateless
+  // baselines never move KV over the link). All rates zero = off.
+  LinkFaultProfile pcie_fault_profile;
+  LinkRetryPolicy fault_retry;
+  uint64_t fault_seed = 0;
 };
 
 std::unique_ptr<Engine> MakeEngine(SystemKind kind, const GpuCostModel& cost_model,

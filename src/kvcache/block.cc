@@ -16,4 +16,18 @@ const char* ChunkLocationName(ChunkLocation loc) {
   return "?";
 }
 
+uint32_t SimChunkChecksum(int64_t conversation_id, int64_t chunk_index,
+                          int64_t num_tokens) {
+  // splitmix64-style finalizer over the chunk identity, folded to 32 bits.
+  uint64_t x = static_cast<uint64_t>(conversation_id) * 0x9E3779B97F4A7C15ull +
+               static_cast<uint64_t>(chunk_index) * 0xBF58476D1CE4E5B9ull +
+               static_cast<uint64_t>(num_tokens);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return static_cast<uint32_t>(x ^ (x >> 32));
+}
+
 }  // namespace pensieve

@@ -29,6 +29,13 @@ enum class ChunkLocation : uint8_t {
 
 const char* ChunkLocationName(ChunkLocation loc);
 
+// Synthetic checksum for simulated-mode chunks (no real bytes to hash):
+// a deterministic mix of the chunk's identity, so a re-created CPU copy of
+// the same chunk gets the same tag and corruption is modeled by the
+// cpu_corrupt flag rather than a value mismatch.
+uint32_t SimChunkChecksum(int64_t conversation_id, int64_t chunk_index,
+                          int64_t num_tokens);
+
 // One cached chunk of a conversation's context.
 struct Chunk {
   ChunkLocation location = ChunkLocation::kDropped;
@@ -37,6 +44,14 @@ struct Chunk {
   // Number of KV tokens stored (== block_size except possibly the last
   // chunk of a conversation).
   int64_t num_tokens = 0;
+  // Checksum of the CPU-tier copy, recorded when the copy is created
+  // (swap-out / migration arrival) and verified before the copy is trusted
+  // again (swap-in). Numeric mode hashes the block's floats; simulated mode
+  // uses a synthetic per-chunk tag. Zero while no CPU copy exists.
+  uint32_t cpu_checksum = 0;
+  // Set when fault injection corrupted the CPU copy in flight; the next
+  // checksum verification fails and the chunk degrades to recomputation.
+  bool cpu_corrupt = false;
 
   bool OnGpu() const {
     return location == ChunkLocation::kGpu || location == ChunkLocation::kGpuAndCpu;

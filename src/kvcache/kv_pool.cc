@@ -59,4 +59,26 @@ void KvPool::CopyBlock(const KvPool& src, BlockId src_block, KvPool& dst,
               static_cast<size_t>(src.block_stride_) * sizeof(float));
 }
 
+uint32_t KvPool::BlockChecksum(BlockId block) const {
+  PENSIEVE_CHECK_GE(block, 0);
+  PENSIEVE_CHECK_LT(block, num_blocks_);
+  const unsigned char* bytes = reinterpret_cast<const unsigned char*>(
+      data_.data() + block * block_stride_);
+  const size_t n = static_cast<size_t>(block_stride_) * sizeof(float);
+  uint32_t hash = 2166136261u;  // FNV-1a offset basis
+  for (size_t i = 0; i < n; ++i) {
+    hash ^= bytes[i];
+    hash *= 16777619u;  // FNV prime
+  }
+  return hash;
+}
+
+void KvPool::CorruptBlock(BlockId block) {
+  PENSIEVE_CHECK_GE(block, 0);
+  PENSIEVE_CHECK_LT(block, num_blocks_);
+  unsigned char* bytes =
+      reinterpret_cast<unsigned char*>(data_.data() + block * block_stride_);
+  bytes[0] ^= 0x40;  // mantissa bit flip; value stays finite
+}
+
 }  // namespace pensieve

@@ -47,6 +47,15 @@ class KvPool {
   // Bytes occupied by one block in this pool (fp32 substrate).
   int64_t BlockBytes() const { return block_stride_ * static_cast<int64_t>(sizeof(float)); }
 
+  // FNV-1a hash over the block's raw bytes (all layers). The KV-fault path
+  // records it at swap-out and verifies it at swap-in to catch in-flight
+  // bit flips.
+  uint32_t BlockChecksum(BlockId block) const;
+
+  // Flips one bit of the block's payload (deterministic position), the
+  // numeric-mode realization of a silent transfer corruption.
+  void CorruptBlock(BlockId block);
+
  private:
   int64_t Offset(BlockId block, int64_t layer, int kv, int64_t slot) const;
 

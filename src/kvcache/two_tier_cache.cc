@@ -1,5 +1,7 @@
 #include "src/kvcache/two_tier_cache.h"
 
+#include <string>
+
 #include "src/common/logging.h"
 
 namespace pensieve {
@@ -41,6 +43,29 @@ ContextState& TwoTierKvCache::MustFind(ConversationId id) {
   return *state;
 }
 
+Status TwoTierKvCache::FindChunk(ConversationId id, int64_t chunk_index,
+                                 ContextState** state) {
+  *state = Find(id);
+  if (*state == nullptr) {
+    return Status::NotFound("unknown conversation " + std::to_string(id));
+  }
+  if (chunk_index < 0 || chunk_index >= (*state)->num_chunks()) {
+    return Status::OutOfRange("chunk " + std::to_string(chunk_index) +
+                              " out of range for conversation " +
+                              std::to_string(id));
+  }
+  return Status::Ok();
+}
+
+uint32_t TwoTierKvCache::ComputeCpuChecksum(ConversationId id,
+                                            int64_t chunk_index,
+                                            const Chunk& c) const {
+  if (cpu_pool_ != nullptr) {
+    return cpu_pool_->BlockChecksum(c.cpu_block);
+  }
+  return SimChunkChecksum(id, chunk_index, c.num_tokens);
+}
+
 void TwoTierKvCache::Release(ConversationId id) {
   ContextState* state = Find(id);
   if (state == nullptr) {
@@ -74,6 +99,8 @@ Status TwoTierKvCache::AppendTokenSlots(ConversationId id, int64_t n,
       if (tail.location == ChunkLocation::kGpuAndCpu) {
         cpu_allocator_.Free(tail.cpu_block);
         tail.cpu_block = kInvalidBlock;
+        tail.cpu_checksum = 0;
+        tail.cpu_corrupt = false;
         tail.location = ChunkLocation::kGpu;
         --reclaimable_gpu_blocks_;
       } else if (tail.location != ChunkLocation::kGpu) {
@@ -94,9 +121,12 @@ Status TwoTierKvCache::AppendTokenSlots(ConversationId id, int64_t n,
 }
 
 Status TwoTierKvCache::SwapOut(ConversationId id, int64_t chunk_index) {
-  ContextState& state = MustFind(id);
-  PENSIEVE_CHECK_LT(chunk_index, state.num_chunks());
-  Chunk& c = state.mutable_chunk(chunk_index);
+  ContextState* state = nullptr;
+  Status found = FindChunk(id, chunk_index, &state);
+  if (!found.ok()) {
+    return found;
+  }
+  Chunk& c = state->mutable_chunk(chunk_index);
   if (c.location != ChunkLocation::kGpu) {
     return Status::FailedPrecondition("SwapOut requires a GPU-only chunk");
   }
@@ -109,17 +139,26 @@ Status TwoTierKvCache::SwapOut(ConversationId id, int64_t chunk_index) {
     KvPool::CopyBlock(*gpu_pool_, c.gpu_block, *cpu_pool_, c.cpu_block);
   }
   c.location = ChunkLocation::kGpuAndCpu;
+  c.cpu_checksum = ComputeCpuChecksum(id, chunk_index, c);
+  c.cpu_corrupt = false;
   ++reclaimable_gpu_blocks_;
   ++counters_.swapped_out_chunks;
   return Status::Ok();
 }
 
 Status TwoTierKvCache::ReclaimGpu(ConversationId id, int64_t chunk_index) {
-  ContextState& state = MustFind(id);
-  PENSIEVE_CHECK_LT(chunk_index, state.num_chunks());
-  Chunk& c = state.mutable_chunk(chunk_index);
+  ContextState* state = nullptr;
+  Status found = FindChunk(id, chunk_index, &state);
+  if (!found.ok()) {
+    return found;
+  }
+  Chunk& c = state->mutable_chunk(chunk_index);
   if (c.location != ChunkLocation::kGpuAndCpu) {
     return Status::FailedPrecondition("ReclaimGpu requires a clean CPU copy");
+  }
+  if (c.cpu_corrupt) {
+    // Releasing the GPU copy would leave only a known-bad CPU copy.
+    return Status::DataLoss("ReclaimGpu refused: CPU copy is corrupt");
   }
   gpu_allocator_.Free(c.gpu_block);
   c.gpu_block = kInvalidBlock;
@@ -130,11 +169,18 @@ Status TwoTierKvCache::ReclaimGpu(ConversationId id, int64_t chunk_index) {
 }
 
 Status TwoTierKvCache::SwapIn(ConversationId id, int64_t chunk_index) {
-  ContextState& state = MustFind(id);
-  PENSIEVE_CHECK_LT(chunk_index, state.num_chunks());
-  Chunk& c = state.mutable_chunk(chunk_index);
+  ContextState* state = nullptr;
+  Status found = FindChunk(id, chunk_index, &state);
+  if (!found.ok()) {
+    return found;
+  }
+  Chunk& c = state->mutable_chunk(chunk_index);
   if (c.location != ChunkLocation::kCpu) {
     return Status::FailedPrecondition("SwapIn requires a CPU-only chunk");
+  }
+  Status verified = VerifyCpuChecksum(id, chunk_index);
+  if (!verified.ok()) {
+    return verified;
   }
   auto gpu_block = gpu_allocator_.Allocate();
   if (!gpu_block.has_value()) {
@@ -150,23 +196,70 @@ Status TwoTierKvCache::SwapIn(ConversationId id, int64_t chunk_index) {
   return Status::Ok();
 }
 
+Status TwoTierKvCache::MarkCpuCorrupt(ConversationId id, int64_t chunk_index) {
+  ContextState* state = nullptr;
+  Status found = FindChunk(id, chunk_index, &state);
+  if (!found.ok()) {
+    return found;
+  }
+  Chunk& c = state->mutable_chunk(chunk_index);
+  if (!c.HasCpuCopy()) {
+    return Status::FailedPrecondition("no CPU copy to corrupt");
+  }
+  c.cpu_corrupt = true;
+  if (cpu_pool_ != nullptr) {
+    cpu_pool_->CorruptBlock(c.cpu_block);
+  }
+  ++counters_.corrupt_marked_chunks;
+  return Status::Ok();
+}
+
+Status TwoTierKvCache::VerifyCpuChecksum(ConversationId id, int64_t chunk_index) {
+  ContextState* state = nullptr;
+  Status found = FindChunk(id, chunk_index, &state);
+  if (!found.ok()) {
+    return found;
+  }
+  const Chunk& c = state->chunk(chunk_index);
+  if (!c.HasCpuCopy()) {
+    return Status::FailedPrecondition("no CPU copy to verify");
+  }
+  ++counters_.checksum_verifications;
+  if (c.cpu_corrupt || ComputeCpuChecksum(id, chunk_index, c) != c.cpu_checksum) {
+    ++counters_.checksum_failures;
+    return Status::DataLoss("CPU copy checksum mismatch (conversation " +
+                            std::to_string(id) + ", chunk " +
+                            std::to_string(chunk_index) + ")");
+  }
+  return Status::Ok();
+}
+
 Status TwoTierKvCache::DropCpuCopy(ConversationId id, int64_t chunk_index) {
-  ContextState& state = MustFind(id);
-  PENSIEVE_CHECK_LT(chunk_index, state.num_chunks());
-  Chunk& c = state.mutable_chunk(chunk_index);
+  ContextState* state = nullptr;
+  Status found = FindChunk(id, chunk_index, &state);
+  if (!found.ok()) {
+    return found;
+  }
+  Chunk& c = state->mutable_chunk(chunk_index);
   if (c.location != ChunkLocation::kGpuAndCpu) {
     return Status::FailedPrecondition("DropCpuCopy requires a kGpuAndCpu chunk");
   }
   cpu_allocator_.Free(c.cpu_block);
   c.cpu_block = kInvalidBlock;
+  c.cpu_checksum = 0;
+  c.cpu_corrupt = false;
   c.location = ChunkLocation::kGpu;
   --reclaimable_gpu_blocks_;
   return Status::Ok();
 }
 
 Status TwoTierKvCache::DropChunk(ConversationId id, int64_t chunk_index) {
-  ContextState& state = MustFind(id);
-  PENSIEVE_CHECK_LT(chunk_index, state.num_chunks());
+  ContextState* state_ptr = nullptr;
+  Status found = FindChunk(id, chunk_index, &state_ptr);
+  if (!found.ok()) {
+    return found;
+  }
+  ContextState& state = *state_ptr;
   // Drop-from-the-front invariant: all earlier chunks must already be
   // dropped, otherwise recomputation could not treat the dropped region as a
   // context prefix (paper Figure 5).
@@ -190,14 +283,20 @@ Status TwoTierKvCache::DropChunk(ConversationId id, int64_t chunk_index) {
     cpu_allocator_.Free(c.cpu_block);
     c.cpu_block = kInvalidBlock;
   }
+  c.cpu_checksum = 0;
+  c.cpu_corrupt = false;
   c.location = ChunkLocation::kDropped;
   ++counters_.dropped_chunks;
   return Status::Ok();
 }
 
 Status TwoTierKvCache::RestoreDropped(ConversationId id, int64_t chunk_index) {
-  ContextState& state = MustFind(id);
-  PENSIEVE_CHECK_LT(chunk_index, state.num_chunks());
+  ContextState* state_ptr = nullptr;
+  Status found = FindChunk(id, chunk_index, &state_ptr);
+  if (!found.ok()) {
+    return found;
+  }
+  ContextState& state = *state_ptr;
   Chunk& c = state.mutable_chunk(chunk_index);
   if (!c.Dropped()) {
     return Status::FailedPrecondition("RestoreDropped requires a dropped chunk");
@@ -233,6 +332,8 @@ int64_t TwoTierKvCache::ImportCpuResident(ConversationId id, int64_t kv_len,
     }
     c.cpu_block = *cpu_block;
     c.location = ChunkLocation::kCpu;
+    c.cpu_checksum = ComputeCpuChecksum(id, i, c);
+    c.cpu_corrupt = false;
     budget -= c.num_tokens;
     imported += c.num_tokens;
   }

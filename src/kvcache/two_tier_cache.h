@@ -108,6 +108,22 @@ class TwoTierKvCache {
   // block; the caller then recomputes the chunk's KV into it.
   Status RestoreDropped(ConversationId id, int64_t chunk_index);
 
+  // --- Checksums / fault handling ----------------------------------------
+  // Every CPU copy carries a checksum recorded when the copy was created
+  // (SwapOut / ImportCpuResident) and re-verified before it is trusted
+  // again. SwapIn verifies internally and fails with DATA_LOSS — leaving
+  // the chunk untouched — so a corrupted copy can only ever degrade to
+  // recomputation, never flow back to the GPU.
+  //
+  // Poisons a chunk's CPU copy (fault injection observed the transfer that
+  // produced it fail after the state transition). Numeric mode also flips a
+  // bit in the backing pool so the real hash mismatches.
+  Status MarkCpuCorrupt(ConversationId id, int64_t chunk_index);
+  // Returns OK if the chunk's CPU copy still matches its recorded checksum,
+  // DATA_LOSS if it was corrupted, FAILED_PRECONDITION if there is no CPU
+  // copy to verify.
+  Status VerifyCpuChecksum(ConversationId id, int64_t chunk_index);
+
   // --- Cluster migration --------------------------------------------------
   // Adopts a conversation migrated from another replica: `kv_len` tokens of
   // chunk bookkeeping whose trailing `resident_tokens` arrive as CPU-tier
@@ -135,6 +151,9 @@ class TwoTierKvCache {
     int64_t dropped_chunks = 0;
     int64_t restored_chunks = 0;
     int64_t reclaimed_gpu_blocks = 0;
+    int64_t checksum_verifications = 0;
+    int64_t checksum_failures = 0;
+    int64_t corrupt_marked_chunks = 0;
   };
   const Counters& counters() const { return counters_; }
 
@@ -144,6 +163,13 @@ class TwoTierKvCache {
 
  private:
   ContextState& MustFind(ConversationId id);
+  // Status-returning lookup used by the swap/drop mechanisms so bad ids or
+  // chunk indices report instead of aborting (fault paths must compose).
+  Status FindChunk(ConversationId id, int64_t chunk_index, ContextState** state);
+  // Checksum of the chunk's CPU copy: real hash in numeric mode, synthetic
+  // per-chunk tag in simulated mode.
+  uint32_t ComputeCpuChecksum(ConversationId id, int64_t chunk_index,
+                              const Chunk& c) const;
 
   KvCacheConfig config_;
   BlockAllocator gpu_allocator_;

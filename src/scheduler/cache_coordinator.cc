@@ -109,8 +109,11 @@ CacheCoordinator::EvictOutcome CacheCoordinator::AheadOfTimeEvict(double now) {
         outcome.dropped_tokens += state->TokensOnGpu() + state->TokensCpuOnly();
         DropWholeConversation(drop->conversation);
       } else {
-        outcome.dropped_tokens += state->chunk(drop->chunk_index).num_tokens;
-        PENSIEVE_CHECK_OK(cache_->DropChunk(drop->conversation, drop->chunk_index));
+        const int64_t tokens = state->chunk(drop->chunk_index).num_tokens;
+        if (!cache_->DropChunk(drop->conversation, drop->chunk_index).ok()) {
+          break;  // would re-pick the same victim forever
+        }
+        outcome.dropped_tokens += tokens;
       }
       MaybeForget(drop->conversation);
     }
@@ -158,6 +161,7 @@ CacheCoordinator::EvictOutcome CacheCoordinator::AheadOfTimeEvict(double now) {
       continue;
     }
     outcome.swapped_out_tokens += chunk_tokens;
+    outcome.swapped.emplace_back(victim.conversation, victim.chunk_index);
   }
   if (cache_->AvailableGpuBlocks() < target_blocks) {
     aot_last_failed_available_ = cache_->AvailableGpuBlocks();
@@ -171,7 +175,9 @@ void CacheCoordinator::DropWholeConversation(ConversationId id) {
   PENSIEVE_CHECK(state != nullptr);
   for (int64_t i = 0; i < state->num_chunks(); ++i) {
     if (!state->chunk(i).Dropped()) {
-      PENSIEVE_CHECK_OK(cache_->DropChunk(id, i));
+      if (!cache_->DropChunk(id, i).ok()) {
+        break;  // later chunks would violate the drop-prefix invariant anyway
+      }
     }
   }
 }
@@ -214,7 +220,9 @@ bool CacheCoordinator::EnsureFreeCpuBlocks(int64_t n, double now) {
         while (cache_->cpu_allocator().num_free() < n && chunk < state->num_chunks() &&
                state->chunk(chunk).location == ChunkLocation::kCpu &&
                Score(best->conversation, *state, chunk, now) <= runner_up) {
-          PENSIEVE_CHECK_OK(cache_->DropChunk(best->conversation, chunk));
+          if (!cache_->DropChunk(best->conversation, chunk).ok()) {
+            break;
+          }
           ++chunk;
         }
       }
@@ -226,7 +234,9 @@ bool CacheCoordinator::EnsureFreeCpuBlocks(int64_t n, double now) {
         now, [](const Chunk& c) { return c.location == ChunkLocation::kGpuAndCpu; },
         /*prefix_only=*/false);
     if (dual.has_value()) {
-      PENSIEVE_CHECK_OK(cache_->DropCpuCopy(dual->conversation, dual->chunk_index));
+      if (!cache_->DropCpuCopy(dual->conversation, dual->chunk_index).ok()) {
+        return false;
+      }
       continue;
     }
     return false;
@@ -257,7 +267,9 @@ CacheCoordinator::FreeOutcome CacheCoordinator::EnsureFreeGpuBlocks(int64_t n,
       if (cache_->gpu_allocator().num_free() >= n) {
         break;
       }
-      PENSIEVE_CHECK_OK(cache_->ReclaimGpu(v.conversation, v.chunk_index));
+      if (!cache_->ReclaimGpu(v.conversation, v.chunk_index).ok()) {
+        continue;  // e.g. the CPU copy was corrupted by a faulted transfer
+      }
       ++outcome.reclaimed_blocks;
     }
   }
@@ -293,9 +305,14 @@ CacheCoordinator::FreeOutcome CacheCoordinator::EnsureFreeGpuBlocks(int64_t n,
         continue;  // state changed under CPU-pressure drops
       }
       const int64_t tokens = state->chunk(v.chunk_index).num_tokens;
-      PENSIEVE_CHECK_OK(cache_->SwapOut(v.conversation, v.chunk_index));
-      PENSIEVE_CHECK_OK(cache_->ReclaimGpu(v.conversation, v.chunk_index));
+      if (!cache_->SwapOut(v.conversation, v.chunk_index).ok()) {
+        continue;
+      }
+      if (!cache_->ReclaimGpu(v.conversation, v.chunk_index).ok()) {
+        continue;  // chunk stays kGpuAndCpu; no block freed, no stall charged
+      }
       outcome.forced_swap_out_tokens += tokens;
+      outcome.forced_swapped.emplace_back(v.conversation, v.chunk_index);
     }
   }
   while (cache_->gpu_allocator().num_free() < n) {
@@ -310,8 +327,12 @@ CacheCoordinator::FreeOutcome CacheCoordinator::EnsureFreeGpuBlocks(int64_t n,
         outcome.dropped_tokens += state->TokensOnGpu() + state->TokensCpuOnly();
         DropWholeConversation(drop->conversation);
       } else {
-        outcome.dropped_tokens += state->chunk(drop->chunk_index).num_tokens;
-        PENSIEVE_CHECK_OK(cache_->DropChunk(drop->conversation, drop->chunk_index));
+        const int64_t tokens = state->chunk(drop->chunk_index).num_tokens;
+        if (!cache_->DropChunk(drop->conversation, drop->chunk_index).ok()) {
+          outcome.ok = false;  // would re-pick the same victim forever
+          return outcome;
+        }
+        outcome.dropped_tokens += tokens;
       }
       MaybeForget(drop->conversation);
       continue;

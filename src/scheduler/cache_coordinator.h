@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "src/eviction/policy.h"
 #include "src/kvcache/two_tier_cache.h"
@@ -57,6 +59,11 @@ class CacheCoordinator {
     // transfer as a stall: ahead-of-time swapping failed to keep up).
     int64_t forced_swap_out_tokens = 0;
     int64_t dropped_tokens = 0;
+    // The (conversation, chunk) pairs behind forced_swap_out_tokens. The
+    // chunks are kCpu once this returns; if the engine's d2h transfer for
+    // them fails, it marks each one corrupt so a later swap-in degrades to
+    // recomputation instead of restoring garbage.
+    std::vector<std::pair<ConversationId, int64_t>> forced_swapped;
   };
   // Makes at least `n` blocks available on the GPU free list.
   FreeOutcome EnsureFreeGpuBlocks(int64_t n, double now);
@@ -69,6 +76,11 @@ class CacheCoordinator {
   struct EvictOutcome {
     int64_t swapped_out_tokens = 0;
     int64_t dropped_tokens = 0;
+    // The (conversation, chunk) pairs behind swapped_out_tokens. The chunks
+    // are still kGpuAndCpu (reclamation is lazy); if the engine's d2h
+    // transfer for them fails, it rolls the copies back with DropCpuCopy —
+    // nothing is lost, the chunks simply stay unevicted.
+    std::vector<std::pair<ConversationId, int64_t>> swapped;
   };
   EvictOutcome AheadOfTimeEvict(double now);
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/scheduler/request.h"
+#include "src/sim/fault_injector.h"
 
 namespace pensieve {
 
@@ -38,6 +39,22 @@ struct EngineStats {
   // eviction policy minimizes; deeper drops cost quadratically more).
   double recompute_seconds = 0.0;
   double restore_stall_seconds = 0.0;
+  // KV-transfer fault accounting (injected faults on the PCIe link, their
+  // retries, and what had to degrade to recomputation). All zero when fault
+  // injection is off.
+  LinkFaultStats link_faults;
+  // Admissions that dropped corrupt or unrestorable chunks and went through
+  // the recomputation path instead.
+  int64_t fault_degraded_admissions = 0;
+  // History tokens whose recomputation is attributable to a KV fault (they
+  // had live copies that were corrupted or could not be restored).
+  int64_t fault_recompute_tokens = 0;
+  int64_t fault_dropped_chunks = 0;
+  // Swap-out transfers (ahead-of-time, forced, or suspension) whose device-
+  // to-host copy exhausted its retries.
+  int64_t fault_failed_swap_outs = 0;
+  // CPU copies rejected by checksum verification at (or ahead of) swap-in.
+  int64_t checksum_detected_corruptions = 0;
 
   // Field-wise accumulation, used wherever stats from several engines (or
   // several engine incarnations of one replica, across crashes) are summed.
@@ -58,6 +75,12 @@ struct EngineStats {
     busy_seconds += other.busy_seconds;
     recompute_seconds += other.recompute_seconds;
     restore_stall_seconds += other.restore_stall_seconds;
+    link_faults += other.link_faults;
+    fault_degraded_admissions += other.fault_degraded_admissions;
+    fault_recompute_tokens += other.fault_recompute_tokens;
+    fault_dropped_chunks += other.fault_dropped_chunks;
+    fault_failed_swap_outs += other.fault_failed_swap_outs;
+    checksum_detected_corruptions += other.checksum_detected_corruptions;
     return *this;
   }
 

@@ -41,8 +41,97 @@ PensieveEngine::PensieveEngine(const GpuCostModel& cost_model,
                      return it == inflight_.end() || it->second == 0;
                    }),
       link_(cost_model.hardware().num_gpus, cost_model.hardware().pcie_bandwidth,
-            cost_model.hardware().pcie_duplex_factor, options_.prioritize_swap_in) {
+            cost_model.hardware().pcie_duplex_factor, options_.prioritize_swap_in),
+      pcie_faults_(options_.fault_seed, options_.pcie_fault_profile,
+                   options_.fault_retry) {
   PENSIEVE_CHECK_GT(options_.num_gpu_blocks, 0);
+}
+
+double PensieveEngine::TransferDeviceToHost(double now, double bytes,
+                                            bool* delivered) {
+  const LinkTransferOutcome out = pcie_faults_.Transfer(
+      now, bytes,
+      [this](double start, double b) { return link_.ScheduleDeviceToHost(start, b); });
+  stats_.link_faults = pcie_faults_.stats();
+  *delivered = out.delivered;
+  return out.done;
+}
+
+double PensieveEngine::TransferHostToDevice(double now, double bytes,
+                                            bool* delivered) {
+  const LinkTransferOutcome out = pcie_faults_.Transfer(
+      now, bytes,
+      [this](double start, double b) { return link_.ScheduleHostToDevice(start, b); });
+  stats_.link_faults = pcie_faults_.stats();
+  *delivered = out.delivered;
+  return out.done;
+}
+
+void PensieveEngine::ChargeForcedSwapOut(const CacheCoordinator::FreeOutcome& freed,
+                                         double now) {
+  if (freed.forced_swap_out_tokens == 0) {
+    return;
+  }
+  const double bytes = static_cast<double>(freed.forced_swap_out_tokens) *
+                       static_cast<double>(cost_model_.KvBytesPerToken());
+  bool delivered = false;
+  const double done = TransferDeviceToHost(now, bytes, &delivered);
+  pending_forced_stall_ += std::max(0.0, done - now);
+  stats_.forced_swap_out_tokens += freed.forced_swap_out_tokens;
+  if (!delivered) {
+    // The GPU slots are already reassigned; the copies that never landed
+    // are poisoned so the next swap-in attempt detects the loss and
+    // degrades to recomputation.
+    for (const auto& [conv, chunk] : freed.forced_swapped) {
+      (void)cache_.MarkCpuCorrupt(conv, chunk);
+    }
+    stats_.fault_failed_swap_outs +=
+        static_cast<int64_t>(freed.forced_swapped.size());
+  }
+}
+
+void PensieveEngine::DegradePrefixThrough(int64_t conversation_id,
+                                          int64_t deepest_chunk) {
+  ContextState* conv = cache_.Find(conversation_id);
+  if (conv == nullptr) {
+    return;
+  }
+  int64_t degraded_tokens = 0;
+  for (int64_t i = conv->LeadingDroppedChunks(); i <= deepest_chunk; ++i) {
+    const int64_t tokens = conv->chunk(i).num_tokens;
+    if (!cache_.DropChunk(conversation_id, i).ok()) {
+      break;
+    }
+    degraded_tokens += tokens;
+    ++stats_.fault_dropped_chunks;
+  }
+  stats_.fault_recompute_tokens += degraded_tokens;
+  ++stats_.fault_degraded_admissions;
+}
+
+void PensieveEngine::DegradeCorruptChunks(int64_t conversation_id) {
+  ContextState* conv = cache_.Find(conversation_id);
+  if (conv == nullptr) {
+    return;
+  }
+  int64_t deepest = -1;
+  for (int64_t i = 0; i < conv->num_chunks(); ++i) {
+    const Chunk& c = conv->chunk(i);
+    if (c.location == ChunkLocation::kGpuAndCpu && c.cpu_corrupt) {
+      // The GPU copy is intact; just discard the poisoned CPU copy.
+      ++stats_.checksum_detected_corruptions;
+      (void)cache_.DropCpuCopy(conversation_id, i);
+      continue;
+    }
+    if (c.location == ChunkLocation::kCpu &&
+        !cache_.VerifyCpuChecksum(conversation_id, i).ok()) {
+      ++stats_.checksum_detected_corruptions;
+      deepest = i;
+    }
+  }
+  if (deepest >= 0) {
+    DegradePrefixThrough(conversation_id, deepest);
+  }
 }
 
 void PensieveEngine::Enqueue(const Request& request, double now) {
@@ -78,6 +167,14 @@ bool PensieveEngine::TryAdmit(Running* r, double now, int64_t batch_input_tokens
     r->pending_new_tokens = tail_raw + r->request.new_prompt_len;
   }
 
+  // Detected-corruption degrade: chunks whose CPU copy fails checksum
+  // verification are dropped (with the prefix before them) before the
+  // admission plan is computed, so they re-enter through the recomputation
+  // path below instead of restoring garbage KV.
+  if (pcie_faults_.enabled()) {
+    DegradeCorruptChunks(conv_id);
+  }
+
   const int64_t dropped_chunks = conv.LeadingDroppedChunks();
   const int64_t dropped_tokens = conv.LeadingDroppedTokens();
   const std::vector<int64_t> cpu_chunks = conv.CpuOnlyChunks();
@@ -101,23 +198,42 @@ bool PensieveEngine::TryAdmit(Running* r, double now, int64_t batch_input_tokens
   conv.Pin();
   const CacheCoordinator::FreeOutcome freed =
       coordinator_.EnsureFreeGpuBlocks(blocks_needed, now);
-  if (freed.forced_swap_out_tokens > 0) {
-    const double bytes = static_cast<double>(freed.forced_swap_out_tokens) *
-                         static_cast<double>(cost_model_.KvBytesPerToken());
-    const double done = link_.ScheduleDeviceToHost(now, bytes);
-    pending_forced_stall_ += std::max(0.0, done - now);
-    stats_.forced_swap_out_tokens += freed.forced_swap_out_tokens;
-  }
+  ChargeForcedSwapOut(freed, now);
   if (!freed.ok) {
     conv.Unpin();
     return false;
   }
 
-  // Reuse accounting snapshot (Figure 14 analysis), first admission only.
   int64_t cpu_tokens = 0;
   for (int64_t idx : cpu_chunks) {
     cpu_tokens += conv.chunk(idx).num_tokens;
   }
+
+  // Restore transfer for the CPU-resident chunks; it overlaps the upcoming
+  // step's compute layer by layer (§4.3.3), with any overhang charged as
+  // stall. Runs before the accounting snapshot so a transfer that exhausts
+  // its retries can degrade cleanly: the prefix through the deepest CPU
+  // chunk is dropped and admission retries inline on the recompute path
+  // (the failed attempts' link time is already charged).
+  double restore_transfer_s = 0.0;
+  if (cpu_tokens > 0) {
+    const double bytes = static_cast<double>(cpu_tokens) *
+                         static_cast<double>(cost_model_.KvBytesPerToken());
+    bool delivered = false;
+    const double done = TransferHostToDevice(now, bytes, &delivered);
+    if (!delivered) {
+      DegradePrefixThrough(conv_id, cpu_chunks.back());
+      conv.Unpin();
+      // Re-admit immediately on the recompute path. The degraded prefix is
+      // now kDropped, so the retry has no CPU chunks to restore and cannot
+      // take this branch again — without the inline retry a lone request
+      // would leave the step idle and strand the experiment.
+      return TryAdmit(r, now, batch_input_tokens);
+    }
+    restore_transfer_s = std::max(0.0, done - now);
+  }
+
+  // Reuse accounting snapshot (Figure 14 analysis), first admission only.
   if (first_admission) {
     r->reused_gpu = conv.TokensOnGpu();
     r->reused_cpu = cpu_tokens;
@@ -142,17 +258,13 @@ bool PensieveEngine::TryAdmit(Running* r, double now, int64_t batch_input_tokens
     r->first_scheduled_time = now;
   }
 
-  // Swap in CPU-resident chunks; the transfer overlaps the upcoming step's
-  // compute layer by layer (§4.3.3), with any overhang charged as stall.
+  // Swap in the CPU-resident chunks whose transfer just completed. Cannot
+  // fail: blocks were ensured above and checksums pre-verified (the injector
+  // only poisons unpinned conversations' copies).
   for (int64_t idx : cpu_chunks) {
     PENSIEVE_CHECK_OK(cache_.SwapIn(conv_id, idx));
   }
-  if (cpu_tokens > 0) {
-    const double bytes = static_cast<double>(cpu_tokens) *
-                         static_cast<double>(cost_model_.KvBytesPerToken());
-    const double done = link_.ScheduleHostToDevice(now, bytes);
-    r->restore_transfer_s = std::max(0.0, done - now);
-  }
+  r->restore_transfer_s = restore_transfer_s;
 
   // Restore dropped-prefix chunks; their KV is recomputed by the next step
   // as a separate attention sub-request (§4.3.4).
@@ -197,36 +309,57 @@ void PensieveEngine::EvictConversationFromGpu(int64_t conversation_id, double no
   ContextState* conv = cache_.Find(conversation_id);
   PENSIEVE_CHECK(conv != nullptr);
   int64_t swapped_tokens = 0;
+  std::vector<int64_t> swapped_chunks;
   for (int64_t i = 0; i < conv->num_chunks(); ++i) {
-    const ChunkLocation loc = conv->chunk(i).location;
-    if (loc == ChunkLocation::kGpuAndCpu) {
-      PENSIEVE_CHECK_OK(cache_.ReclaimGpu(conversation_id, i));
-      continue;
+    if (conv->chunk(i).location == ChunkLocation::kGpuAndCpu) {
+      if (!cache_.ReclaimGpu(conversation_id, i).ok()) {
+        // The CPU copy is corrupt; discard it and re-evict the GPU copy
+        // through the paths below.
+        (void)cache_.DropCpuCopy(conversation_id, i);
+      } else {
+        continue;
+      }
     }
-    if (loc != ChunkLocation::kGpu) {
+    if (conv->chunk(i).location != ChunkLocation::kGpu) {
       continue;
     }
     const bool can_swap = options_.use_cpu_cache &&
                           (cache_.cpu_allocator().num_free() > 0 ||
                            coordinator_.EnsureFreeCpuBlocks(1, now));
     if (can_swap) {
-      swapped_tokens += conv->chunk(i).num_tokens;
-      PENSIEVE_CHECK_OK(cache_.SwapOut(conversation_id, i));
-      PENSIEVE_CHECK_OK(cache_.ReclaimGpu(conversation_id, i));
-      continue;
+      const int64_t chunk_tokens = conv->chunk(i).num_tokens;
+      if (cache_.SwapOut(conversation_id, i).ok() &&
+          cache_.ReclaimGpu(conversation_id, i).ok()) {
+        swapped_tokens += chunk_tokens;
+        swapped_chunks.push_back(i);
+        continue;
+      }
     }
-    // No CPU space: drop this chunk, which requires dropping the prefix
-    // before it first.
+    // No CPU space (or the swap failed): drop this chunk, which requires
+    // dropping the prefix before it first.
     for (int64_t j = 0; j <= i; ++j) {
       if (!conv->chunk(j).Dropped()) {
-        PENSIEVE_CHECK_OK(cache_.DropChunk(conversation_id, j));
+        if (!cache_.DropChunk(conversation_id, j).ok()) {
+          break;
+        }
       }
     }
   }
   if (swapped_tokens > 0) {
     const double bytes = static_cast<double>(swapped_tokens) *
                          static_cast<double>(cost_model_.KvBytesPerToken());
-    link_.ScheduleDeviceToHost(now, bytes);
+    bool delivered = false;
+    TransferDeviceToHost(now, bytes, &delivered);
+    if (!delivered) {
+      // The evicted copies never landed; poison them so the conversation's
+      // next admission degrades to recomputation instead of restoring
+      // garbage.
+      for (int64_t chunk : swapped_chunks) {
+        (void)cache_.MarkCpuCorrupt(conversation_id, chunk);
+      }
+      stats_.fault_failed_swap_outs +=
+          static_cast<int64_t>(swapped_chunks.size());
+    }
   }
 }
 
@@ -241,7 +374,9 @@ void PensieveEngine::SuspendRequest(size_t index, double now) {
   // Chunks restored for a prefill that never ran hold garbage; re-drop them
   // (front to back, satisfying the prefix invariant).
   for (int64_t i = 0; i < r.restored_chunks; ++i) {
-    PENSIEVE_CHECK_OK(cache_.DropChunk(conv_id, i));
+    if (!cache_.DropChunk(conv_id, i).ok()) {
+      break;
+    }
   }
   r.restored_chunks = 0;
   r.restore_transfer_s = 0.0;
@@ -261,8 +396,19 @@ StepResult PensieveEngine::Step(double now) {
   if (aot.swapped_out_tokens > 0) {
     const double bytes = static_cast<double>(aot.swapped_out_tokens) *
                          static_cast<double>(cost_model_.KvBytesPerToken());
-    link_.ScheduleDeviceToHost(now, bytes);
-    stats_.aot_swap_out_tokens += aot.swapped_out_tokens;
+    bool delivered = false;
+    TransferDeviceToHost(now, bytes, &delivered);
+    if (delivered) {
+      stats_.aot_swap_out_tokens += aot.swapped_out_tokens;
+    } else {
+      // The ahead-of-time copies never landed: roll them back. The chunks
+      // are still kGpuAndCpu (reclamation is lazy), so nothing is lost —
+      // they simply stay unevicted until a later pass retries.
+      for (const auto& [conv, chunk] : aot.swapped) {
+        (void)cache_.DropCpuCopy(conv, chunk);
+      }
+      stats_.fault_failed_swap_outs += static_cast<int64_t>(aot.swapped.size());
+    }
   }
   stats_.dropped_tokens += aot.dropped_tokens;
 
@@ -294,13 +440,7 @@ StepResult PensieveEngine::Step(double now) {
       if (!ok) {
         const CacheCoordinator::FreeOutcome freed =
             coordinator_.EnsureFreeGpuBlocks(need, now);
-        if (freed.forced_swap_out_tokens > 0) {
-          const double bytes = static_cast<double>(freed.forced_swap_out_tokens) *
-                               static_cast<double>(cost_model_.KvBytesPerToken());
-          const double done = link_.ScheduleDeviceToHost(now, bytes);
-          pending_forced_stall_ += std::max(0.0, done - now);
-          stats_.forced_swap_out_tokens += freed.forced_swap_out_tokens;
-        }
+        ChargeForcedSwapOut(freed, now);
         ok = freed.ok;
       }
       if (!ok) {

@@ -28,6 +28,7 @@
 #include "src/scheduler/step_cost.h"
 #include "src/serving/engine.h"
 #include "src/sim/cost_model.h"
+#include "src/sim/fault_injector.h"
 #include "src/sim/tp_group.h"
 
 namespace pensieve {
@@ -49,6 +50,11 @@ struct PensieveEngineOptions {
   bool prioritize_swap_in = true;  // false => duplex PCIe ablation (§5)
   double dense_speedup = 1.0;
   EvictionPolicyKind policy = EvictionPolicyKind::kRetentionValue;
+  // KV-transfer fault injection on the PCIe link (off by default: all rates
+  // zero, which takes the injector's draw-free fast path).
+  LinkFaultProfile pcie_fault_profile;
+  LinkRetryPolicy fault_retry;
+  uint64_t fault_seed = 0;
 };
 
 class PensieveEngine final : public Engine {
@@ -77,6 +83,7 @@ class PensieveEngine final : public Engine {
 
   // Introspection for tests.
   const TwoTierKvCache& cache() const { return cache_; }
+  const LinkFaultInjector& pcie_faults() const { return pcie_faults_; }
   int64_t num_waiting() const { return static_cast<int64_t>(waiting_.size()); }
   int64_t num_running() const { return static_cast<int64_t>(running_.size()); }
 
@@ -122,6 +129,28 @@ class PensieveEngine final : public Engine {
   // Evicts every GPU-resident chunk of a conversation (suspension path).
   void EvictConversationFromGpu(int64_t conversation_id, double now);
 
+  // --- KV-fault handling ---------------------------------------------------
+  // Device-to-host / host-to-device transfers routed through the fault
+  // injector. Return the completion (or abandonment) time; `delivered` is
+  // false when the transfer exhausted its retries.
+  double TransferDeviceToHost(double now, double bytes, bool* delivered);
+  double TransferHostToDevice(double now, double bytes, bool* delivered);
+
+  // Charges a FreeOutcome's forced swap-out traffic to the link; when the
+  // transfer fails, the landed CPU copies are poisoned so a later swap-in
+  // degrades to recomputation instead of restoring garbage.
+  void ChargeForcedSwapOut(const CacheCoordinator::FreeOutcome& freed, double now);
+
+  // Degradation ladder entry: discards corrupt CPU copies that still have a
+  // GPU twin, and drops the prefix through the deepest CPU-only chunk whose
+  // copy fails checksum verification, so admission rebuilds it through the
+  // recomputation path (§4.3.4).
+  void DegradeCorruptChunks(int64_t conversation_id);
+
+  // Drops the conversation's resident prefix through `deepest_chunk`
+  // (inclusive), counting the degraded tokens against the fault stats.
+  void DegradePrefixThrough(int64_t conversation_id, int64_t deepest_chunk);
+
   const GpuCostModel& cost_model_;
   PensieveEngineOptions options_;
   TwoTierKvCache cache_;
@@ -131,6 +160,9 @@ class PensieveEngine final : public Engine {
   // One PCIe link per tensor-parallel worker; each worker moves its own
   // feature slice of every chunk (Â§4.4.2).
   TpLinkGroup link_;
+  // Every KV transfer on link_ goes through this injector; with all rates
+  // zero it is a draw-free pass-through.
+  LinkFaultInjector pcie_faults_;
   std::deque<Running> waiting_;
   std::vector<Running> running_;
   // Conversations with a queued or running request; their (possibly fully

@@ -24,6 +24,47 @@ StepTraceSummary SummarizeStepTrace(const std::vector<StepTraceEntry>& trace) {
   return summary;
 }
 
+std::string FormatLinkFaultLine(const LinkFaultStats& faults) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%lld injected on %lld transfers (%lld timeout, %lld stall, "
+                "%lld partial, %lld corrupt); %lld retries, %lld recovered, "
+                "%lld unrecovered, %lld exhausted, %.3f s backoff",
+                static_cast<long long>(faults.InjectedFaults()),
+                static_cast<long long>(faults.transfers),
+                static_cast<long long>(faults.injected_timeouts),
+                static_cast<long long>(faults.injected_stalls),
+                static_cast<long long>(faults.injected_partials),
+                static_cast<long long>(faults.injected_corruptions),
+                static_cast<long long>(faults.retries),
+                static_cast<long long>(faults.recovered_faults),
+                static_cast<long long>(faults.unrecovered_faults),
+                static_cast<long long>(faults.exhausted_transfers),
+                faults.retry_backoff_seconds);
+  return buf;
+}
+
+std::string FormatKvFaultSummary(const EngineStats& stats) {
+  if (stats.link_faults.InjectedFaults() == 0 &&
+      stats.fault_degraded_admissions == 0 &&
+      stats.checksum_detected_corruptions == 0) {
+    return "";
+  }
+  std::string out = "kv-faults:         " + FormatLinkFaultLine(stats.link_faults) + "\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "kv-degrade:        %lld degraded admissions, %lld corrupt "
+                "chunks detected, %lld chunks dropped, %lld tokens recomputed, "
+                "%lld failed swap-outs\n",
+                static_cast<long long>(stats.fault_degraded_admissions),
+                static_cast<long long>(stats.checksum_detected_corruptions),
+                static_cast<long long>(stats.fault_dropped_chunks),
+                static_cast<long long>(stats.fault_recompute_tokens),
+                static_cast<long long>(stats.fault_failed_swap_outs));
+  out += buf;
+  return out;
+}
+
 Status WriteStepTraceCsv(const std::string& path,
                          const std::vector<StepTraceEntry>& trace) {
   std::ofstream out(path, std::ios::trunc);

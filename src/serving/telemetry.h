@@ -13,6 +13,7 @@
 
 #include "src/common/status.h"
 #include "src/scheduler/request.h"
+#include "src/serving/engine.h"
 
 namespace pensieve {
 
@@ -34,6 +35,16 @@ struct StepTraceSummary {
   double busy_seconds = 0.0;
 };
 StepTraceSummary SummarizeStepTrace(const std::vector<StepTraceEntry>& trace);
+
+// One line of injected-fault accounting for a KV-transfer link (no trailing
+// newline).
+std::string FormatLinkFaultLine(const LinkFaultStats& faults);
+
+// Human-readable KV-fault report for an experiment summary: the PCIe link's
+// fault accounting plus what degraded to recomputation. Empty when nothing
+// was injected or detected, so zero-rate runs print exactly what they always
+// did.
+std::string FormatKvFaultSummary(const EngineStats& stats);
 
 // CSV writers. Paths are created/truncated; returns an error on I/O failure.
 Status WriteStepTraceCsv(const std::string& path,

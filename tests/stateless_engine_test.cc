@@ -144,6 +144,36 @@ TEST(StatelessEngineTest, PreemptsUnderMemoryPressure) {
   }
 }
 
+TEST(StatelessEngineTest, PreemptAndRetryUnderPoolExhaustion) {
+  GpuCostModel model = Opt13BModel();
+  // 6 blocks of 16 = 96 slots; each request peaks at 20 + 40 = 60, so no
+  // two coexist once decode grows. The pool exhausts mid-decode repeatedly
+  // and every victim must be re-admitted (re-prefilling prompt + emitted
+  // output) until all three finish.
+  StatelessEngine engine(model, SmallOptions(6));
+  engine.Enqueue(MakeRequest(0, 0, 20, 0, 40, 0.0), 0.0);
+  engine.Enqueue(MakeRequest(1, 1, 20, 0, 40, 1.0), 0.0);
+  engine.Enqueue(MakeRequest(2, 2, 20, 0, 40, 2.0), 0.0);
+  std::vector<RequestOutcome> outcomes = Drain(&engine);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_GE(engine.stats().preemptions, 2);
+  for (const RequestOutcome& o : outcomes) {
+    // Preemption delays a request but never truncates it.
+    EXPECT_EQ(o.generated_tokens, 40);
+    if (o.request.request_id == 0) {
+      // The earliest arrival is never the victim while others are running,
+      // and fits alone once they finish.
+      EXPECT_EQ(o.suspensions, 0);
+    }
+  }
+  EXPECT_FALSE(engine.HasWork());
+  // All pages returned: a fresh request admits without preempting anyone.
+  engine.Enqueue(MakeRequest(3, 3, 30, 0, 40, 100.0), 100.0);
+  std::vector<RequestOutcome> more = Drain(&engine, 100.0);
+  ASSERT_EQ(more.size(), 1u);
+  EXPECT_EQ(more[0].suspensions, 0);
+}
+
 TEST(StatelessEngineTest, TensorRtSpeedupReducesStepTime) {
   GpuCostModel model = Opt13BModel();
   StatelessEngineOptions vllm_options = SmallOptions(512);

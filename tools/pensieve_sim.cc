@@ -18,6 +18,7 @@
 #include "src/common/thread_pool.h"
 #include "src/core/pensieve.h"
 #include "src/serving/telemetry.h"
+#include "src/sim/fault_injector.h"
 #include "src/workload/trace_io.h"
 
 namespace pensieve {
@@ -98,6 +99,7 @@ int Run(int argc, char** argv) {
                "worker threads for the CPU kernels/GEMMs (default: "
                "PENSIEVE_THREADS env var, else hardware concurrency); results "
                "are bit-identical for every value");
+  AddFaultFlags(&flags);
   flags.AddBool("help", false, "print usage");
   Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
@@ -156,6 +158,10 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "unknown policy '%s'\n", policy.c_str());
     return 2;
   }
+  const FaultConfig fault_config = FaultConfigFromFlags(flags);
+  overrides.pcie_fault_profile = fault_config.pcie;
+  overrides.fault_retry = fault_config.retry;
+  overrides.fault_seed = fault_config.seed;
 
   const GpuCostModel cost_model(model, A100Spec(model.num_gpus));
   TraceOptions trace_options;
@@ -210,13 +216,24 @@ int Run(int argc, char** argv) {
     cluster_options.router.min_overload_tokens = flags.GetInt("overload_tokens");
     cluster_options.router.overload_factor = flags.GetDouble("overload_factor");
     cluster_options.faults = std::move(fault_events);
+    cluster_options.nic_fault_profile = fault_config.nic;
+    cluster_options.fault_retry = fault_config.retry;
+    cluster_options.fault_seed = fault_config.seed;
     std::vector<RequestOutcome> outcomes;
     std::vector<ClusterStepTraceEntry> steps;
     cluster_options.outcomes = &outcomes;
     cluster_options.step_trace = &steps;
     const ClusterSummary cs = RunClusterExperiment(
-        [&](int32_t) { return MakeEngine(kind, cost_model, overrides); }, trace,
-        cluster_options);
+        [&](int32_t replica_id) {
+          // Each replica (and each recovery incarnation) draws from its own
+          // deterministic fault stream.
+          EngineOverrides replica_overrides = overrides;
+          replica_overrides.fault_seed =
+              fault_config.seed +
+              0x9E3779B9ull * static_cast<uint64_t>(replica_id + 1);
+          return MakeEngine(kind, cost_model, replica_overrides);
+        },
+        trace, cluster_options);
     const ServingSummary& s = cs.cluster;
     std::printf("cluster:           %ld x %s behind %s router\n",
                 static_cast<long>(replicas), system.c_str(), cs.router_name.c_str());
@@ -257,6 +274,16 @@ int Run(int argc, char** argv) {
                   static_cast<long>(cs.faults.lost_kv_tokens),
                   static_cast<long>(cs.faults.lost_generated_tokens));
     }
+    if (cs.nic_link_faults.InjectedFaults() > 0 ||
+        cs.migration.failed_migrations > 0) {
+      std::printf("nic-faults:        %s\n",
+                  FormatLinkFaultLine(cs.nic_link_faults).c_str());
+      std::printf("nic-degrade:       %ld failed migrations, %ld KV tokens "
+                  "recomputed at destination\n",
+                  static_cast<long>(cs.migration.failed_migrations),
+                  static_cast<long>(cs.migration.kv_tokens_lost_in_transit));
+    }
+    std::printf("%s", FormatKvFaultSummary(s.engine_stats).c_str());
     for (size_t i = 0; i < cs.replicas.size(); ++i) {
       const ServingSummary& r = cs.replicas[i];
       std::printf("  replica %-2zu       %ld requests, %.1f s busy, hit %.3f\n",
@@ -314,6 +341,7 @@ int Run(int argc, char** argv) {
               static_cast<long>(s.engine_stats.forced_swap_out_tokens),
               static_cast<long>(s.engine_stats.dropped_tokens),
               s.engine_stats.restore_stall_seconds);
+  std::printf("%s", FormatKvFaultSummary(s.engine_stats).c_str());
   const StepTraceSummary st = SummarizeStepTrace(steps);
   std::printf("scheduler:         %ld steps, mean batch %.1f requests / %.1f "
               "tokens, %.1f s busy\n",
