@@ -36,7 +36,8 @@ std::unique_ptr<Engine> MakeEngine(SystemKind kind, const GpuCostModel& cost_mod
   const int64_t gpu_tokens = static_cast<int64_t>(
       static_cast<double>(GpuKvCacheTokens(model, hw)) * overrides.cache_scale);
   const int64_t cpu_tokens = static_cast<int64_t>(
-      static_cast<double>(CpuKvCacheTokens(model, hw)) * overrides.cache_scale);
+      static_cast<double>(CpuKvCacheTokens(model, hw)) * overrides.cache_scale *
+      overrides.cpu_cache_scale);
 
   switch (kind) {
     case SystemKind::kPensieve:
@@ -56,6 +57,15 @@ std::unique_ptr<Engine> MakeEngine(SystemKind kind, const GpuCostModel& cost_mod
       options.pcie_fault_profile = overrides.pcie_fault_profile;
       options.fault_retry = overrides.fault_retry;
       options.fault_seed = overrides.fault_seed;
+      if (kind == SystemKind::kPensieve && overrides.ssd_capacity_gb > 0.0) {
+        const int64_t ssd_tokens = static_cast<int64_t>(
+            overrides.ssd_capacity_gb * 1024.0 * 1024.0 * 1024.0 /
+            static_cast<double>(model.KvBytesPerTokenPerGpu()));
+        options.num_ssd_blocks = ssd_tokens / options.block_size;
+        options.ssd_algo = overrides.ssd_algo;
+        options.ssd_segment_blocks = overrides.ssd_segment_blocks;
+        options.ssd_fault_profile = overrides.ssd_fault_profile;
+      }
       return std::make_unique<PensieveEngine>(cost_model, options);
     }
     case SystemKind::kVllm:

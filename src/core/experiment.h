@@ -47,12 +47,24 @@ struct EngineOverrides {
   bool prioritize_swap_in = true;
   // Scales both cache tiers (useful for stress tests); 1.0 = paper setup.
   double cache_scale = 1.0;
+  // Additional multiplier applied to the CPU tier only, on top of
+  // cache_scale. Flash-tier benchmarks shrink the CPU tier below the working
+  // set while keeping the GPU large enough for every conversation.
+  double cpu_cache_scale = 1.0;
   std::string name_suffix;
   // PCIe KV-transfer fault injection (Pensieve variants only; the stateless
   // baselines never move KV over the link). All rates zero = off.
   LinkFaultProfile pcie_fault_profile;
   LinkRetryPolicy fault_retry;
   uint64_t fault_seed = 0;
+  // Flash (SSD) tier behind the CPU tier (full Pensieve variant only). The
+  // capacity is in GiB of KV data and is deliberately NOT scaled by
+  // cache_scale: stress tests shrink the GPU/CPU tiers to force traffic into
+  // a fixed-size flash. 0 disables the tier.
+  double ssd_capacity_gb = 0.0;
+  FlashAlgoKind ssd_algo = FlashAlgoKind::kLru;
+  int64_t ssd_segment_blocks = 64;
+  LinkFaultProfile ssd_fault_profile;
 };
 
 std::unique_ptr<Engine> MakeEngine(SystemKind kind, const GpuCostModel& cost_model,

@@ -70,4 +70,21 @@ double ChunkCostEstimator::Cost(int64_t context_len) const {
   return table_.Eval(static_cast<double>(context_len));
 }
 
+RestoreAction PlanChunkRestore(const ChunkCostEstimator& estimator,
+                               RestoreSource source, int64_t chunk_tokens,
+                               int64_t context_len, int64_t kv_bytes_per_token,
+                               const RestoreLinkSpeeds& speeds) {
+  PENSIEVE_CHECK_GT(speeds.pcie_bandwidth, 0.0);
+  const double bytes =
+      static_cast<double>(chunk_tokens) * static_cast<double>(kv_bytes_per_token);
+  double restore_s = bytes / speeds.pcie_bandwidth;
+  if (source == RestoreSource::kSsd) {
+    PENSIEVE_CHECK_GT(speeds.ssd_read_bandwidth, 0.0);
+    restore_s += speeds.ssd_access_latency + bytes / speeds.ssd_read_bandwidth;
+  }
+  const double recompute_s = estimator.Cost(context_len);
+  return recompute_s < restore_s ? RestoreAction::kRecompute
+                                 : RestoreAction::kRestore;
+}
+
 }  // namespace pensieve

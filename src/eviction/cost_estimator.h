@@ -44,6 +44,31 @@ class ChunkCostEstimator {
   InterpTable table_;
 };
 
+// --- Three-way restore decision (flash tier) -------------------------------
+// With the SSD behind the CPU tier, bringing a chunk back to the GPU is a
+// three-way choice: restore from CPU (one PCIe hop), restore from SSD (flash
+// read + PCIe hop), or recompute from raw tokens. Recomputation cost grows
+// with context length while restore cost is flat per byte, so for short
+// contexts recompute wins — especially against the slower SSD path.
+
+enum class RestoreSource { kCpu, kSsd };
+enum class RestoreAction { kRestore, kRecompute };
+
+// Link speeds feeding the decision (taken from HardwareSpec).
+struct RestoreLinkSpeeds {
+  double pcie_bandwidth = 0.0;      // bytes/s, host -> device
+  double ssd_read_bandwidth = 0.0;  // bytes/s, flash -> host
+  double ssd_access_latency = 0.0;  // seconds per flash read op
+};
+
+// Picks the cheaper of restoring `chunk_tokens` from `source` (transfer time
+// over the links involved) and recomputing them (estimator.Cost at the
+// chunk's context length).
+RestoreAction PlanChunkRestore(const ChunkCostEstimator& estimator,
+                               RestoreSource source, int64_t chunk_tokens,
+                               int64_t context_len, int64_t kv_bytes_per_token,
+                               const RestoreLinkSpeeds& speeds);
+
 }  // namespace pensieve
 
 #endif  // PENSIEVE_SRC_EVICTION_COST_ESTIMATOR_H_

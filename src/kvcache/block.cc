@@ -10,6 +10,8 @@ const char* ChunkLocationName(ChunkLocation loc) {
       return "GPU+CPU";
     case ChunkLocation::kCpu:
       return "CPU";
+    case ChunkLocation::kSsd:
+      return "SSD";
     case ChunkLocation::kDropped:
       return "DROPPED";
   }

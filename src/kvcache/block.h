@@ -24,6 +24,7 @@ enum class ChunkLocation : uint8_t {
   kGpuAndCpu,  // resident in GPU memory with a clean CPU copy (swap-out done,
                // GPU slot reclaimable for free)
   kCpu,        // resident only in CPU memory
+  kSsd,        // resident only in the flash tier (demoted under CPU pressure)
   kDropped,    // evicted everywhere; recompute from raw tokens when needed
 };
 
@@ -52,6 +53,12 @@ struct Chunk {
   // Set when fault injection corrupted the CPU copy in flight; the next
   // checksum verification fails and the chunk degrades to recomputation.
   bool cpu_corrupt = false;
+  // Same pair for the flash-tier copy (kSsd chunks): recorded at demotion,
+  // verified before the copy is promoted back to the CPU tier. The flash
+  // block id itself lives inside FlashTier (GC relocates blocks without
+  // touching chunk bookkeeping).
+  uint32_t ssd_checksum = 0;
+  bool ssd_corrupt = false;
 
   bool OnGpu() const {
     return location == ChunkLocation::kGpu || location == ChunkLocation::kGpuAndCpu;
@@ -59,6 +66,7 @@ struct Chunk {
   bool HasCpuCopy() const {
     return location == ChunkLocation::kGpuAndCpu || location == ChunkLocation::kCpu;
   }
+  bool OnSsd() const { return location == ChunkLocation::kSsd; }
   bool Dropped() const { return location == ChunkLocation::kDropped; }
 };
 

@@ -22,6 +22,14 @@ int64_t ContextState::LeadingDroppedTokens() const {
   return tokens;
 }
 
+int64_t ContextState::LeadingDroppedOrSsdChunks() const {
+  int64_t n = 0;
+  while (n < num_chunks() && (chunk(n).Dropped() || chunk(n).OnSsd())) {
+    ++n;
+  }
+  return n;
+}
+
 int64_t ContextState::TokensOnGpu() const {
   int64_t t = 0;
   for (const Chunk& c : chunks_) {
@@ -42,6 +50,16 @@ int64_t ContextState::TokensCpuOnly() const {
   return t;
 }
 
+int64_t ContextState::TokensOnSsd() const {
+  int64_t t = 0;
+  for (const Chunk& c : chunks_) {
+    if (c.OnSsd()) {
+      t += c.num_tokens;
+    }
+  }
+  return t;
+}
+
 int64_t ContextState::TokensDropped() const {
   int64_t t = 0;
   for (const Chunk& c : chunks_) {
@@ -56,6 +74,16 @@ std::vector<int64_t> ContextState::CpuOnlyChunks() const {
   std::vector<int64_t> idx;
   for (int64_t i = 0; i < num_chunks(); ++i) {
     if (chunk(i).location == ChunkLocation::kCpu) {
+      idx.push_back(i);
+    }
+  }
+  return idx;
+}
+
+std::vector<int64_t> ContextState::SsdChunks() const {
+  std::vector<int64_t> idx;
+  for (int64_t i = 0; i < num_chunks(); ++i) {
+    if (chunk(i).OnSsd()) {
       idx.push_back(i);
     }
   }

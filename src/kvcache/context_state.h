@@ -43,15 +43,25 @@ class ContextState {
   // Length of the contiguous dropped prefix, in tokens.
   int64_t LeadingDroppedTokens() const;
   int64_t LeadingDroppedChunks() const;
+  // The "CPU frontier": length of the contiguous prefix of chunks that are
+  // dropped or demoted to the flash tier. The first chunk past it is the
+  // oldest chunk still holding a CPU/GPU copy — the next demotion (or drop)
+  // candidate. Equal to LeadingDroppedChunks() when no flash tier exists.
+  int64_t LeadingDroppedOrSsdChunks() const;
 
   // Token counts by residency.
   int64_t TokensOnGpu() const;
   int64_t TokensCpuOnly() const;
+  int64_t TokensOnSsd() const;
   int64_t TokensDropped() const;
 
   // Chunk indices (ascending) that are CPU-only: these must be swapped in
   // before the conversation's next request can run.
   std::vector<int64_t> CpuOnlyChunks() const;
+  // Chunk indices (ascending) demoted to the flash tier: these must be
+  // promoted back to the CPU tier (then swapped in) before the
+  // conversation's next request can run.
+  std::vector<int64_t> SsdChunks() const;
 
   // True when every non-dropped chunk is GPU-resident.
   bool FullyOnGpu() const;

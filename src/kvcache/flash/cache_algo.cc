@@ -1,0 +1,396 @@
+#include "src/kvcache/flash/cache_algo.h"
+
+#include <deque>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace pensieve {
+
+const char* FlashAlgoKindName(FlashAlgoKind kind) {
+  switch (kind) {
+    case FlashAlgoKind::kLru:
+      return "lru";
+    case FlashAlgoKind::kFifo:
+      return "fifo";
+    case FlashAlgoKind::kS3Fifo:
+      return "s3fifo";
+    case FlashAlgoKind::kSieve:
+      return "sieve";
+  }
+  return "?";
+}
+
+bool FlashAlgoKindByName(const std::string& name, FlashAlgoKind* kind) {
+  for (FlashAlgoKind k : AllFlashAlgoKinds()) {
+    if (name == FlashAlgoKindName(k)) {
+      *kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<FlashAlgoKind> AllFlashAlgoKinds() {
+  return {FlashAlgoKind::kLru, FlashAlgoKind::kFifo, FlashAlgoKind::kS3Fifo,
+          FlashAlgoKind::kSieve};
+}
+
+bool FlashCacheAlgo::Admit(uint64_t key, const EvictablePredicate& evictable,
+                           std::vector<uint64_t>* evicted) {
+  PENSIEVE_CHECK(!Contains(key)) << "flash admit of resident key";
+  while (size() >= capacity_) {
+    std::optional<uint64_t> victim = EvictOne(evictable);
+    if (!victim.has_value()) {
+      // Keys already appended to *evicted were removed before the stall and
+      // stay evicted; the caller drops their blocks either way.
+      return false;
+    }
+    evicted->push_back(*victim);
+  }
+  Insert(key);
+  return true;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// LRU: recency list, evict from the cold end, hits move to the hot end.
+// ---------------------------------------------------------------------------
+class LruAlgo final : public FlashCacheAlgo {
+ public:
+  explicit LruAlgo(int64_t capacity) : FlashCacheAlgo(capacity) {}
+
+  const char* name() const override { return "lru"; }
+  int64_t size() const override { return static_cast<int64_t>(order_.size()); }
+  bool Contains(uint64_t key) const override { return where_.count(key) > 0; }
+
+  void Touch(uint64_t key) override {
+    auto it = where_.find(key);
+    if (it == where_.end()) {
+      return;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+  }
+
+  void Erase(uint64_t key) override {
+    auto it = where_.find(key);
+    if (it == where_.end()) {
+      return;
+    }
+    order_.erase(it->second);
+    where_.erase(it);
+  }
+
+ protected:
+  void Insert(uint64_t key) override {
+    order_.push_front(key);
+    where_[key] = order_.begin();
+  }
+
+  std::optional<uint64_t> EvictOne(const EvictablePredicate& evictable) override {
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+      if (evictable(*it)) {
+        const uint64_t key = *it;
+        Erase(key);
+        return key;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::list<uint64_t> order_;  // front = most recently used
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> where_;
+};
+
+// ---------------------------------------------------------------------------
+// FIFO: insertion order only; hits do not reorder.
+// ---------------------------------------------------------------------------
+class FifoAlgo final : public FlashCacheAlgo {
+ public:
+  explicit FifoAlgo(int64_t capacity) : FlashCacheAlgo(capacity) {}
+
+  const char* name() const override { return "fifo"; }
+  int64_t size() const override { return static_cast<int64_t>(order_.size()); }
+  bool Contains(uint64_t key) const override { return where_.count(key) > 0; }
+
+  void Touch(uint64_t /*key*/) override {}
+
+  void Erase(uint64_t key) override {
+    auto it = where_.find(key);
+    if (it == where_.end()) {
+      return;
+    }
+    order_.erase(it->second);
+    where_.erase(it);
+  }
+
+ protected:
+  void Insert(uint64_t key) override {
+    order_.push_front(key);
+    where_[key] = order_.begin();
+  }
+
+  std::optional<uint64_t> EvictOne(const EvictablePredicate& evictable) override {
+    // Oldest insertion is at the back.
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+      if (evictable(*it)) {
+        const uint64_t key = *it;
+        Erase(key);
+        return key;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::list<uint64_t> order_;  // front = newest insertion
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> where_;
+};
+
+// ---------------------------------------------------------------------------
+// SIEVE (NSDI'24): FIFO order with a visited bit and a hand that sweeps from
+// the cold (tail) end toward the hot (head) end, clearing visited bits and
+// evicting the first unvisited entry. Hits only set the bit — no list
+// movement — so the structure is cheap and scan-resistant.
+// ---------------------------------------------------------------------------
+class SieveAlgo final : public FlashCacheAlgo {
+ public:
+  explicit SieveAlgo(int64_t capacity) : FlashCacheAlgo(capacity) {}
+
+  const char* name() const override { return "sieve"; }
+  int64_t size() const override { return static_cast<int64_t>(order_.size()); }
+  bool Contains(uint64_t key) const override { return where_.count(key) > 0; }
+
+  void Touch(uint64_t key) override {
+    auto it = where_.find(key);
+    if (it == where_.end()) {
+      return;
+    }
+    it->second->visited = true;
+  }
+
+  void Erase(uint64_t key) override {
+    auto it = where_.find(key);
+    if (it == where_.end()) {
+      return;
+    }
+    if (hand_valid_ && hand_ == it->second) {
+      AdvanceHandFrom(it->second);
+    }
+    order_.erase(it->second);
+    where_.erase(it);
+  }
+
+ protected:
+  void Insert(uint64_t key) override {
+    order_.push_front(Node{key, false});
+    where_[key] = order_.begin();
+  }
+
+  std::optional<uint64_t> EvictOne(const EvictablePredicate& evictable) override {
+    if (order_.empty()) {
+      return std::nullopt;
+    }
+    auto it = hand_valid_ ? hand_ : std::prev(order_.end());
+    // Two full sweeps suffice: the first clears every visited bit, the
+    // second finds an evictable entry if one exists.
+    for (int64_t steps = 2 * size() + 2; steps > 0; --steps) {
+      if (it->visited) {
+        it->visited = false;
+      } else if (evictable(it->key)) {
+        const uint64_t key = it->key;
+        AdvanceHandFrom(it);
+        where_.erase(key);
+        order_.erase(it);
+        return key;
+      }
+      it = (it == order_.begin()) ? std::prev(order_.end()) : std::prev(it);
+    }
+    return std::nullopt;
+  }
+
+ private:
+  struct Node {
+    uint64_t key;
+    bool visited;
+  };
+
+  // Moves the hand to the next sweep position past `it` (toward the head,
+  // wrapping to the tail).
+  void AdvanceHandFrom(std::list<Node>::iterator it) {
+    if (it == order_.begin()) {
+      hand_valid_ = false;  // next sweep restarts at the tail
+    } else {
+      hand_ = std::prev(it);
+      hand_valid_ = true;
+    }
+  }
+
+  std::list<Node> order_;  // front = newest insertion
+  std::unordered_map<uint64_t, std::list<Node>::iterator> where_;
+  std::list<Node>::iterator hand_;
+  bool hand_valid_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// S3FIFO (SOSP'23): a small probationary FIFO (~10% of capacity), a main
+// FIFO, and a ghost FIFO of recently evicted keys. New keys enter the small
+// queue; keys re-admitted while still in the ghost enter main directly.
+// Eviction from small promotes entries with any hits to main (lazy
+// promotion); main gives hit entries a second chance at the tail with a
+// decremented counter.
+// ---------------------------------------------------------------------------
+class S3FifoAlgo final : public FlashCacheAlgo {
+ public:
+  explicit S3FifoAlgo(int64_t capacity) : FlashCacheAlgo(capacity) {}
+
+  const char* name() const override { return "s3fifo"; }
+  int64_t size() const override {
+    return static_cast<int64_t>(small_.size() + main_.size());
+  }
+  bool Contains(uint64_t key) const override { return where_.count(key) > 0; }
+
+  void Touch(uint64_t key) override {
+    auto it = freq_.find(key);
+    if (it == freq_.end()) {
+      return;
+    }
+    it->second = std::min(3, it->second + 1);
+  }
+
+  void Erase(uint64_t key) override {
+    auto it = where_.find(key);
+    if (it == where_.end()) {
+      return;
+    }
+    (it->second.in_small ? small_ : main_).erase(it->second.pos);
+    where_.erase(it);
+    freq_.erase(key);
+  }
+
+ protected:
+  void Insert(uint64_t key) override {
+    if (ghost_set_.erase(key) > 0) {
+      main_.push_back(key);
+      where_[key] = {false, std::prev(main_.end())};
+    } else {
+      small_.push_back(key);
+      where_[key] = {true, std::prev(small_.end())};
+    }
+    freq_[key] = 0;
+  }
+
+  std::optional<uint64_t> EvictOne(const EvictablePredicate& evictable) override {
+    uint64_t victim = 0;
+    // Each pass either evicts, or moves one entry between queues; bound the
+    // passes so a fully pinned cache terminates.
+    for (int64_t guard = 2 * size() + 4; guard > 0; --guard) {
+      const bool prefer_small =
+          !small_.empty() &&
+          (static_cast<int64_t>(small_.size()) > SmallTarget() || main_.empty());
+      int r = ScanQueue(prefer_small, evictable, &victim);
+      if (r == kNothing) {
+        r = ScanQueue(!prefer_small, evictable, &victim);
+      }
+      if (r == kNothing) {
+        return std::nullopt;
+      }
+      if (r == kEvicted) {
+        return victim;
+      }
+      // kMoved: an entry changed queues; re-evaluate which queue to drain.
+    }
+    return std::nullopt;
+  }
+
+ private:
+  struct Where {
+    bool in_small;
+    std::list<uint64_t>::iterator pos;
+  };
+
+  static constexpr int kNothing = 0;
+  static constexpr int kMoved = 1;
+  static constexpr int kEvicted = 2;
+
+  int64_t SmallTarget() const { return capacity_ / 10; }
+
+  // Walks one queue from its FIFO head for the first entry it may act on:
+  // promote/requeue an entry with hits (kMoved), or evict the first eligible
+  // zero-hit entry (kEvicted, victim in *out). kNothing when every entry is
+  // pinned at zero hits (or the queue is empty).
+  int ScanQueue(bool use_small, const EvictablePredicate& evictable, uint64_t* out) {
+    std::list<uint64_t>& q = use_small ? small_ : main_;
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      const uint64_t key = *it;
+      int& f = freq_[key];
+      if (f > 0) {
+        if (use_small) {
+          q.erase(it);
+          main_.push_back(key);
+          where_[key] = {false, std::prev(main_.end())};
+          f = 0;
+        } else {
+          --f;
+          q.splice(q.end(), q, it);
+          where_[key] = {false, std::prev(q.end())};
+        }
+        return kMoved;
+      }
+      if (evictable(key)) {
+        q.erase(it);
+        where_.erase(key);
+        freq_.erase(key);
+        PushGhost(key);
+        *out = key;
+        return kEvicted;
+      }
+      // Pinned with zero hits: leave it in place, consider the next entry.
+    }
+    return kNothing;
+  }
+
+  void PushGhost(uint64_t key) {
+    ghost_set_.insert(key);
+    ghost_fifo_.push_back(key);
+    // Re-admitted keys leave the set but not the deque; skip stale entries.
+    while (!ghost_fifo_.empty() &&
+           static_cast<int64_t>(ghost_set_.size()) > capacity_) {
+      ghost_set_.erase(ghost_fifo_.front());
+      ghost_fifo_.pop_front();
+    }
+  }
+
+  std::list<uint64_t> small_;  // front = oldest
+  std::list<uint64_t> main_;   // front = oldest
+  std::unordered_map<uint64_t, Where> where_;
+  std::unordered_map<uint64_t, int> freq_;
+  std::unordered_set<uint64_t> ghost_set_;
+  std::deque<uint64_t> ghost_fifo_;
+};
+
+}  // namespace
+
+std::unique_ptr<FlashCacheAlgo> MakeFlashCacheAlgo(FlashAlgoKind kind,
+                                                   int64_t capacity) {
+  PENSIEVE_CHECK_GT(capacity, 0);
+  switch (kind) {
+    case FlashAlgoKind::kLru:
+      return std::make_unique<LruAlgo>(capacity);
+    case FlashAlgoKind::kFifo:
+      return std::make_unique<FifoAlgo>(capacity);
+    case FlashAlgoKind::kS3Fifo:
+      return std::make_unique<S3FifoAlgo>(capacity);
+    case FlashAlgoKind::kSieve:
+      return std::make_unique<SieveAlgo>(capacity);
+  }
+  PENSIEVE_CHECK(false) << "unknown flash algo kind";
+  return nullptr;
+}
+
+}  // namespace pensieve

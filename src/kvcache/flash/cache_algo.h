@@ -1,0 +1,87 @@
+// Pluggable in-tier eviction/indexing algorithms for the flash (SSD) tier.
+//
+// The flash tier separates *placement* (the append-only segment log, which
+// decides where bytes live and when they move) from *retention* (which keys
+// stay cached). This header owns retention: a small registry of classic
+// cache-replacement algorithms — LRU, FIFO, S3FIFO, SIEVE — selectable by
+// name via the --ssd-algo flag, all operating on opaque 64-bit keys (packed
+// conversation + chunk ids).
+//
+// Every algorithm is fully deterministic (no clocks, no RNG) so the
+// simulator's bit-identical-across-thread-counts contract extends to the
+// flash tier. Victim selection takes an `evictable` predicate so pinned
+// conversations (a request actively using them) are never victimized;
+// an admission that cannot find an eligible victim fails cleanly and the
+// caller falls back to dropping (recompute later).
+
+#ifndef PENSIEVE_SRC_KVCACHE_FLASH_CACHE_ALGO_H_
+#define PENSIEVE_SRC_KVCACHE_FLASH_CACHE_ALGO_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pensieve {
+
+enum class FlashAlgoKind : uint8_t {
+  kLru,
+  kFifo,
+  kS3Fifo,
+  kSieve,
+};
+
+const char* FlashAlgoKindName(FlashAlgoKind kind);
+// Case-sensitive lookup of the registry names "lru", "fifo", "s3fifo",
+// "sieve". Returns false (leaving *kind untouched) for unknown names.
+bool FlashAlgoKindByName(const std::string& name, FlashAlgoKind* kind);
+// All registered kinds, in registry order (for sweeps and tests).
+std::vector<FlashAlgoKind> AllFlashAlgoKinds();
+
+class FlashCacheAlgo {
+ public:
+  using EvictablePredicate = std::function<bool(uint64_t)>;
+
+  virtual ~FlashCacheAlgo() = default;
+
+  virtual const char* name() const = 0;
+  int64_t capacity() const { return capacity_; }
+  virtual int64_t size() const = 0;
+  virtual bool Contains(uint64_t key) const = 0;
+
+  // Admits `key` (which must be absent), evicting resident keys — appended
+  // to *evicted in eviction order — until the algorithm is within capacity.
+  // `evictable` vetoes victims (pinned conversations); when no eligible
+  // victim can make room the admission fails and nothing changes.
+  bool Admit(uint64_t key, const EvictablePredicate& evictable,
+             std::vector<uint64_t>* evicted);
+
+  // Records a cache hit on a resident key (no-op when absent or for
+  // recency-blind algorithms).
+  virtual void Touch(uint64_t key) = 0;
+
+  // Removes a key if resident (promotion back to the CPU tier, or a prefix
+  // drop). No-op when absent.
+  virtual void Erase(uint64_t key) = 0;
+
+ protected:
+  explicit FlashCacheAlgo(int64_t capacity) : capacity_(capacity) {}
+
+  // Unconditionally inserts an absent key (capacity already ensured).
+  virtual void Insert(uint64_t key) = 0;
+  // Selects and removes one victim honoring `evictable`; nullopt when every
+  // resident key is vetoed.
+  virtual std::optional<uint64_t> EvictOne(const EvictablePredicate& evictable) = 0;
+
+  int64_t capacity_;
+};
+
+// Factory for the registry. `capacity` is the logical capacity in blocks.
+std::unique_ptr<FlashCacheAlgo> MakeFlashCacheAlgo(FlashAlgoKind kind,
+                                                   int64_t capacity);
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_KVCACHE_FLASH_CACHE_ALGO_H_

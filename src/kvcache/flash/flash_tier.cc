@@ -1,0 +1,110 @@
+#include "src/kvcache/flash/flash_tier.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pensieve {
+
+namespace {
+constexpr int kChunkBits = 20;
+constexpr uint64_t kChunkMask = (uint64_t{1} << kChunkBits) - 1;
+
+SegmentLogConfig MakeLogConfig(const FlashTierConfig& config) {
+  SegmentLogConfig log;
+  log.segment_blocks = config.segment_blocks;
+  // Physical capacity = logical capacity rounded up to whole segments, plus
+  // two spare segments of over-provisioning so GC always has headroom.
+  const int64_t logical_segments =
+      (config.capacity_blocks + config.segment_blocks - 1) / config.segment_blocks;
+  log.num_segments = logical_segments + 2;
+  return log;
+}
+}  // namespace
+
+FlashTier::FlashTier(const FlashTierConfig& config)
+    : config_(config),
+      log_(MakeLogConfig(config)),
+      algo_(MakeFlashCacheAlgo(config.algo, config.capacity_blocks)) {
+  PENSIEVE_CHECK_GT(config_.capacity_blocks, 0);
+  if (config_.numeric) {
+    pool_ = std::make_unique<KvPool>(log_.capacity_blocks(), config_.block_size,
+                                     config_.num_layers, config_.num_kv_heads,
+                                     config_.head_dim);
+  }
+}
+
+uint64_t FlashTier::MakeKey(int64_t conversation_id, int64_t chunk_index) {
+  PENSIEVE_CHECK_GE(conversation_id, 0);
+  PENSIEVE_CHECK_GE(chunk_index, 0);
+  PENSIEVE_CHECK_LT(chunk_index, int64_t{1} << kChunkBits);
+  return (static_cast<uint64_t>(conversation_id) << kChunkBits) |
+         static_cast<uint64_t>(chunk_index);
+}
+
+int64_t FlashTier::KeyConversation(uint64_t key) {
+  return static_cast<int64_t>(key >> kChunkBits);
+}
+
+int64_t FlashTier::KeyChunk(uint64_t key) {
+  return static_cast<int64_t>(key & kChunkMask);
+}
+
+bool FlashTier::Insert(uint64_t key,
+                       const FlashCacheAlgo::EvictablePredicate& evictable,
+                       std::vector<uint64_t>* evicted) {
+  PENSIEVE_CHECK(!Contains(key)) << "flash insert of resident key";
+  const size_t mark = evicted->size();
+  const bool admitted = algo_->Admit(key, evictable, evicted);
+  // Even a failed admission may have evicted keys before stalling; their log
+  // blocks die either way (the caller drops the chunks).
+  for (size_t i = mark; i < evicted->size(); ++i) {
+    auto it = block_of_.find((*evicted)[i]);
+    PENSIEVE_CHECK(it != block_of_.end());
+    log_.MarkDead(it->second);
+    block_of_.erase(it);
+  }
+  if (!admitted) {
+    return false;
+  }
+  const auto relocate = [this](uint64_t k, FlashBlockId from, FlashBlockId to) {
+    OnRelocate(k, from, to);
+  };
+  std::optional<FlashBlockId> block = log_.Append(key, relocate);
+  // The algorithm keeps live keys <= logical capacity and the log is
+  // over-provisioned past it, so GC can always reclaim space.
+  PENSIEVE_CHECK(block.has_value()) << "flash log full despite over-provisioning";
+  block_of_[key] = *block;
+  return true;
+}
+
+bool FlashTier::Contains(uint64_t key) const { return block_of_.count(key) > 0; }
+
+void FlashTier::Touch(uint64_t key) { algo_->Touch(key); }
+
+void FlashTier::Erase(uint64_t key) {
+  auto it = block_of_.find(key);
+  if (it == block_of_.end()) {
+    return;
+  }
+  log_.MarkDead(it->second);
+  block_of_.erase(it);
+  algo_->Erase(key);
+}
+
+FlashBlockId FlashTier::BlockOf(uint64_t key) const {
+  auto it = block_of_.find(key);
+  return it == block_of_.end() ? kInvalidFlashBlock : it->second;
+}
+
+void FlashTier::OnRelocate(uint64_t key, FlashBlockId from, FlashBlockId to) {
+  auto it = block_of_.find(key);
+  PENSIEVE_CHECK(it != block_of_.end());
+  PENSIEVE_CHECK_EQ(it->second, from);
+  it->second = to;
+  if (pool_ != nullptr && from != to) {
+    KvPool::CopyBlock(*pool_, from, *pool_, to);
+  }
+}
+
+}  // namespace pensieve

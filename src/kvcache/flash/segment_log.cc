@@ -1,0 +1,148 @@
+#include "src/kvcache/flash/segment_log.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace pensieve {
+
+SegmentLog::SegmentLog(const SegmentLogConfig& config) : config_(config) {
+  PENSIEVE_CHECK_GT(config_.segment_blocks, 0);
+  PENSIEVE_CHECK_GE(config_.num_segments, 2)
+      << "the log needs at least one sealed and one open segment";
+  seg_state_.assign(static_cast<size_t>(config_.num_segments), SegState::kFree);
+  seg_live_.assign(static_cast<size_t>(config_.num_segments), 0);
+  slot_key_.assign(static_cast<size_t>(capacity_blocks()), 0);
+  slot_live_.assign(static_cast<size_t>(capacity_blocks()), 0);
+}
+
+int64_t SegmentLog::free_segments() const {
+  int64_t n = 0;
+  for (SegState s : seg_state_) {
+    if (s == SegState::kFree) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::optional<FlashBlockId> SegmentLog::Append(uint64_t key,
+                                               const RelocateFn& relocate) {
+  if (!EnsureOpenSlot(relocate, /*allow_gc=*/true)) {
+    return std::nullopt;
+  }
+  ++stats_.user_appends;
+  return AppendRaw(key);
+}
+
+void SegmentLog::MarkDead(FlashBlockId block) {
+  PENSIEVE_CHECK_GE(block, 0);
+  PENSIEVE_CHECK_LT(block, capacity_blocks());
+  PENSIEVE_CHECK(slot_live_[static_cast<size_t>(block)])
+      << "double MarkDead of flash block " << block;
+  slot_live_[static_cast<size_t>(block)] = 0;
+  --seg_live_[static_cast<size_t>(SegmentOf(block))];
+  --live_blocks_;
+}
+
+bool SegmentLog::IsLive(FlashBlockId block) const {
+  return block >= 0 && block < capacity_blocks() &&
+         slot_live_[static_cast<size_t>(block)] != 0;
+}
+
+uint64_t SegmentLog::KeyAt(FlashBlockId block) const {
+  PENSIEVE_CHECK(IsLive(block));
+  return slot_key_[static_cast<size_t>(block)];
+}
+
+bool SegmentLog::EnsureOpenSlot(const RelocateFn& relocate, bool allow_gc) {
+  while (open_segment_ < 0 || open_cursor_ == config_.segment_blocks) {
+    // Prefer a free segment; lowest index for determinism.
+    int64_t free_seg = -1;
+    for (int64_t s = 0; s < config_.num_segments; ++s) {
+      if (seg_state_[static_cast<size_t>(s)] == SegState::kFree) {
+        free_seg = s;
+        break;
+      }
+    }
+    if (free_seg >= 0) {
+      if (open_segment_ >= 0) {
+        seg_state_[static_cast<size_t>(open_segment_)] = SegState::kSealed;
+      }
+      seg_state_[static_cast<size_t>(free_seg)] = SegState::kOpen;
+      open_segment_ = free_seg;
+      open_cursor_ = 0;
+      return true;
+    }
+    if (!allow_gc || !GcOnce(relocate)) {
+      return false;
+    }
+    // GcOnce may have opened a segment (relocations) or freed one; re-check.
+  }
+  return true;
+}
+
+FlashBlockId SegmentLog::AppendRaw(uint64_t key) {
+  PENSIEVE_CHECK_GE(open_segment_, 0);
+  PENSIEVE_CHECK_LT(open_cursor_, config_.segment_blocks);
+  const FlashBlockId block = static_cast<FlashBlockId>(
+      open_segment_ * config_.segment_blocks + open_cursor_);
+  slot_key_[static_cast<size_t>(block)] = key;
+  slot_live_[static_cast<size_t>(block)] = 1;
+  ++seg_live_[static_cast<size_t>(open_segment_)];
+  ++open_cursor_;
+  ++live_blocks_;
+  return block;
+}
+
+bool SegmentLog::GcOnce(const RelocateFn& relocate) {
+  // Victim: the sealed segment with the fewest live blocks (greedy policy;
+  // ties broken by lowest index for determinism).
+  int64_t victim = -1;
+  for (int64_t s = 0; s < config_.num_segments; ++s) {
+    if (seg_state_[static_cast<size_t>(s)] != SegState::kSealed) {
+      continue;
+    }
+    if (victim < 0 || seg_live_[static_cast<size_t>(s)] <
+                          seg_live_[static_cast<size_t>(victim)]) {
+      victim = s;
+    }
+  }
+  if (victim < 0 || seg_live_[static_cast<size_t>(victim)] == config_.segment_blocks) {
+    // No sealed segment, or even the best victim is fully live: erasing it
+    // would reclaim nothing.
+    return false;
+  }
+
+  // Collect the victim's live blocks in slot order, then erase the segment
+  // so its space is immediately available to receive the relocations.
+  std::vector<std::pair<uint64_t, FlashBlockId>> live;
+  const FlashBlockId base =
+      static_cast<FlashBlockId>(victim * config_.segment_blocks);
+  for (int64_t i = 0; i < config_.segment_blocks; ++i) {
+    const FlashBlockId b = base + static_cast<FlashBlockId>(i);
+    if (slot_live_[static_cast<size_t>(b)]) {
+      live.emplace_back(slot_key_[static_cast<size_t>(b)], b);
+      slot_live_[static_cast<size_t>(b)] = 0;
+    }
+  }
+  live_blocks_ -= static_cast<int64_t>(live.size());
+  seg_live_[static_cast<size_t>(victim)] = 0;
+  seg_state_[static_cast<size_t>(victim)] = SegState::kFree;
+
+  for (const auto& [key, from] : live) {
+    // The victim was just freed, so an open slot always exists; GC never
+    // recurses into GC.
+    PENSIEVE_CHECK(EnsureOpenSlot(relocate, /*allow_gc=*/false));
+    const FlashBlockId to = AppendRaw(key);
+    ++stats_.gc_moves;
+    relocate(key, from, to);
+  }
+  ++stats_.gc_runs;
+  if (live.empty()) {
+    ++stats_.zero_live_erases;
+  }
+  return true;
+}
+
+}  // namespace pensieve

@@ -1,0 +1,119 @@
+// Append-only segment log for the simulated SSD tier.
+//
+// Flash-friendly layout (after Wajorrr/lsc and classic LFS): the block
+// address space is carved into fixed-size segments; writes only ever append
+// to the single open segment, full segments are sealed, and space is
+// reclaimed by garbage collection — pick the sealed segment with the fewest
+// live blocks, relocate its live blocks to the log head, and erase it whole.
+// Overwrite-in-place never happens, which is exactly the constraint real
+// NAND imposes.
+//
+// The log tracks the two quantities the ISSUE's accounting asks for:
+//   * write amplification = (user appends + GC relocations) / user appends
+//   * space utilization   = live blocks / physical capacity
+//
+// Everything is deterministic: victim selection breaks ties by lowest
+// segment index and relocation preserves slot order, so flash-tier runs are
+// bit-identical across thread counts.
+
+#ifndef PENSIEVE_SRC_KVCACHE_FLASH_SEGMENT_LOG_H_
+#define PENSIEVE_SRC_KVCACHE_FLASH_SEGMENT_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace pensieve {
+
+// A flash block address: segment * segment_blocks + slot.
+using FlashBlockId = int32_t;
+inline constexpr FlashBlockId kInvalidFlashBlock = -1;
+
+struct SegmentLogConfig {
+  int64_t segment_blocks = 64;
+  int64_t num_segments = 0;
+};
+
+class SegmentLog {
+ public:
+  // GC relocation callback: the live block for `key` moved from `from` to
+  // `to`. The caller keeps its key->block index (and any backing bytes) in
+  // sync. `from == to` is possible when the erased victim is immediately
+  // reopened as the log head; treat that as a no-op byte copy.
+  using RelocateFn =
+      std::function<void(uint64_t key, FlashBlockId from, FlashBlockId to)>;
+
+  struct Stats {
+    int64_t user_appends = 0;   // blocks written on behalf of the cache
+    int64_t gc_moves = 0;       // live-block relocations done by GC
+    int64_t gc_runs = 0;        // sealed segments erased by GC
+    int64_t zero_live_erases = 0;  // GC victims that held no live blocks
+
+    double WriteAmplification() const {
+      if (user_appends == 0) {
+        return 1.0;
+      }
+      return static_cast<double>(user_appends + gc_moves) /
+             static_cast<double>(user_appends);
+    }
+  };
+
+  explicit SegmentLog(const SegmentLogConfig& config);
+
+  int64_t segment_blocks() const { return config_.segment_blocks; }
+  int64_t num_segments() const { return config_.num_segments; }
+  int64_t capacity_blocks() const {
+    return config_.num_segments * config_.segment_blocks;
+  }
+  int64_t live_blocks() const { return live_blocks_; }
+  double Utilization() const {
+    return static_cast<double>(live_blocks_) /
+           static_cast<double>(capacity_blocks());
+  }
+  int64_t free_segments() const;
+
+  // Appends a live block for `key`, running GC when the open segment fills
+  // and no free segment remains. Returns the block's address, or nullopt
+  // when even GC cannot make room (every other segment is fully live).
+  std::optional<FlashBlockId> Append(uint64_t key, const RelocateFn& relocate);
+
+  // Marks a previously appended block dead. Its space is reclaimed when GC
+  // eventually erases the segment.
+  void MarkDead(FlashBlockId block);
+
+  bool IsLive(FlashBlockId block) const;
+  uint64_t KeyAt(FlashBlockId block) const;
+
+  // One GC pass (also used directly by tests): erases the sealed segment
+  // with the fewest live blocks after relocating them. Returns false when no
+  // sealed segment with reclaimable space exists.
+  bool GcOnce(const RelocateFn& relocate);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  enum class SegState : uint8_t { kFree, kOpen, kSealed };
+
+  int64_t SegmentOf(FlashBlockId block) const {
+    return block / config_.segment_blocks;
+  }
+  // Ensures the open segment has a free slot, opening a free segment (and
+  // GC-ing when `allow_gc`) as needed.
+  bool EnsureOpenSlot(const RelocateFn& relocate, bool allow_gc);
+  FlashBlockId AppendRaw(uint64_t key);
+
+  SegmentLogConfig config_;
+  std::vector<SegState> seg_state_;
+  std::vector<int64_t> seg_live_;     // live blocks per segment
+  std::vector<uint64_t> slot_key_;    // key per block slot
+  std::vector<uint8_t> slot_live_;    // liveness per block slot
+  int64_t open_segment_ = -1;
+  int64_t open_cursor_ = 0;  // next slot within the open segment
+  int64_t live_blocks_ = 0;
+  Stats stats_;
+};
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_KVCACHE_FLASH_SEGMENT_LOG_H_

@@ -17,6 +17,18 @@ TwoTierKvCache::TwoTierKvCache(const KvCacheConfig& config)
                                          config.num_layers, config.num_kv_heads,
                                          config.head_dim);
   }
+  if (config.num_ssd_blocks > 0) {
+    FlashTierConfig flash;
+    flash.capacity_blocks = config.num_ssd_blocks;
+    flash.segment_blocks = config.ssd_segment_blocks;
+    flash.algo = config.ssd_algo;
+    flash.numeric = config.numeric;
+    flash.block_size = config.block_size;
+    flash.num_layers = config.num_layers;
+    flash.num_kv_heads = config.num_kv_heads;
+    flash.head_dim = config.head_dim;
+    flash_ = std::make_unique<FlashTier>(flash);
+  }
 }
 
 ContextState& TwoTierKvCache::GetOrCreate(ConversationId id) {
@@ -66,12 +78,23 @@ uint32_t TwoTierKvCache::ComputeCpuChecksum(ConversationId id,
   return SimChunkChecksum(id, chunk_index, c.num_tokens);
 }
 
+uint32_t TwoTierKvCache::ComputeSsdChecksum(ConversationId id,
+                                            int64_t chunk_index,
+                                            const Chunk& c) const {
+  KvPool* pool = flash_->pool();
+  if (pool != nullptr) {
+    return pool->BlockChecksum(flash_->BlockOf(FlashTier::MakeKey(id, chunk_index)));
+  }
+  return SimChunkChecksum(id, chunk_index, c.num_tokens);
+}
+
 void TwoTierKvCache::Release(ConversationId id) {
   ContextState* state = Find(id);
   if (state == nullptr) {
     return;
   }
-  for (Chunk& c : state->chunks()) {
+  for (int64_t i = 0; i < state->num_chunks(); ++i) {
+    Chunk& c = state->mutable_chunk(i);
     if (c.OnGpu()) {
       gpu_allocator_.Free(c.gpu_block);
       if (c.location == ChunkLocation::kGpuAndCpu) {
@@ -80,6 +103,9 @@ void TwoTierKvCache::Release(ConversationId id) {
     }
     if (c.HasCpuCopy()) {
       cpu_allocator_.Free(c.cpu_block);
+    }
+    if (c.OnSsd()) {
+      flash_->Erase(FlashTier::MakeKey(id, i));
     }
   }
   conversations_.erase(id);
@@ -283,11 +309,194 @@ Status TwoTierKvCache::DropChunk(ConversationId id, int64_t chunk_index) {
     cpu_allocator_.Free(c.cpu_block);
     c.cpu_block = kInvalidBlock;
   }
+  if (c.OnSsd()) {
+    // Idempotent: the flash algo may already have evicted the key.
+    flash_->Erase(FlashTier::MakeKey(id, chunk_index));
+  }
   c.cpu_checksum = 0;
   c.cpu_corrupt = false;
+  c.ssd_checksum = 0;
+  c.ssd_corrupt = false;
   c.location = ChunkLocation::kDropped;
   ++counters_.dropped_chunks;
   return Status::Ok();
+}
+
+Status TwoTierKvCache::DropThroughPrefix(ConversationId id, int64_t chunk_index,
+                                         int64_t* dropped_tokens) {
+  ContextState* state = nullptr;
+  Status found = FindChunk(id, chunk_index, &state);
+  if (!found.ok()) {
+    return found;
+  }
+  for (int64_t i = state->LeadingDroppedChunks(); i <= chunk_index; ++i) {
+    const int64_t tokens = state->chunk(i).num_tokens;
+    Status dropped = DropChunk(id, i);
+    if (!dropped.ok()) {
+      return dropped;
+    }
+    if (dropped_tokens != nullptr) {
+      *dropped_tokens += tokens;
+    }
+  }
+  return Status::Ok();
+}
+
+Status TwoTierKvCache::DemoteToFlash(ConversationId id, int64_t chunk_index) {
+  if (flash_ == nullptr) {
+    return Status::FailedPrecondition("no flash tier configured");
+  }
+  ContextState* state = nullptr;
+  Status found = FindChunk(id, chunk_index, &state);
+  if (!found.ok()) {
+    return found;
+  }
+  Chunk& c = state->mutable_chunk(chunk_index);
+  if (c.location != ChunkLocation::kCpu) {
+    return Status::FailedPrecondition("DemoteToFlash requires a CPU-only chunk");
+  }
+  for (int64_t i = 0; i < chunk_index; ++i) {
+    if (!state->chunk(i).Dropped() && !state->chunk(i).OnSsd()) {
+      return Status::FailedPrecondition(
+          "demotion must extend the dropped/SSD prefix");
+    }
+  }
+  // Never spill a copy that already fails verification; the caller drops it
+  // and the chunk degrades to recomputation.
+  Status verified = VerifyCpuChecksum(id, chunk_index);
+  if (!verified.ok()) {
+    return verified;
+  }
+  const uint64_t key = FlashTier::MakeKey(id, chunk_index);
+  const auto evictable = [this](uint64_t k) {
+    const ContextState* s = Find(FlashTier::KeyConversation(k));
+    return s == nullptr || !s->pinned();
+  };
+  std::vector<uint64_t> evicted;
+  const bool admitted = flash_->Insert(key, evictable, &evicted);
+  // Keys the algorithm evicted are gone from the tier either way; their
+  // chunks must be dropped even when the admission itself stalled.
+  DropFlashVictims(evicted);
+  if (!admitted) {
+    return Status::ResourceExhausted("flash tier full of pinned chunks");
+  }
+  if (flash_->pool() != nullptr) {
+    KvPool::CopyBlock(*cpu_pool_, c.cpu_block, *flash_->pool(),
+                      flash_->BlockOf(key));
+  }
+  cpu_allocator_.Free(c.cpu_block);
+  c.cpu_block = kInvalidBlock;
+  c.cpu_checksum = 0;
+  c.cpu_corrupt = false;
+  c.location = ChunkLocation::kSsd;
+  c.ssd_checksum = ComputeSsdChecksum(id, chunk_index, c);
+  c.ssd_corrupt = false;
+  ++counters_.demoted_to_flash_chunks;
+  return Status::Ok();
+}
+
+Status TwoTierKvCache::PromoteFromFlash(ConversationId id, int64_t chunk_index) {
+  if (flash_ == nullptr) {
+    return Status::FailedPrecondition("no flash tier configured");
+  }
+  ContextState* state = nullptr;
+  Status found = FindChunk(id, chunk_index, &state);
+  if (!found.ok()) {
+    return found;
+  }
+  Chunk& c = state->mutable_chunk(chunk_index);
+  if (!c.OnSsd()) {
+    return Status::FailedPrecondition("PromoteFromFlash requires an SSD chunk");
+  }
+  Status verified = VerifySsdChecksum(id, chunk_index);
+  if (!verified.ok()) {
+    return verified;  // DATA_LOSS: chunk untouched, caller degrades to recompute
+  }
+  auto cpu_block = cpu_allocator_.Allocate();
+  if (!cpu_block.has_value()) {
+    return Status::ResourceExhausted("CPU tier full during flash promote");
+  }
+  const uint64_t key = FlashTier::MakeKey(id, chunk_index);
+  c.cpu_block = *cpu_block;
+  if (flash_->pool() != nullptr) {
+    KvPool::CopyBlock(*flash_->pool(), flash_->BlockOf(key), *cpu_pool_,
+                      c.cpu_block);
+  }
+  flash_->Erase(key);
+  c.location = ChunkLocation::kCpu;
+  c.cpu_checksum = ComputeCpuChecksum(id, chunk_index, c);
+  c.cpu_corrupt = false;
+  c.ssd_checksum = 0;
+  c.ssd_corrupt = false;
+  ++counters_.promoted_from_flash_chunks;
+  return Status::Ok();
+}
+
+Status TwoTierKvCache::MarkSsdCorrupt(ConversationId id, int64_t chunk_index) {
+  if (flash_ == nullptr) {
+    return Status::FailedPrecondition("no flash tier configured");
+  }
+  ContextState* state = nullptr;
+  Status found = FindChunk(id, chunk_index, &state);
+  if (!found.ok()) {
+    return found;
+  }
+  Chunk& c = state->mutable_chunk(chunk_index);
+  if (!c.OnSsd()) {
+    return Status::FailedPrecondition("no flash copy to corrupt");
+  }
+  c.ssd_corrupt = true;
+  if (flash_->pool() != nullptr) {
+    flash_->pool()->CorruptBlock(
+        flash_->BlockOf(FlashTier::MakeKey(id, chunk_index)));
+  }
+  ++counters_.corrupt_marked_chunks;
+  return Status::Ok();
+}
+
+Status TwoTierKvCache::VerifySsdChecksum(ConversationId id, int64_t chunk_index) {
+  if (flash_ == nullptr) {
+    return Status::FailedPrecondition("no flash tier configured");
+  }
+  ContextState* state = nullptr;
+  Status found = FindChunk(id, chunk_index, &state);
+  if (!found.ok()) {
+    return found;
+  }
+  const Chunk& c = state->chunk(chunk_index);
+  if (!c.OnSsd()) {
+    return Status::FailedPrecondition("no flash copy to verify");
+  }
+  ++counters_.checksum_verifications;
+  if (c.ssd_corrupt || ComputeSsdChecksum(id, chunk_index, c) != c.ssd_checksum) {
+    ++counters_.checksum_failures;
+    return Status::DataLoss("flash copy checksum mismatch (conversation " +
+                            std::to_string(id) + ", chunk " +
+                            std::to_string(chunk_index) + ")");
+  }
+  return Status::Ok();
+}
+
+void TwoTierKvCache::DropFlashVictims(const std::vector<uint64_t>& evicted) {
+  for (uint64_t key : evicted) {
+    const ConversationId conv = FlashTier::KeyConversation(key);
+    const int64_t victim_chunk = FlashTier::KeyChunk(key);
+    ContextState* state = Find(conv);
+    if (state == nullptr || victim_chunk >= state->num_chunks()) {
+      continue;
+    }
+    // Prefix-drop through the victim; intermediate chunks are on SSD too
+    // (flash runs are contiguous) and count as collateral evictions.
+    for (int64_t i = state->LeadingDroppedChunks(); i <= victim_chunk; ++i) {
+      if (state->chunk(i).Dropped()) {
+        continue;  // an earlier victim in this batch already took it down
+      }
+      counters_.flash_evicted_tokens += state->chunk(i).num_tokens;
+      ++counters_.flash_evicted_chunks;
+      Status dropped = DropChunk(conv, i);
+      PENSIEVE_CHECK(dropped.ok()) << dropped.message();
+    }
+  }
 }
 
 Status TwoTierKvCache::RestoreDropped(ConversationId id, int64_t chunk_index) {
@@ -359,8 +568,10 @@ void TwoTierKvCache::CheckInvariants() const {
   int64_t gpu_in_use = 0;
   int64_t cpu_in_use = 0;
   int64_t reclaimable = 0;
+  int64_t ssd_chunks = 0;
   for (const auto& [id, state] : conversations_) {
     bool seen_non_dropped = false;
+    bool seen_past_flash_run = false;
     for (int64_t i = 0; i < state.num_chunks(); ++i) {
       const Chunk& c = state.chunk(i);
       if (c.Dropped()) {
@@ -372,6 +583,18 @@ void TwoTierKvCache::CheckInvariants() const {
         continue;
       }
       seen_non_dropped = true;
+      if (c.OnSsd()) {
+        PENSIEVE_CHECK(!seen_past_flash_run)
+            << "conversation " << id << ": SSD chunk " << i
+            << " follows a CPU/GPU-resident chunk (flash-run invariant)";
+        PENSIEVE_CHECK(flash_ != nullptr);
+        PENSIEVE_CHECK(flash_->Contains(FlashTier::MakeKey(id, i)));
+        PENSIEVE_CHECK_EQ(c.gpu_block, kInvalidBlock);
+        PENSIEVE_CHECK_EQ(c.cpu_block, kInvalidBlock);
+        ++ssd_chunks;
+      } else {
+        seen_past_flash_run = true;
+      }
       if (c.OnGpu()) {
         PENSIEVE_CHECK(gpu_allocator_.IsAllocated(c.gpu_block));
         ++gpu_in_use;
@@ -392,6 +615,12 @@ void TwoTierKvCache::CheckInvariants() const {
   PENSIEVE_CHECK_EQ(gpu_in_use, gpu_allocator_.num_allocated());
   PENSIEVE_CHECK_EQ(cpu_in_use, cpu_allocator_.num_allocated());
   PENSIEVE_CHECK_EQ(reclaimable, reclaimable_gpu_blocks_);
+  if (flash_ != nullptr) {
+    PENSIEVE_CHECK_EQ(ssd_chunks, flash_->live_blocks());
+    PENSIEVE_CHECK_EQ(ssd_chunks, flash_->algo().size());
+  } else {
+    PENSIEVE_CHECK_EQ(ssd_chunks, 0);
+  }
 }
 
 }  // namespace pensieve

@@ -20,6 +20,12 @@
 // kGpuAndCpu is the paper's lazy-reclamation state: the chunk was copied to
 // the CPU ahead of time, but its GPU slot is only actually released
 // (ReclaimGpu) when the scheduler hands that slot to another conversation.
+//
+// With the flash tier enabled (num_ssd_blocks > 0) a third level sits behind
+// the CPU: DemoteToFlash (kCpu -> kSsd) spills CPU-pressure victims into the
+// log-structured SSD instead of dropping them, PromoteFromFlash
+// (kSsd -> kCpu) stages them back on the restore path, and flash-algo
+// evictions drop kSsd chunks as context prefixes.
 
 #ifndef PENSIEVE_SRC_KVCACHE_TWO_TIER_CACHE_H_
 #define PENSIEVE_SRC_KVCACHE_TWO_TIER_CACHE_H_
@@ -33,6 +39,7 @@
 #include "src/kvcache/block.h"
 #include "src/kvcache/block_allocator.h"
 #include "src/kvcache/context_state.h"
+#include "src/kvcache/flash/flash_tier.h"
 #include "src/kvcache/kv_pool.h"
 
 namespace pensieve {
@@ -43,6 +50,11 @@ struct KvCacheConfig {
   int64_t block_size = kDefaultBlockSize;
   int64_t num_gpu_blocks = 0;
   int64_t num_cpu_blocks = 0;
+  // Flash (SSD) tier behind the CPU tier; 0 disables it, preserving exact
+  // two-tier behavior.
+  int64_t num_ssd_blocks = 0;
+  FlashAlgoKind ssd_algo = FlashAlgoKind::kLru;
+  int64_t ssd_segment_blocks = 64;
   // Numeric mode: allocate real pools with this geometry.
   bool numeric = false;
   int64_t num_layers = 1;
@@ -64,6 +76,11 @@ class TwoTierKvCache {
   // Null in simulated mode.
   KvPool* gpu_pool() { return gpu_pool_.get(); }
   KvPool* cpu_pool() { return cpu_pool_.get(); }
+
+  // Flash tier (null when num_ssd_blocks == 0).
+  bool flash_enabled() const { return flash_ != nullptr; }
+  FlashTier* flash_tier() { return flash_.get(); }
+  const FlashTier* flash_tier() const { return flash_.get(); }
 
   ContextState& GetOrCreate(ConversationId id);
   ContextState* Find(ConversationId id);
@@ -107,6 +124,32 @@ class TwoTierKvCache {
   // kDropped -> kGpu with a freshly allocated (zeroed in numeric mode) GPU
   // block; the caller then recomputes the chunk's KV into it.
   Status RestoreDropped(ConversationId id, int64_t chunk_index);
+  // Drops every non-dropped chunk up to and including `chunk_index`
+  // (front-to-back, so each DropChunk call is legal). Adds the dropped
+  // tokens to *dropped_tokens when non-null.
+  Status DropThroughPrefix(ConversationId id, int64_t chunk_index,
+                           int64_t* dropped_tokens = nullptr);
+
+  // --- Flash (SSD) tier ---------------------------------------------------
+  // kCpu -> kSsd: verifies the CPU copy's checksum, admits the chunk into
+  // the flash tier (evicting lower-value flash chunks, which are dropped as
+  // context prefixes of their conversations), copies data in numeric mode
+  // and frees the CPU block. Only legal when every earlier chunk is already
+  // dropped or on SSD, so a conversation's flash run stays a contiguous
+  // extension of its dropped prefix — which is what makes flash-algo
+  // evictions expressible as prefix drops.
+  Status DemoteToFlash(ConversationId id, int64_t chunk_index);
+  // kSsd -> kCpu: verifies the flash checksum (DATA_LOSS leaves the chunk
+  // untouched, so corruption degrades to recomputation), allocates a CPU
+  // block, copies data in numeric mode and releases the flash block. Promote
+  // the *last* chunk of a flash run first to keep the run contiguous.
+  Status PromoteFromFlash(ConversationId id, int64_t chunk_index);
+  // Poisons a chunk's flash copy (the demotion transfer failed after the
+  // state transition). Numeric mode also flips a bit in the flash pool.
+  Status MarkSsdCorrupt(ConversationId id, int64_t chunk_index);
+  // OK if the flash copy matches its recorded checksum, DATA_LOSS if
+  // corrupted, FAILED_PRECONDITION when the chunk is not on SSD.
+  Status VerifySsdChecksum(ConversationId id, int64_t chunk_index);
 
   // --- Checksums / fault handling ----------------------------------------
   // Every CPU copy carries a checksum recorded when the copy was created
@@ -154,6 +197,11 @@ class TwoTierKvCache {
     int64_t checksum_verifications = 0;
     int64_t checksum_failures = 0;
     int64_t corrupt_marked_chunks = 0;
+    // Flash-tier traffic.
+    int64_t demoted_to_flash_chunks = 0;
+    int64_t promoted_from_flash_chunks = 0;
+    int64_t flash_evicted_chunks = 0;
+    int64_t flash_evicted_tokens = 0;
   };
   const Counters& counters() const { return counters_; }
 
@@ -170,12 +218,18 @@ class TwoTierKvCache {
   // per-chunk tag in simulated mode.
   uint32_t ComputeCpuChecksum(ConversationId id, int64_t chunk_index,
                               const Chunk& c) const;
+  uint32_t ComputeSsdChecksum(ConversationId id, int64_t chunk_index,
+                              const Chunk& c) const;
+  // Drops the chunks behind flash-algo evictions, each as a prefix drop of
+  // its conversation (intermediate flash chunks go down with their victim).
+  void DropFlashVictims(const std::vector<uint64_t>& evicted);
 
   KvCacheConfig config_;
   BlockAllocator gpu_allocator_;
   BlockAllocator cpu_allocator_;
   std::unique_ptr<KvPool> gpu_pool_;
   std::unique_ptr<KvPool> cpu_pool_;
+  std::unique_ptr<FlashTier> flash_;
   std::unordered_map<ConversationId, ContextState> conversations_;
   int64_t reclaimable_gpu_blocks_ = 0;
   Counters counters_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "src/common/logging.h"
@@ -184,19 +185,22 @@ void CacheCoordinator::DropWholeConversation(ConversationId id) {
 
 bool CacheCoordinator::EnsureFreeCpuBlocks(int64_t n, double now) {
   while (cache_->cpu_allocator().num_free() < n) {
-    // Prefer dropping frontier chunks that live only on the CPU: that frees
-    // a CPU block and loses the least valuable data per the policy. One
+    // Prefer evicting frontier chunks that live only on the CPU: that frees
+    // a CPU block and loses the least valuable data per the policy. With the
+    // flash tier enabled they are demoted to SSD instead of dropped. One
     // scan finds the best victim and the runner-up score; we then keep
-    // dropping the victim conversation's successive frontier chunks for as
+    // evicting the victim conversation's successive frontier chunks for as
     // long as they still beat the runner-up — exactly the strict per-chunk
-    // policy order, without rescanning per block.
+    // policy order, without rescanning per block. The frontier is the first
+    // chunk past the dropped/SSD prefix, so conversations whose oldest
+    // resident data already sits on flash remain eligible.
     std::optional<Victim> best;
     double runner_up = std::numeric_limits<double>::infinity();
     for (const auto& [id, state] : cache_->conversations()) {
       if (state.pinned()) {
         continue;
       }
-      const int64_t frontier = state.LeadingDroppedChunks();
+      const int64_t frontier = state.LeadingDroppedOrSsdChunks();
       if (frontier >= state.num_chunks() ||
           state.chunk(frontier).location != ChunkLocation::kCpu) {
         continue;
@@ -220,7 +224,21 @@ bool CacheCoordinator::EnsureFreeCpuBlocks(int64_t n, double now) {
         while (cache_->cpu_allocator().num_free() < n && chunk < state->num_chunks() &&
                state->chunk(chunk).location == ChunkLocation::kCpu &&
                Score(best->conversation, *state, chunk, now) <= runner_up) {
-          if (!cache_->DropChunk(best->conversation, chunk).ok()) {
+          if (options_.use_ssd_cache) {
+            const int64_t tokens = state->chunk(chunk).num_tokens;
+            if (cache_->DemoteToFlash(best->conversation, chunk).ok()) {
+              pending_spill_.demoted_tokens += tokens;
+              pending_spill_.demoted.emplace_back(best->conversation, chunk);
+              ++chunk;
+              continue;
+            }
+            ++pending_spill_.failed_demotes;
+            // Flash full of pinned chunks, or the CPU copy failed its
+            // checksum: fall through to dropping.
+          }
+          // DropThroughPrefix also takes down any SSD chunks demoted just
+          // above when flash admission stalls mid-conversation.
+          if (!cache_->DropThroughPrefix(best->conversation, chunk).ok()) {
             break;
           }
           ++chunk;
@@ -242,6 +260,12 @@ bool CacheCoordinator::EnsureFreeCpuBlocks(int64_t n, double now) {
     return false;
   }
   return true;
+}
+
+CacheCoordinator::SpillOutcome CacheCoordinator::TakeSpill() {
+  SpillOutcome spill = std::move(pending_spill_);
+  pending_spill_ = SpillOutcome{};
+  return spill;
 }
 
 CacheCoordinator::FreeOutcome CacheCoordinator::EnsureFreeGpuBlocks(int64_t n,
@@ -336,6 +360,41 @@ CacheCoordinator::FreeOutcome CacheCoordinator::EnsureFreeGpuBlocks(int64_t n,
       }
       MaybeForget(drop->conversation);
       continue;
+    }
+    // 3b. Flash frontier (SSD tier only): a conversation whose oldest
+    // resident chunks were demoted to flash holds its GPU blocks behind a
+    // kSsd/kCpu prefix that the frontier-only DropChunk above cannot reach —
+    // pre-flash, CPU-pressure drops kept such prefixes kDropped and the
+    // conversation visible. Pick the best conversation by its first
+    // GPU-resident chunk and drop the whole prefix through it.
+    if (options_.use_ssd_cache) {
+      std::optional<Victim> deep;
+      for (const auto& [id, state] : cache_->conversations()) {
+        if (state.pinned()) {
+          continue;
+        }
+        int64_t i = state.LeadingDroppedChunks();
+        while (i < state.num_chunks() && !state.chunk(i).OnGpu()) {
+          ++i;
+        }
+        if (i >= state.num_chunks()) {
+          continue;
+        }
+        const double score = Score(id, state, i, now);
+        if (!deep.has_value() || score < deep->score) {
+          deep = Victim{id, i, score};
+        }
+      }
+      if (deep.has_value()) {
+        int64_t dropped = 0;
+        if (cache_->DropThroughPrefix(deep->conversation, deep->chunk_index,
+                                      &dropped)
+                .ok()) {
+          outcome.dropped_tokens += dropped;
+          MaybeForget(deep->conversation);
+          continue;
+        }
+      }
     }
     // Nothing evictable: every conversation with GPU-resident chunks is
     // pinned by the running batch.

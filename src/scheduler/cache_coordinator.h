@@ -36,6 +36,9 @@ class CacheCoordinator {
     // false = the Pensieve (GPU cache) variant: evicted chunks are dropped
     // rather than swapped to the CPU tier.
     bool use_cpu_cache = true;
+    // Spill CPU-pressure victims to the flash tier (DemoteToFlash) instead
+    // of dropping them. Requires the cache to have a flash tier configured.
+    bool use_ssd_cache = false;
     // Ahead-of-time swap-out keeps free+reclaimable above this fraction
     // (paper uses a 25% trigger).
     double swap_out_target = 0.25;
@@ -84,8 +87,23 @@ class CacheCoordinator {
   };
   EvictOutcome AheadOfTimeEvict(double now);
 
-  // Frees at least `n` CPU blocks by dropping low-retention chunks.
+  // Frees at least `n` CPU blocks by dropping low-retention chunks — or,
+  // with use_ssd_cache, demoting them to the flash tier instead.
   bool EnsureFreeCpuBlocks(int64_t n, double now);
+
+  // Demotions performed since the last call (any coordinator entry point may
+  // spill under CPU pressure). The engine drains this after each call and
+  // charges the chunks' SSD writes as background traffic; on a failed
+  // transfer it marks them corrupt.
+  struct SpillOutcome {
+    int64_t demoted_tokens = 0;
+    // Demotions refused (flash full of pinned chunks / corrupt CPU copy)
+    // that fell back to dropping.
+    int64_t failed_demotes = 0;
+    // The (conversation, chunk) pairs now kSsd.
+    std::vector<std::pair<ConversationId, int64_t>> demoted;
+  };
+  SpillOutcome TakeSpill();
 
   const Options& options() const { return options_; }
 
@@ -118,6 +136,7 @@ class CacheCoordinator {
   const EvictionPolicy* policy_;
   Options options_;
   std::function<bool(ConversationId)> may_forget_;
+  SpillOutcome pending_spill_;
   // Retry guard for ahead-of-time eviction: when a pass could not reach the
   // target (e.g. CPU tier full), skip further passes within the same virtual
   // instant unless the available block count changed.

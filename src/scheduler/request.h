@@ -40,6 +40,9 @@ struct RequestOutcome {
   int64_t reused_gpu_tokens = 0;
   // History tokens restored from the CPU cache (swap-in).
   int64_t reused_cpu_tokens = 0;
+  // History tokens promoted from the flash (SSD) tier, then restored. Counted
+  // separately from reused_cpu_tokens: these paid the extra flash read.
+  int64_t reused_ssd_tokens = 0;
   // History tokens recomputed because their KV had been dropped (or the
   // system is stateless).
   int64_t recomputed_tokens = 0;

@@ -23,9 +23,13 @@ struct EngineStats {
   // History-token accounting across all requests (Figure 14 analysis).
   int64_t reused_gpu_tokens = 0;
   int64_t reused_cpu_tokens = 0;
+  int64_t reused_ssd_tokens = 0;
   int64_t recomputed_history_tokens = 0;
   int64_t suspensions = 0;
   int64_t preemptions = 0;
+  // Requests finished early because their conversation's KV filled the whole
+  // GPU (the simulator's effective maximum context length).
+  int64_t context_capped_requests = 0;
   int64_t forced_swap_out_tokens = 0;
   int64_t aot_swap_out_tokens = 0;
   int64_t dropped_tokens = 0;
@@ -55,6 +59,24 @@ struct EngineStats {
   int64_t fault_failed_swap_outs = 0;
   // CPU copies rejected by checksum verification at (or ahead of) swap-in.
   int64_t checksum_detected_corruptions = 0;
+  // --- Flash (SSD) tier accounting. All zero when the tier is disabled. ---
+  // Faults injected on the simulated SSD link (demote/promote transfers).
+  LinkFaultStats ssd_link_faults;
+  int64_t ssd_demoted_chunks = 0;   // CPU -> flash spills
+  int64_t ssd_demoted_tokens = 0;
+  int64_t ssd_promoted_chunks = 0;  // flash -> CPU promotes (SSD "hits")
+  int64_t ssd_evicted_chunks = 0;   // dropped by the flash eviction algorithm
+  int64_t ssd_evicted_tokens = 0;
+  // Segment-log bookkeeping: user appends, GC relocations and GC passes.
+  // Write amplification = (user + gc_moves) / user.
+  int64_t ssd_user_blocks_written = 0;
+  int64_t ssd_gc_moves = 0;
+  int64_t ssd_gc_runs = 0;
+  // Demotions that failed (flash full of pinned chunks) and fell back to a
+  // plain drop, and tokens the three-way planner chose to recompute rather
+  // than pull through the SSD + PCIe path.
+  int64_t ssd_failed_demotes = 0;
+  int64_t ssd_planned_recompute_tokens = 0;
 
   // Field-wise accumulation, used wherever stats from several engines (or
   // several engine incarnations of one replica, across crashes) are summed.
@@ -64,9 +86,11 @@ struct EngineStats {
     prefill_tokens += other.prefill_tokens;
     reused_gpu_tokens += other.reused_gpu_tokens;
     reused_cpu_tokens += other.reused_cpu_tokens;
+    reused_ssd_tokens += other.reused_ssd_tokens;
     recomputed_history_tokens += other.recomputed_history_tokens;
     suspensions += other.suspensions;
     preemptions += other.preemptions;
+    context_capped_requests += other.context_capped_requests;
     forced_swap_out_tokens += other.forced_swap_out_tokens;
     aot_swap_out_tokens += other.aot_swap_out_tokens;
     dropped_tokens += other.dropped_tokens;
@@ -81,23 +105,50 @@ struct EngineStats {
     fault_dropped_chunks += other.fault_dropped_chunks;
     fault_failed_swap_outs += other.fault_failed_swap_outs;
     checksum_detected_corruptions += other.checksum_detected_corruptions;
+    ssd_link_faults += other.ssd_link_faults;
+    ssd_demoted_chunks += other.ssd_demoted_chunks;
+    ssd_demoted_tokens += other.ssd_demoted_tokens;
+    ssd_promoted_chunks += other.ssd_promoted_chunks;
+    ssd_evicted_chunks += other.ssd_evicted_chunks;
+    ssd_evicted_tokens += other.ssd_evicted_tokens;
+    ssd_user_blocks_written += other.ssd_user_blocks_written;
+    ssd_gc_moves += other.ssd_gc_moves;
+    ssd_gc_runs += other.ssd_gc_runs;
+    ssd_failed_demotes += other.ssd_failed_demotes;
+    ssd_planned_recompute_tokens += other.ssd_planned_recompute_tokens;
     return *this;
   }
 
-  // Fraction of needed history tokens served from cache (either tier).
+  // Fraction of needed history tokens served from cache (any tier).
   double CacheHitRate() const {
-    const int64_t total =
-        reused_gpu_tokens + reused_cpu_tokens + recomputed_history_tokens;
+    const int64_t hits = reused_gpu_tokens + reused_cpu_tokens + reused_ssd_tokens;
+    const int64_t total = hits + recomputed_history_tokens;
     return total == 0 ? 0.0
-                      : static_cast<double>(reused_gpu_tokens + reused_cpu_tokens) /
-                            static_cast<double>(total);
+                      : static_cast<double>(hits) / static_cast<double>(total);
   }
   // Fraction of GPU-missing history tokens that the CPU tier saved.
   double CpuCacheHitRate() const {
-    const int64_t misses = reused_cpu_tokens + recomputed_history_tokens;
+    const int64_t misses =
+        reused_cpu_tokens + reused_ssd_tokens + recomputed_history_tokens;
     return misses == 0 ? 0.0
                        : static_cast<double>(reused_cpu_tokens) /
                              static_cast<double>(misses);
+  }
+  // Fraction of tokens missing from both GPU and CPU that the flash tier
+  // saved from recomputation.
+  double SsdCacheHitRate() const {
+    const int64_t misses = reused_ssd_tokens + recomputed_history_tokens;
+    return misses == 0 ? 0.0
+                       : static_cast<double>(reused_ssd_tokens) /
+                             static_cast<double>(misses);
+  }
+  // Flash write amplification: physical writes (user appends + GC
+  // relocations) per user append. 1.0 with no GC traffic or no tier.
+  double SsdWriteAmplification() const {
+    return ssd_user_blocks_written == 0
+               ? 1.0
+               : static_cast<double>(ssd_user_blocks_written + ssd_gc_moves) /
+                     static_cast<double>(ssd_user_blocks_written);
   }
 };
 

@@ -13,6 +13,10 @@ KvCacheConfig MakeCacheConfig(const PensieveEngineOptions& options) {
   config.block_size = options.block_size;
   config.num_gpu_blocks = options.num_gpu_blocks;
   config.num_cpu_blocks = options.use_cpu_cache ? options.num_cpu_blocks : 0;
+  // The flash tier sits behind the CPU tier; without one it has no feeder.
+  config.num_ssd_blocks = options.use_cpu_cache ? options.num_ssd_blocks : 0;
+  config.ssd_algo = options.ssd_algo;
+  config.ssd_segment_blocks = options.ssd_segment_blocks;
   config.numeric = false;
   return config;
 }
@@ -20,11 +24,16 @@ KvCacheConfig MakeCacheConfig(const PensieveEngineOptions& options) {
 CacheCoordinator::Options MakeCoordinatorOptions(const PensieveEngineOptions& options) {
   CacheCoordinator::Options coord;
   coord.use_cpu_cache = options.use_cpu_cache;
+  coord.use_ssd_cache = options.use_cpu_cache && options.num_ssd_blocks > 0;
   coord.swap_out_target = options.swap_out_threshold;
   coord.conversation_granularity =
       options.policy == EvictionPolicyKind::kConversationLru;
   return coord;
 }
+
+// Decorrelates the SSD injector's RNG stream from the PCIe injector's, so
+// arming one link's faults never shifts the other's draw sequence.
+constexpr uint64_t kSsdSeedSalt = 0x9E3779B97F4A7C15ull;
 
 }  // namespace
 
@@ -43,7 +52,12 @@ PensieveEngine::PensieveEngine(const GpuCostModel& cost_model,
       link_(cost_model.hardware().num_gpus, cost_model.hardware().pcie_bandwidth,
             cost_model.hardware().pcie_duplex_factor, options_.prioritize_swap_in),
       pcie_faults_(options_.fault_seed, options_.pcie_fault_profile,
-                   options_.fault_retry) {
+                   options_.fault_retry),
+      ssd_link_(cost_model.hardware().ssd_read_bandwidth,
+                cost_model.hardware().ssd_write_bandwidth,
+                cost_model.hardware().ssd_access_latency),
+      ssd_faults_(options_.fault_seed ^ kSsdSeedSalt, options_.ssd_fault_profile,
+                  options_.fault_retry) {
   PENSIEVE_CHECK_GT(options_.num_gpu_blocks, 0);
 }
 
@@ -65,6 +79,95 @@ double PensieveEngine::TransferHostToDevice(double now, double bytes,
   stats_.link_faults = pcie_faults_.stats();
   *delivered = out.delivered;
   return out.done;
+}
+
+double PensieveEngine::TransferSsdRead(double now, double bytes, bool* delivered) {
+  const LinkTransferOutcome out = ssd_faults_.Transfer(
+      now, bytes,
+      [this](double start, double b) { return ssd_link_.ScheduleRead(start, b); });
+  stats_.ssd_link_faults = ssd_faults_.stats();
+  *delivered = out.delivered;
+  return out.done;
+}
+
+double PensieveEngine::TransferSsdWrite(double now, double bytes, bool* delivered) {
+  const LinkTransferOutcome out = ssd_faults_.Transfer(
+      now, bytes,
+      [this](double start, double b) { return ssd_link_.ScheduleWrite(start, b); });
+  stats_.ssd_link_faults = ssd_faults_.stats();
+  *delivered = out.delivered;
+  return out.done;
+}
+
+void PensieveEngine::ChargeFlashSpill(double now) {
+  if (!cache_.flash_enabled()) {
+    return;
+  }
+  const CacheCoordinator::SpillOutcome spill = coordinator_.TakeSpill();
+  stats_.ssd_failed_demotes += spill.failed_demotes;
+  if (spill.demoted_tokens == 0) {
+    return;
+  }
+  stats_.ssd_demoted_tokens += spill.demoted_tokens;
+  const double bytes = static_cast<double>(spill.demoted_tokens) *
+                       static_cast<double>(cost_model_.KvBytesPerToken());
+  bool delivered = false;
+  TransferSsdWrite(now, bytes, &delivered);
+  if (!delivered) {
+    // The state transitions already happened; poison the flash copies that
+    // never landed so promotion detects the loss and degrades to
+    // recomputation instead of restoring garbage.
+    for (const auto& [conv, chunk] : spill.demoted) {
+      (void)cache_.MarkSsdCorrupt(conv, chunk);
+    }
+  }
+}
+
+void PensieveEngine::PlanSsdRecompute(int64_t conversation_id) {
+  if (!cache_.flash_enabled()) {
+    return;
+  }
+  ContextState* conv = cache_.Find(conversation_id);
+  if (conv == nullptr) {
+    return;
+  }
+  const HardwareSpec& hw = cost_model_.hardware();
+  RestoreLinkSpeeds speeds;
+  speeds.pcie_bandwidth = hw.pcie_bandwidth;
+  speeds.ssd_read_bandwidth = hw.ssd_read_bandwidth;
+  speeds.ssd_access_latency = hw.ssd_access_latency;
+  const int64_t kv_bytes = cost_model_.KvBytesPerToken();
+  int64_t context = conv->LeadingDroppedTokens();
+  for (int64_t i = conv->LeadingDroppedChunks(); i < conv->num_chunks(); ++i) {
+    const Chunk& c = conv->chunk(i);
+    if (!c.OnSsd() && c.location != ChunkLocation::kCpu) {
+      break;  // GPU-resident: the restorable frontier ends here
+    }
+    context += c.num_tokens;
+    const RestoreSource source =
+        c.OnSsd() ? RestoreSource::kSsd : RestoreSource::kCpu;
+    if (PlanChunkRestore(cost_estimator_, source, c.num_tokens, context,
+                         kv_bytes, speeds) == RestoreAction::kRestore) {
+      break;
+    }
+    stats_.ssd_planned_recompute_tokens += c.num_tokens;
+    PENSIEVE_CHECK_OK(cache_.DropChunk(conversation_id, i));
+  }
+}
+
+void PensieveEngine::SyncFlashStats() {
+  if (!cache_.flash_enabled()) {
+    return;
+  }
+  const TwoTierKvCache::Counters& counters = cache_.counters();
+  stats_.ssd_demoted_chunks = counters.demoted_to_flash_chunks;
+  stats_.ssd_promoted_chunks = counters.promoted_from_flash_chunks;
+  stats_.ssd_evicted_chunks = counters.flash_evicted_chunks;
+  stats_.ssd_evicted_tokens = counters.flash_evicted_tokens;
+  const SegmentLog::Stats& log_stats = cache_.flash_tier()->log().stats();
+  stats_.ssd_user_blocks_written = log_stats.user_appends;
+  stats_.ssd_gc_moves = log_stats.gc_moves;
+  stats_.ssd_gc_runs = log_stats.gc_runs;
 }
 
 void PensieveEngine::ChargeForcedSwapOut(const CacheCoordinator::FreeOutcome& freed,
@@ -123,6 +226,13 @@ void PensieveEngine::DegradeCorruptChunks(int64_t conversation_id) {
       (void)cache_.DropCpuCopy(conversation_id, i);
       continue;
     }
+    if (c.OnSsd() && !cache_.VerifySsdChecksum(conversation_id, i).ok()) {
+      // A flash copy whose demotion transfer failed (or that rotted on the
+      // device): only recomputation can rebuild it.
+      ++stats_.checksum_detected_corruptions;
+      deepest = i;
+      continue;
+    }
     if (c.location == ChunkLocation::kCpu &&
         !cache_.VerifyCpuChecksum(conversation_id, i).ok()) {
       ++stats_.checksum_detected_corruptions;
@@ -167,25 +277,31 @@ bool PensieveEngine::TryAdmit(Running* r, double now, int64_t batch_input_tokens
     r->pending_new_tokens = tail_raw + r->request.new_prompt_len;
   }
 
-  // Detected-corruption degrade: chunks whose CPU copy fails checksum
-  // verification are dropped (with the prefix before them) before the
-  // admission plan is computed, so they re-enter through the recomputation
-  // path below instead of restoring garbage KV.
-  if (pcie_faults_.enabled()) {
+  // Detected-corruption degrade: chunks whose CPU or flash copy fails
+  // checksum verification are dropped (with the prefix before them) before
+  // the admission plan is computed, so they re-enter through the
+  // recomputation path below instead of restoring garbage KV.
+  if (pcie_faults_.enabled() || ssd_faults_.enabled()) {
     DegradeCorruptChunks(conv_id);
   }
+  // Three-way restore planning: drop frontier chunks whose recomputation
+  // beats their restore path (no-op unless the flash tier is enabled).
+  PlanSsdRecompute(conv_id);
 
   const int64_t dropped_chunks = conv.LeadingDroppedChunks();
   const int64_t dropped_tokens = conv.LeadingDroppedTokens();
-  const std::vector<int64_t> cpu_chunks = conv.CpuOnlyChunks();
+  const std::vector<int64_t> ssd_chunks = conv.SsdChunks();
+  const std::vector<int64_t> staged_cpu_chunks = conv.CpuOnlyChunks();
   const int64_t input_tokens = dropped_tokens + r->pending_new_tokens;
   if (batch_input_tokens > 0 &&
       batch_input_tokens + input_tokens > options_.max_batch_tokens) {
     return false;
   }
   const int64_t append_chunks = conv.NumNewChunksForAppend(r->pending_new_tokens);
-  const int64_t blocks_needed =
-      dropped_chunks + static_cast<int64_t>(cpu_chunks.size()) + append_chunks;
+  const int64_t blocks_needed = dropped_chunks +
+                                static_cast<int64_t>(ssd_chunks.size()) +
+                                static_cast<int64_t>(staged_cpu_chunks.size()) +
+                                append_chunks;
   // Decode reservation (§4.3.5): leave headroom for requests already
   // generating, unless the batch is empty.
   const int64_t capacity = cache_.gpu_allocator().capacity();
@@ -199,11 +315,61 @@ bool PensieveEngine::TryAdmit(Running* r, double now, int64_t batch_input_tokens
   const CacheCoordinator::FreeOutcome freed =
       coordinator_.EnsureFreeGpuBlocks(blocks_needed, now);
   ChargeForcedSwapOut(freed, now);
+  ChargeFlashSpill(now);
   if (!freed.ok) {
     conv.Unpin();
     return false;
   }
 
+  // Flash promotion phase: stage the conversation's SSD run back into the
+  // CPU tier so the normal swap-in path below restores it. The flash read is
+  // charged on the SSD link; the host-to-device transfer then starts when
+  // that read completes. Any failure degrades the run to recomputation and
+  // retries admission inline (same pattern as the PCIe path below).
+  double restore_start = now;
+  int64_t promoted_tokens = 0;
+  if (!ssd_chunks.empty()) {
+    int64_t ssd_tokens = 0;
+    for (int64_t idx : ssd_chunks) {
+      ssd_tokens += conv.chunk(idx).num_tokens;
+    }
+    const int64_t staging = static_cast<int64_t>(ssd_chunks.size());
+    if (cache_.cpu_allocator().num_free() < staging &&
+        !coordinator_.EnsureFreeCpuBlocks(staging, now)) {
+      ChargeFlashSpill(now);
+      DegradePrefixThrough(conv_id, ssd_chunks.back());
+      conv.Unpin();
+      return TryAdmit(r, now, batch_input_tokens);
+    }
+    ChargeFlashSpill(now);
+    const double bytes = static_cast<double>(ssd_tokens) *
+                         static_cast<double>(cost_model_.KvBytesPerToken());
+    bool delivered = false;
+    const double ssd_done = TransferSsdRead(now, bytes, &delivered);
+    if (!delivered) {
+      DegradePrefixThrough(conv_id, ssd_chunks.back());
+      conv.Unpin();
+      return TryAdmit(r, now, batch_input_tokens);
+    }
+    restore_start = std::max(restore_start, ssd_done);
+    // Promote back to front so the remaining flash run stays a contiguous
+    // extension of the dropped prefix.
+    for (auto it = ssd_chunks.rbegin(); it != ssd_chunks.rend(); ++it) {
+      const int64_t chunk_tokens = conv.chunk(*it).num_tokens;
+      if (!cache_.PromoteFromFlash(conv_id, *it).ok()) {
+        // Corrupt flash copy (or staging raced away): drop the prefix
+        // through this chunk — deeper chunks already promoted stay — and
+        // re-admit on the recompute path.
+        DegradePrefixThrough(conv_id, *it);
+        conv.Unpin();
+        return TryAdmit(r, now, batch_input_tokens);
+      }
+      promoted_tokens += chunk_tokens;
+    }
+  }
+
+  // CPU-resident chunks to restore, including anything just promoted.
+  const std::vector<int64_t> cpu_chunks = conv.CpuOnlyChunks();
   int64_t cpu_tokens = 0;
   for (int64_t idx : cpu_chunks) {
     cpu_tokens += conv.chunk(idx).num_tokens;
@@ -220,7 +386,7 @@ bool PensieveEngine::TryAdmit(Running* r, double now, int64_t batch_input_tokens
     const double bytes = static_cast<double>(cpu_tokens) *
                          static_cast<double>(cost_model_.KvBytesPerToken());
     bool delivered = false;
-    const double done = TransferHostToDevice(now, bytes, &delivered);
+    const double done = TransferHostToDevice(restore_start, bytes, &delivered);
     if (!delivered) {
       DegradePrefixThrough(conv_id, cpu_chunks.back());
       conv.Unpin();
@@ -236,7 +402,8 @@ bool PensieveEngine::TryAdmit(Running* r, double now, int64_t batch_input_tokens
   // Reuse accounting snapshot (Figure 14 analysis), first admission only.
   if (first_admission) {
     r->reused_gpu = conv.TokensOnGpu();
-    r->reused_cpu = cpu_tokens;
+    r->reused_ssd = promoted_tokens;
+    r->reused_cpu = cpu_tokens - promoted_tokens;
     // Recomputed history = dropped-prefix tokens plus the uncached raw
     // suffix re-entering as new input (minus one pending tail token that
     // was never computed in the first place).
@@ -245,9 +412,12 @@ bool PensieveEngine::TryAdmit(Running* r, double now, int64_t batch_input_tokens
     r->recomputed = dropped_tokens + uncached_suffix;
     // Accounting covers the cached history (raw history minus the pending
     // tail token folded into this turn's input).
-    PENSIEVE_CHECK_EQ(r->reused_gpu + r->reused_cpu + dropped_tokens, conv.kv_len());
+    PENSIEVE_CHECK_EQ(
+        r->reused_gpu + r->reused_cpu + r->reused_ssd + dropped_tokens,
+        conv.kv_len());
     stats_.reused_gpu_tokens += r->reused_gpu;
     stats_.reused_cpu_tokens += r->reused_cpu;
+    stats_.reused_ssd_tokens += r->reused_ssd;
     stats_.recomputed_history_tokens += r->recomputed;
     if (uncached_suffix > 0) {
       stats_.recompute_seconds +=
@@ -361,6 +531,8 @@ void PensieveEngine::EvictConversationFromGpu(int64_t conversation_id, double no
           static_cast<int64_t>(swapped_chunks.size());
     }
   }
+  // The per-chunk EnsureFreeCpuBlocks calls above may have spilled to flash.
+  ChargeFlashSpill(now);
 }
 
 void PensieveEngine::SuspendRequest(size_t index, double now) {
@@ -411,11 +583,14 @@ StepResult PensieveEngine::Step(double now) {
     }
   }
   stats_.dropped_tokens += aot.dropped_tokens;
+  // Ahead-of-time eviction may have spilled CPU chunks to flash to make room.
+  ChargeFlashSpill(now);
 
   const int64_t admitted = AdmitRequests(now);
 
   if (running_.empty()) {
     result.idle = true;
+    SyncFlashStats();
     return result;
   }
 
@@ -441,6 +616,7 @@ StepResult PensieveEngine::Step(double now) {
         const CacheCoordinator::FreeOutcome freed =
             coordinator_.EnsureFreeGpuBlocks(need, now);
         ChargeForcedSwapOut(freed, now);
+        ChargeFlashSpill(now);
         ok = freed.ok;
       }
       if (!ok) {
@@ -464,6 +640,7 @@ StepResult PensieveEngine::Step(double now) {
     append_pending_range(compute_begin);
     if (running_.empty()) {
       result.idle = true;
+      SyncFlashStats();
       return result;
     }
     if (compute_begin < running_.size()) {
@@ -525,7 +702,24 @@ StepResult PensieveEngine::Step(double now) {
     r.pending_new_tokens = 1;
     ++r.generated;
     ++stats_.generated_tokens;
-    if (r.generated >= r.request.target_output_len) {
+    // Context-length cap: a conversation whose KV already fills the entire
+    // GPU can never append another token — eviction only frees blocks held
+    // by OTHER conversations, so a later admission would need more blocks
+    // than the device has and stall forever. Finish at the current length,
+    // the way a real server enforces its maximum context length. The flash
+    // tier makes this state reachable (demotion preserves full-GPU-sized
+    // histories that pure CPU-pressure drops used to truncate), so the cap
+    // is gated on it: with the tier off, behavior stays bit-identical to
+    // the two-tier build.
+    ContextState* capped_conv = cache_.Find(r.request.conversation_id);
+    const bool context_capped =
+        cache_.flash_enabled() &&
+        capped_conv->num_chunks() + capped_conv->NumNewChunksForAppend(1) >
+        cache_.gpu_allocator().capacity();
+    if (context_capped && r.generated < r.request.target_output_len) {
+      ++stats_.context_capped_requests;
+    }
+    if (r.generated >= r.request.target_output_len || context_capped) {
       ContextState* conv = cache_.Find(r.request.conversation_id);
       conv->Unpin();
       conv->set_last_active(finish_time);
@@ -540,6 +734,7 @@ StepResult PensieveEngine::Step(double now) {
       outcome.prefill_input_tokens = r.recomputed + r.request.new_prompt_len;
       outcome.reused_gpu_tokens = r.reused_gpu;
       outcome.reused_cpu_tokens = r.reused_cpu;
+      outcome.reused_ssd_tokens = r.reused_ssd;
       outcome.recomputed_tokens = r.recomputed;
       outcome.generated_tokens = r.generated;
       outcome.suspensions = r.suspensions;
@@ -549,6 +744,7 @@ StepResult PensieveEngine::Step(double now) {
     }
   }
   running_ = std::move(keep);
+  SyncFlashStats();
   return result;
 }
 
@@ -614,6 +810,7 @@ DrainedWork PensieveEngine::DrainUnfinished() {
   waiting_.clear();
   inflight_.clear();
   pending_forced_stall_ = 0.0;
+  SyncFlashStats();
   return drained;
 }
 

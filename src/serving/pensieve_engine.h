@@ -29,6 +29,7 @@
 #include "src/serving/engine.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/fault_injector.h"
+#include "src/sim/ssd_link.h"
 #include "src/sim/tp_group.h"
 
 namespace pensieve {
@@ -55,6 +56,15 @@ struct PensieveEngineOptions {
   LinkFaultProfile pcie_fault_profile;
   LinkRetryPolicy fault_retry;
   uint64_t fault_seed = 0;
+  // --- Flash (SSD) tier ----------------------------------------------------
+  // Capacity 0 disables the tier entirely: the engine is then bit-identical
+  // to the two-tier build. The tier also requires use_cpu_cache (it sits
+  // behind the CPU tier).
+  int64_t num_ssd_blocks = 0;
+  FlashAlgoKind ssd_algo = FlashAlgoKind::kLru;
+  int64_t ssd_segment_blocks = 64;
+  // Fault injection on the simulated SSD link (demote/promote transfers).
+  LinkFaultProfile ssd_fault_profile;
 };
 
 class PensieveEngine final : public Engine {
@@ -84,6 +94,7 @@ class PensieveEngine final : public Engine {
   // Introspection for tests.
   const TwoTierKvCache& cache() const { return cache_; }
   const LinkFaultInjector& pcie_faults() const { return pcie_faults_; }
+  const LinkFaultInjector& ssd_faults() const { return ssd_faults_; }
   int64_t num_waiting() const { return static_cast<int64_t>(waiting_.size()); }
   int64_t num_running() const { return static_cast<int64_t>(running_.size()); }
 
@@ -109,6 +120,7 @@ class PensieveEngine final : public Engine {
     // Reuse accounting, captured at first admission.
     int64_t reused_gpu = 0;
     int64_t reused_cpu = 0;
+    int64_t reused_ssd = 0;
     int64_t recomputed = 0;
   };
 
@@ -141,6 +153,30 @@ class PensieveEngine final : public Engine {
   // degrades to recomputation instead of restoring garbage.
   void ChargeForcedSwapOut(const CacheCoordinator::FreeOutcome& freed, double now);
 
+  // --- Flash (SSD) tier ----------------------------------------------------
+  // SSD-link transfers routed through the SSD fault injector (reads promote
+  // flash data toward the CPU, writes carry demotions the other way).
+  double TransferSsdRead(double now, double bytes, bool* delivered);
+  double TransferSsdWrite(double now, double bytes, bool* delivered);
+
+  // Drains the coordinator's pending CPU->flash demotions and charges their
+  // bytes on the SSD write link as background traffic (like ahead-of-time
+  // swap-out, demotion is off the critical path). A failed transfer poisons
+  // the flash copies so a later promote degrades to recomputation.
+  void ChargeFlashSpill(double now);
+
+  // Three-way restore planning (flash enabled only): walks the
+  // conversation's frontier over its SSD run and CPU-only chunks, dropping
+  // each chunk for which recomputation beats the restore path (SSD read +
+  // PCIe hop, or PCIe alone). Recompute cost grows with context length while
+  // restore cost is flat, so the scan stops at the first chunk where restore
+  // wins and the drop stays a legal prefix.
+  void PlanSsdRecompute(int64_t conversation_id);
+
+  // Mirrors the cache's monotone flash counters into stats_ (assignment, not
+  // accumulation — same idiom as the link-fault stats snapshots).
+  void SyncFlashStats();
+
   // Degradation ladder entry: discards corrupt CPU copies that still have a
   // GPU twin, and drops the prefix through the deepest CPU-only chunk whose
   // copy fails checksum verification, so admission rebuilds it through the
@@ -163,6 +199,11 @@ class PensieveEngine final : public Engine {
   // Every KV transfer on link_ goes through this injector; with all rates
   // zero it is a draw-free pass-through.
   LinkFaultInjector pcie_faults_;
+  // Simulated flash device and its own fault injector. The injector gets a
+  // decorrelated seed so arming SSD faults never perturbs the PCIe draw
+  // sequence (and vice versa).
+  SsdLink ssd_link_;
+  LinkFaultInjector ssd_faults_;
   std::deque<Running> waiting_;
   std::vector<Running> running_;
   // Conversations with a queued or running request; their (possibly fully

@@ -65,6 +65,46 @@ std::string FormatKvFaultSummary(const EngineStats& stats) {
   return out;
 }
 
+std::string FormatSsdTierSummary(const EngineStats& stats) {
+  if (stats.ssd_demoted_chunks == 0 && stats.ssd_promoted_chunks == 0 &&
+      stats.reused_ssd_tokens == 0 &&
+      stats.ssd_link_faults.InjectedFaults() == 0) {
+    return "";
+  }
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "ssd-hits:          %lld tokens promoted (%lld chunks) vs "
+                "%lld tokens demoted (%lld chunks), %.3f hit rate\n",
+                static_cast<long long>(stats.reused_ssd_tokens),
+                static_cast<long long>(stats.ssd_promoted_chunks),
+                static_cast<long long>(stats.ssd_demoted_tokens),
+                static_cast<long long>(stats.ssd_demoted_chunks),
+                stats.SsdCacheHitRate());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "ssd-write-amp:     %.3f (%lld user blocks, %lld GC moves)\n",
+                stats.SsdWriteAmplification(),
+                static_cast<long long>(stats.ssd_user_blocks_written),
+                static_cast<long long>(stats.ssd_gc_moves));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "ssd-gc-moves:      %lld relocations over %lld GC runs; "
+                "%lld chunks (%lld tokens) evicted, %lld failed demotes, "
+                "%lld tokens planned for recompute\n",
+                static_cast<long long>(stats.ssd_gc_moves),
+                static_cast<long long>(stats.ssd_gc_runs),
+                static_cast<long long>(stats.ssd_evicted_chunks),
+                static_cast<long long>(stats.ssd_evicted_tokens),
+                static_cast<long long>(stats.ssd_failed_demotes),
+                static_cast<long long>(stats.ssd_planned_recompute_tokens));
+  out += buf;
+  if (stats.ssd_link_faults.InjectedFaults() > 0) {
+    out += "ssd-faults:        " + FormatLinkFaultLine(stats.ssd_link_faults) + "\n";
+  }
+  return out;
+}
+
 Status WriteStepTraceCsv(const std::string& path,
                          const std::vector<StepTraceEntry>& trace) {
   std::ofstream out(path, std::ios::trunc);
@@ -91,7 +131,7 @@ Status WriteOutcomesCsv(const std::string& path,
   }
   out << "request_id,conversation_id,turn,arrival_s,first_scheduled_s,finish_s,"
          "prompt_tokens,history_tokens,output_tokens,normalized_latency_s,"
-         "reused_gpu,reused_cpu,recomputed,suspensions\n";
+         "reused_gpu,reused_cpu,reused_ssd,recomputed,suspensions\n";
   for (const RequestOutcome& o : outcomes) {
     out << o.request.request_id << ',' << o.request.conversation_id << ','
         << o.request.turn_index << ',' << o.request.arrival_time << ','
@@ -99,7 +139,8 @@ Status WriteOutcomesCsv(const std::string& path,
         << o.request.new_prompt_len << ',' << o.request.history_len << ','
         << o.request.target_output_len << ',' << o.NormalizedLatency() << ','
         << o.reused_gpu_tokens << ',' << o.reused_cpu_tokens << ','
-        << o.recomputed_tokens << ',' << o.suspensions << '\n';
+        << o.reused_ssd_tokens << ',' << o.recomputed_tokens << ','
+        << o.suspensions << '\n';
   }
   out.flush();
   if (!out.good()) {

@@ -46,6 +46,12 @@ std::string FormatLinkFaultLine(const LinkFaultStats& faults);
 // did.
 std::string FormatKvFaultSummary(const EngineStats& stats);
 
+// Human-readable flash-tier report (`ssd-hits:`, `ssd-write-amp:`,
+// `ssd-gc-moves:` lines, plus `ssd-faults:` when the SSD link injected any).
+// Empty when the tier saw no traffic, so flash-disabled runs print exactly
+// what they always did.
+std::string FormatSsdTierSummary(const EngineStats& stats);
+
 // CSV writers. Paths are created/truncated; returns an error on I/O failure.
 Status WriteStepTraceCsv(const std::string& path,
                          const std::vector<StepTraceEntry>& trace);

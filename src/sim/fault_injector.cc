@@ -161,6 +161,15 @@ void AddFaultFlags(FlagParser* flags) {
   flags->AddDouble("fault-nic-corrupt", 0.0,
                    "per-attempt silent-corruption probability on the NIC "
                    "(caught by block checksums at migration arrival)");
+  flags->AddDouble("fault-ssd-timeout", 0.0,
+                   "per-attempt timeout probability on the flash (SSD) link");
+  flags->AddDouble("fault-ssd-stall", 0.0,
+                   "per-attempt stall probability on the flash (SSD) link");
+  flags->AddDouble("fault-ssd-partial", 0.0,
+                   "per-attempt partial-transfer probability on the SSD link");
+  flags->AddDouble("fault-ssd-corrupt", 0.0,
+                   "per-attempt silent-corruption probability on the SSD "
+                   "link (caught by block checksums at promote-from-SSD)");
 }
 
 FaultConfig FaultConfigFromFlags(const FlagParser& flags) {
@@ -177,7 +186,11 @@ FaultConfig FaultConfigFromFlags(const FlagParser& flags) {
   config.nic.stall_rate = flags.GetDouble("fault-nic-stall");
   config.nic.partial_rate = flags.GetDouble("fault-nic-partial");
   config.nic.corruption_rate = flags.GetDouble("fault-nic-corrupt");
-  for (LinkFaultProfile* profile : {&config.pcie, &config.nic}) {
+  config.ssd.timeout_rate = flags.GetDouble("fault-ssd-timeout");
+  config.ssd.stall_rate = flags.GetDouble("fault-ssd-stall");
+  config.ssd.partial_rate = flags.GetDouble("fault-ssd-partial");
+  config.ssd.corruption_rate = flags.GetDouble("fault-ssd-corrupt");
+  for (LinkFaultProfile* profile : {&config.pcie, &config.nic, &config.ssd}) {
     profile->timeout_seconds = flags.GetDouble("fault-timeout-s");
     profile->stall_factor = flags.GetDouble("fault-stall-factor");
   }

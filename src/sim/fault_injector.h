@@ -163,8 +163,11 @@ struct FaultConfig {
   LinkRetryPolicy retry;
   LinkFaultProfile pcie;  // swap-out / swap-in transfers
   LinkFaultProfile nic;   // inter-replica KV migration
+  LinkFaultProfile ssd;   // flash-tier demote / promote transfers
 
-  bool Enabled() const { return pcie.Enabled() || nic.Enabled(); }
+  bool Enabled() const {
+    return pcie.Enabled() || nic.Enabled() || ssd.Enabled();
+  }
 };
 
 // Registers the --fault-* flags on `flags` / reads them back.

@@ -44,6 +44,13 @@ struct HardwareSpec {
   // Host memory available for the CPU cache tier, per GPU (220 GB per GPU on
   // the paper's VMs; leave headroom for the runtime).
   int64_t cpu_kv_cache_bytes = 180LL * 1024 * 1024 * 1024;
+  // Local NVMe SSD backing the flash KV tier: effective sequential
+  // bandwidths per direction (reads are the latency-critical promote path;
+  // log-structured writes stream sequentially but NAND programs slower than
+  // it reads) and a fixed per-operation access latency (FTL + queueing).
+  double ssd_read_bandwidth = 6e9;
+  double ssd_write_bandwidth = 3e9;
+  double ssd_access_latency = 80e-6;
 };
 
 // The paper's testbed: Azure NC A100 v4 with `num_gpus` GPUs.

@@ -1,0 +1,33 @@
+#include "src/sim/ssd_link.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pensieve {
+
+SsdLink::SsdLink(double read_bandwidth, double write_bandwidth, double access_latency)
+    : read_bandwidth_(read_bandwidth), write_bandwidth_(write_bandwidth),
+      access_latency_(access_latency) {
+  PENSIEVE_CHECK_GT(read_bandwidth_, 0.0);
+  PENSIEVE_CHECK_GT(write_bandwidth_, 0.0);
+  PENSIEVE_CHECK_GE(access_latency_, 0.0);
+}
+
+double SsdLink::ScheduleRead(double now, double bytes) {
+  PENSIEVE_CHECK_GE(bytes, 0.0);
+  const double start = std::max(now, read_busy_until_);
+  read_busy_until_ = start + access_latency_ + bytes / read_bandwidth_;
+  total_read_bytes_ += bytes;
+  return read_busy_until_;
+}
+
+double SsdLink::ScheduleWrite(double now, double bytes) {
+  PENSIEVE_CHECK_GE(bytes, 0.0);
+  const double start = std::max(now, write_busy_until_);
+  write_busy_until_ = start + access_latency_ + bytes / write_bandwidth_;
+  total_write_bytes_ += bytes;
+  return write_busy_until_;
+}
+
+}  // namespace pensieve

@@ -1,0 +1,46 @@
+// Virtual-time SSD link model.
+//
+// Companion of PcieLink for the flash tier: an NVMe-class device with
+// asymmetric read/write bandwidth and a fixed per-operation access latency
+// (flash translation + queueing floor, microseconds where PCIe transfers are
+// dominated by bandwidth). Reads (promote-from-SSD) and writes
+// (demote-to-SSD) use independent busy-until times: NVMe devices sustain
+// concurrent reads and writes, and the asymmetric bandwidths already fold in
+// steady-state interference.
+
+#ifndef PENSIEVE_SRC_SIM_SSD_LINK_H_
+#define PENSIEVE_SRC_SIM_SSD_LINK_H_
+
+namespace pensieve {
+
+class SsdLink {
+ public:
+  SsdLink(double read_bandwidth, double write_bandwidth, double access_latency);
+
+  // Schedules a flash-to-host read starting no earlier than `now`; returns
+  // its completion time on the virtual clock.
+  double ScheduleRead(double now, double bytes);
+
+  // Schedules a host-to-flash write; returns its completion time.
+  double ScheduleWrite(double now, double bytes);
+
+  double read_busy_until() const { return read_busy_until_; }
+  double write_busy_until() const { return write_busy_until_; }
+
+  // Aggregate transferred byte counters (for metrics).
+  double total_read_bytes() const { return total_read_bytes_; }
+  double total_write_bytes() const { return total_write_bytes_; }
+
+ private:
+  double read_bandwidth_;
+  double write_bandwidth_;
+  double access_latency_;
+  double read_busy_until_ = 0.0;
+  double write_busy_until_ = 0.0;
+  double total_read_bytes_ = 0.0;
+  double total_write_bytes_ = 0.0;
+};
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_SIM_SSD_LINK_H_

@@ -112,7 +112,7 @@ TEST(TelemetryTest, OutcomesCsvContainsReuseColumns) {
   ASSERT_TRUE(WriteOutcomesCsv(path, outcomes).ok());
   const std::string contents = ReadAll(path);
   EXPECT_EQ(CountLines(contents), outcomes.size() + 1);
-  EXPECT_NE(contents.find("reused_gpu,reused_cpu,recomputed"), std::string::npos);
+  EXPECT_NE(contents.find("reused_gpu,reused_cpu,reused_ssd,recomputed"), std::string::npos);
 }
 
 TEST(TelemetryTest, CsvWriteFailsOnBadPath) {

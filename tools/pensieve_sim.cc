@@ -70,6 +70,19 @@ int Run(int argc, char** argv) {
   flags.AddDouble("think", 60.0, "mean user think time (s)");
   flags.AddDouble("cache_scale", 1.0,
                   "scales both cache tiers relative to the paper's 40 GB setup");
+  flags.AddDouble("cpu-scale", 1.0,
+                  "extra multiplier on the CPU tier only (on top of "
+                  "cache_scale); < 1 forces traffic into the flash tier");
+  flags.AddDouble("ssd-capacity", 0.0,
+                  "flash (SSD) tier capacity in GiB of KV data behind the CPU "
+                  "tier; 0 disables the tier (bit-identical to the two-tier "
+                  "build). Full pensieve system only; not scaled by "
+                  "cache_scale");
+  flags.AddString("ssd-algo", "lru",
+                  "flash-tier eviction/indexing algorithm: lru, fifo, s3fifo, "
+                  "sieve");
+  flags.AddInt("ssd-segment-blocks", 64,
+               "blocks per append-only flash log segment (GC granularity)");
   flags.AddInt("seed", 42, "workload seed");
   flags.AddInt("replicas", 1,
                "number of serving replicas; > 1 runs the cluster layer");
@@ -144,6 +157,7 @@ int Run(int argc, char** argv) {
   }
   EngineOverrides overrides;
   overrides.cache_scale = flags.GetDouble("cache_scale");
+  overrides.cpu_cache_scale = flags.GetDouble("cpu-scale");
   overrides.unified_scheduling = !flags.GetBool("split_scheduling");
   const std::string policy = flags.GetString("policy");
   if (policy == "retention") {
@@ -162,6 +176,14 @@ int Run(int argc, char** argv) {
   overrides.pcie_fault_profile = fault_config.pcie;
   overrides.fault_retry = fault_config.retry;
   overrides.fault_seed = fault_config.seed;
+  overrides.ssd_capacity_gb = flags.GetDouble("ssd-capacity");
+  if (!FlashAlgoKindByName(flags.GetString("ssd-algo"), &overrides.ssd_algo)) {
+    std::fprintf(stderr, "unknown ssd-algo '%s'\n",
+                 flags.GetString("ssd-algo").c_str());
+    return 2;
+  }
+  overrides.ssd_segment_blocks = flags.GetInt("ssd-segment-blocks");
+  overrides.ssd_fault_profile = fault_config.ssd;
 
   const GpuCostModel cost_model(model, A100Spec(model.num_gpus));
   TraceOptions trace_options;
@@ -284,6 +306,7 @@ int Run(int argc, char** argv) {
                   static_cast<long>(cs.migration.kv_tokens_lost_in_transit));
     }
     std::printf("%s", FormatKvFaultSummary(s.engine_stats).c_str());
+    std::printf("%s", FormatSsdTierSummary(s.engine_stats).c_str());
     for (size_t i = 0; i < cs.replicas.size(); ++i) {
       const ServingSummary& r = cs.replicas[i];
       std::printf("  replica %-2zu       %ld requests, %.1f s busy, hit %.3f\n",
@@ -342,6 +365,7 @@ int Run(int argc, char** argv) {
               static_cast<long>(s.engine_stats.dropped_tokens),
               s.engine_stats.restore_stall_seconds);
   std::printf("%s", FormatKvFaultSummary(s.engine_stats).c_str());
+  std::printf("%s", FormatSsdTierSummary(s.engine_stats).c_str());
   const StepTraceSummary st = SummarizeStepTrace(steps);
   std::printf("scheduler:         %ld steps, mean batch %.1f requests / %.1f "
               "tokens, %.1f s busy\n",
