@@ -53,6 +53,7 @@ std::unique_ptr<Engine> MakeEngine(SystemKind kind, const GpuCostModel& cost_mod
       options.unified_scheduling = overrides.unified_scheduling;
       options.pipelined_restore = overrides.pipelined_restore;
       options.prioritize_swap_in = overrides.prioritize_swap_in;
+      options.enable_prefix_sharing = overrides.enable_prefix_sharing;
       options.policy = overrides.policy;
       options.pcie_fault_profile = overrides.pcie_fault_profile;
       options.fault_retry = overrides.fault_retry;

@@ -45,6 +45,9 @@ struct EngineOverrides {
   bool unified_scheduling = true;
   bool pipelined_restore = true;
   bool prioritize_swap_in = true;
+  // Cross-conversation shared-prefix dedup (Pensieve variants). Harmless on
+  // traces without template metadata: no trie traffic, bit-identical output.
+  bool enable_prefix_sharing = true;
   // Scales both cache tiers (useful for stress tests); 1.0 = paper setup.
   double cache_scale = 1.0;
   // Additional multiplier applied to the CPU tier only, on top of

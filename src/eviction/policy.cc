@@ -11,6 +11,11 @@ constexpr double kMinInactiveSeconds = 1e-3;
 
 double RetentionValuePolicy::Score(const ChunkCandidate& candidate, double now) const {
   const double inactive = std::max(kMinInactiveSeconds, now - candidate.last_active);
+  if (candidate.shared) {
+    // Other live readers keep the physical block warm; restoring this view
+    // costs a refcount bump, not a recompute.
+    return 0.0;
+  }
   return estimator_.Cost(candidate.context_len) / inactive;
 }
 
@@ -22,6 +27,9 @@ double LruPolicy::Score(const ChunkCandidate& candidate, double now) const {
 }
 
 double CostOnlyPolicy::Score(const ChunkCandidate& candidate, double now) const {
+  if (candidate.shared) {
+    return 0.0;  // restore already paid for by another reader
+  }
   return estimator_.Cost(candidate.context_len);
 }
 

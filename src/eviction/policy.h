@@ -24,6 +24,11 @@ struct ChunkCandidate {
   int64_t context_len = 0;
   // When the owning conversation was last active (virtual seconds).
   double last_active = 0.0;
+  // The chunk is a view over a GPU block other conversations also hold.
+  // Detaching it loses nothing another reader hasn't already paid for — a
+  // later restore is a trie re-attach, not a recompute — so cost-aware
+  // policies treat it as the cheapest possible victim.
+  bool shared = false;
 };
 
 class EvictionPolicy {

@@ -147,6 +147,20 @@ void ContextState::AppendTokens(int64_t n, const std::vector<BlockId>& new_gpu_b
   PENSIEVE_CHECK_EQ(next_new_block, new_gpu_blocks.size());
 }
 
+void ContextState::AttachSharedChunk(BlockId block, int64_t tokens) {
+  PENSIEVE_CHECK_GT(tokens, 0);
+  PENSIEVE_CHECK_LE(tokens, block_size_);
+  PENSIEVE_CHECK_GE(block, 0);
+  PENSIEVE_CHECK(chunks_.empty() || chunks_.back().num_tokens == block_size_)
+      << "shared chunk attached behind a partial tail";
+  Chunk c;
+  c.location = ChunkLocation::kGpu;
+  c.gpu_block = block;
+  c.num_tokens = tokens;
+  chunks_.push_back(c);
+  kv_len_ += tokens;
+}
+
 void ContextState::InitializeImported(int64_t kv_len) {
   PENSIEVE_CHECK(chunks_.empty());
   PENSIEVE_CHECK_EQ(kv_len_, 0);

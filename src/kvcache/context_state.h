@@ -79,6 +79,13 @@ class ContextState {
   void AppendTokens(int64_t n, const std::vector<BlockId>& new_gpu_blocks,
                     std::vector<SlotRef>* slots);
 
+  // Appends a chunk that *views* an already-populated (shared) GPU block:
+  // the tokens count as processed KV without any prefill. The caller owns
+  // refcounting on `block`. A partial view (tokens < block_size) is legal
+  // only as the final attached chunk — the next append into it goes through
+  // the cache's copy-on-write path. Requires a full (or empty) tail.
+  void AttachSharedChunk(BlockId block, int64_t tokens);
+
   // Rebuilds bookkeeping for `kv_len` migrated-in tokens: chunks start in
   // the dropped state (no blocks); the cache then materializes CPU copies
   // for whatever suffix actually arrived. Only legal on an empty state.

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/common/hash.h"
 #include "src/common/logging.h"
 
 namespace pensieve {
@@ -62,15 +63,8 @@ void KvPool::CopyBlock(const KvPool& src, BlockId src_block, KvPool& dst,
 uint32_t KvPool::BlockChecksum(BlockId block) const {
   PENSIEVE_CHECK_GE(block, 0);
   PENSIEVE_CHECK_LT(block, num_blocks_);
-  const unsigned char* bytes = reinterpret_cast<const unsigned char*>(
-      data_.data() + block * block_stride_);
-  const size_t n = static_cast<size_t>(block_stride_) * sizeof(float);
-  uint32_t hash = 2166136261u;  // FNV-1a offset basis
-  for (size_t i = 0; i < n; ++i) {
-    hash ^= bytes[i];
-    hash *= 16777619u;  // FNV prime
-  }
-  return hash;
+  return Fnv1a32(data_.data() + block * block_stride_,
+                 static_cast<size_t>(block_stride_) * sizeof(float));
 }
 
 void KvPool::CorruptBlock(BlockId block) {

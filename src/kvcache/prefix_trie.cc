@@ -1,0 +1,86 @@
+#include "src/kvcache/prefix_trie.h"
+
+#include "src/common/logging.h"
+
+namespace pensieve {
+
+int64_t PrefixTrie::Lookup(const std::vector<uint64_t>& chain,
+                           std::vector<BlockId>* blocks) const {
+  const std::unordered_map<uint64_t, std::unique_ptr<Node>>* level = &roots_;
+  int64_t matched = 0;
+  for (uint64_t hash : chain) {
+    auto it = level->find(hash);
+    if (it == level->end()) {
+      break;
+    }
+    if (blocks != nullptr) {
+      blocks->push_back(it->second->block);
+    }
+    ++matched;
+    level = &it->second->children;
+  }
+  return matched;
+}
+
+int64_t PrefixTrie::Publish(const std::vector<uint64_t>& chain,
+                            const std::vector<BlockId>& blocks) {
+  PENSIEVE_CHECK_LE(blocks.size(), chain.size());
+  std::unordered_map<uint64_t, std::unique_ptr<Node>>* level = &roots_;
+  Node* parent = nullptr;
+  int64_t created = 0;
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    auto it = level->find(chain[i]);
+    if (it == level->end()) {
+      // A physical block can anchor at most one trie node; if this block is
+      // already published elsewhere the chain has lost continuity — stop.
+      if (by_block_.find(blocks[i]) != by_block_.end()) {
+        break;
+      }
+      auto node = std::make_unique<Node>();
+      node->hash = chain[i];
+      node->block = blocks[i];
+      node->parent = parent;
+      by_block_[blocks[i]] = node.get();
+      it = level->emplace(chain[i], std::move(node)).first;
+      ++created;
+      ++publishes_;
+    }
+    parent = it->second.get();
+    level = &it->second->children;
+  }
+  return created;
+}
+
+int64_t PrefixTrie::RemoveSubtree(Node* node) {
+  int64_t removed = 1;
+  by_block_.erase(node->block);
+  for (auto& child : node->children) {
+    removed += RemoveSubtree(child.second.get());
+  }
+  node->children.clear();
+  return removed;
+}
+
+int64_t PrefixTrie::InvalidateBlock(BlockId block) {
+  auto it = by_block_.find(block);
+  if (it == by_block_.end()) {
+    return 0;
+  }
+  Node* node = it->second;
+  const int64_t removed = RemoveSubtree(node);
+  invalidations_ += removed;
+  auto* level = node->parent != nullptr ? &node->parent->children : &roots_;
+  level->erase(node->hash);  // destroys `node` and the detached subtree
+  return removed;
+}
+
+std::vector<BlockId> PrefixTrie::ReferencedBlocks() const {
+  std::vector<BlockId> blocks;
+  blocks.reserve(by_block_.size());
+  for (const auto& [block, node] : by_block_) {
+    blocks.push_back(block);
+  }
+  return blocks;
+}
+
+}  // namespace pensieve

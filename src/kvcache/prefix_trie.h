@@ -1,0 +1,83 @@
+// Content-addressed prefix trie mapping token-prefix identity to runs of
+// shared GPU KV blocks (PagedAttention §4.3 style dedup).
+//
+// Identity is a cumulative FNV-1a hash chain over full blocks of token ids:
+// chain[i] covers tokens [0, (i+1)*block_size). A conversation whose prompt
+// hashes to a published chain prefix can attach the corresponding physical
+// blocks instead of prefilling them. Only full blocks are ever published —
+// partial tail blocks stay private to their owner.
+//
+// The trie holds *weak* references: publishing does not pin a block. The
+// cache invalidates a trie node when the underlying block's refcount drops
+// to zero (last reader released it), which also severs every descendant —
+// a prefix with a hole in the middle is unusable by construction.
+
+#ifndef PENSIEVE_SRC_KVCACHE_PREFIX_TRIE_H_
+#define PENSIEVE_SRC_KVCACHE_PREFIX_TRIE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kvcache/block.h"
+
+namespace pensieve {
+
+class PrefixTrie {
+ public:
+  PrefixTrie() = default;
+  PrefixTrie(const PrefixTrie&) = delete;
+  PrefixTrie& operator=(const PrefixTrie&) = delete;
+
+  // Walks the chain from the root and appends the GPU block of every
+  // matched node to *blocks. Returns the number of matched blocks (the
+  // longest live published prefix of the chain).
+  int64_t Lookup(const std::vector<uint64_t>& chain,
+                 std::vector<BlockId>* blocks) const;
+
+  // Publishes blocks[i] under chain[i] for every position where the chain
+  // extends the trie. Existing nodes are kept (first publisher wins; its
+  // block is the one readers share). Stops if an existing node disagrees
+  // with chain continuity. Returns the number of newly created nodes.
+  int64_t Publish(const std::vector<uint64_t>& chain,
+                  const std::vector<BlockId>& blocks);
+
+  // Removes the node holding `block` (if any) and its whole subtree.
+  // Called when a physical block is freed; descendants are unreachable for
+  // matching once their prefix is gone. Returns nodes removed.
+  int64_t InvalidateBlock(BlockId block);
+
+  bool ContainsBlock(BlockId block) const {
+    return by_block_.find(block) != by_block_.end();
+  }
+
+  // Number of live published nodes (== distinct blocks referenced).
+  int64_t size() const { return static_cast<int64_t>(by_block_.size()); }
+
+  // All blocks currently referenced by the trie (for invariant checks).
+  std::vector<BlockId> ReferencedBlocks() const;
+
+  int64_t publishes() const { return publishes_; }
+  int64_t invalidations() const { return invalidations_; }
+
+ private:
+  struct Node {
+    uint64_t hash = 0;
+    BlockId block = kInvalidBlock;
+    Node* parent = nullptr;
+    std::unordered_map<uint64_t, std::unique_ptr<Node>> children;
+  };
+
+  int64_t RemoveSubtree(Node* node);
+
+  // Root's children are the depth-0 nodes keyed by chain[0].
+  std::unordered_map<uint64_t, std::unique_ptr<Node>> roots_;
+  std::unordered_map<BlockId, Node*> by_block_;
+  int64_t publishes_ = 0;
+  int64_t invalidations_ = 0;
+};
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_KVCACHE_PREFIX_TRIE_H_

@@ -1,5 +1,6 @@
 #include "src/kvcache/two_tier_cache.h"
 
+#include <algorithm>
 #include <string>
 
 #include "src/common/logging.h"
@@ -30,6 +31,8 @@ TwoTierKvCache::TwoTierKvCache(const KvCacheConfig& config)
     flash_ = std::make_unique<FlashTier>(flash);
   }
 }
+
+TwoTierKvCache::~TwoTierKvCache() { VerifyNoLeaks(); }
 
 ContextState& TwoTierKvCache::GetOrCreate(ConversationId id) {
   auto it = conversations_.find(id);
@@ -96,7 +99,7 @@ void TwoTierKvCache::Release(ConversationId id) {
   for (int64_t i = 0; i < state->num_chunks(); ++i) {
     Chunk& c = state->mutable_chunk(i);
     if (c.OnGpu()) {
-      gpu_allocator_.Free(c.gpu_block);
+      ReleaseGpuBlock(c.gpu_block);
       if (c.location == ChunkLocation::kGpuAndCpu) {
         --reclaimable_gpu_blocks_;
       }
@@ -115,7 +118,17 @@ Status TwoTierKvCache::AppendTokenSlots(ConversationId id, int64_t n,
                                         std::vector<ContextState::SlotRef>* slots) {
   ContextState& state = GetOrCreate(id);
   const int64_t new_chunks = state.NumNewChunksForAppend(n);
-  if (new_chunks > gpu_allocator_.num_free()) {
+  // Writing into a partial tail that views a shared block needs one extra
+  // block for the copy-on-write.
+  int64_t cow_blocks = 0;
+  if (n > 0 && state.num_chunks() > 0) {
+    const Chunk& tail = state.chunk(state.num_chunks() - 1);
+    if (tail.num_tokens < config_.block_size && tail.OnGpu() &&
+        SharedGpuBlock(tail.gpu_block)) {
+      cow_blocks = 1;
+    }
+  }
+  if (new_chunks + cow_blocks > gpu_allocator_.num_free()) {
     return Status::ResourceExhausted("GPU tier has no free blocks for append");
   }
   // Invalidate a stale CPU copy on the partial tail chunk we are extending.
@@ -134,6 +147,21 @@ Status TwoTierKvCache::AppendTokenSlots(ConversationId id, int64_t n,
             "cannot append into a tail chunk that is not GPU-resident");
       }
     }
+  }
+  if (cow_blocks == 1) {
+    // First write into a shared block: detach this view onto a private block
+    // before any slot is handed out. The pools are preallocated and the
+    // blocks disjoint, so the numeric copy is a straight block-to-block move
+    // — no heap allocation, decode stays allocation-free.
+    Chunk& tail = state.mutable_chunk(state.num_chunks() - 1);
+    auto fresh = gpu_allocator_.Allocate();
+    PENSIEVE_CHECK(fresh.has_value());
+    if (gpu_pool_ != nullptr) {
+      KvPool::CopyBlock(*gpu_pool_, tail.gpu_block, *gpu_pool_, *fresh);
+    }
+    ReleaseGpuBlock(tail.gpu_block);
+    tail.gpu_block = *fresh;
+    ++counters_.cow_copies;
   }
   std::vector<BlockId> blocks;
   blocks.reserve(static_cast<size_t>(new_chunks));
@@ -186,7 +214,7 @@ Status TwoTierKvCache::ReclaimGpu(ConversationId id, int64_t chunk_index) {
     // Releasing the GPU copy would leave only a known-bad CPU copy.
     return Status::DataLoss("ReclaimGpu refused: CPU copy is corrupt");
   }
-  gpu_allocator_.Free(c.gpu_block);
+  ReleaseGpuBlock(c.gpu_block);
   c.gpu_block = kInvalidBlock;
   c.location = ChunkLocation::kCpu;
   --reclaimable_gpu_blocks_;
@@ -299,7 +327,7 @@ Status TwoTierKvCache::DropChunk(ConversationId id, int64_t chunk_index) {
     return Status::FailedPrecondition("chunk already dropped");
   }
   if (c.OnGpu()) {
-    gpu_allocator_.Free(c.gpu_block);
+    ReleaseGpuBlock(c.gpu_block);
     if (c.location == ChunkLocation::kGpuAndCpu) {
       --reclaimable_gpu_blocks_;
     }
@@ -564,11 +592,134 @@ std::vector<BlockId> TwoTierKvCache::GpuBlockTable(ConversationId id,
   return table;
 }
 
+void TwoTierKvCache::ReleaseGpuBlock(BlockId block) {
+  if (gpu_allocator_.Free(block)) {
+    trie_.InvalidateBlock(block);
+  }
+}
+
+int64_t TwoTierKvCache::AppendBlockDemand(ConversationId id, int64_t n) const {
+  const ContextState* state = Find(id);
+  if (state == nullptr) {
+    return n <= 0 ? 0 : (n + config_.block_size - 1) / config_.block_size;
+  }
+  int64_t demand = state->NumNewChunksForAppend(n);
+  if (n > 0 && state->num_chunks() > 0) {
+    const Chunk& tail = state->chunk(state->num_chunks() - 1);
+    if (tail.num_tokens < config_.block_size && tail.OnGpu() &&
+        SharedGpuBlock(tail.gpu_block)) {
+      ++demand;  // copy-on-write block
+    }
+  }
+  return demand;
+}
+
+bool TwoTierKvCache::SharedGpuBlock(BlockId block) const {
+  return block != kInvalidBlock && gpu_allocator_.refcount(block) > 1;
+}
+
+int64_t TwoTierKvCache::LookupSharedPrefix(const std::vector<uint64_t>& chain,
+                                           std::vector<BlockId>* blocks) const {
+  if (!config_.enable_prefix_sharing) {
+    return 0;
+  }
+  return trie_.Lookup(chain, blocks);
+}
+
+int64_t TwoTierKvCache::PublishSharedPrefix(const std::vector<uint64_t>& chain,
+                                            const std::vector<BlockId>& blocks) {
+  if (!config_.enable_prefix_sharing) {
+    return 0;
+  }
+  for (BlockId b : blocks) {
+    PENSIEVE_CHECK(gpu_allocator_.IsAllocated(b))
+        << "publishing unallocated block " << b;
+  }
+  return trie_.Publish(chain, blocks);
+}
+
+int64_t TwoTierKvCache::AttachSharedPrefix(ConversationId id,
+                                           const std::vector<BlockId>& blocks,
+                                           int64_t tokens) {
+  PENSIEVE_CHECK(config_.enable_prefix_sharing);
+  PENSIEVE_CHECK(!blocks.empty());
+  PENSIEVE_CHECK_GT(tokens,
+                    (static_cast<int64_t>(blocks.size()) - 1) * config_.block_size);
+  PENSIEVE_CHECK_LE(tokens, static_cast<int64_t>(blocks.size()) * config_.block_size);
+  ContextState& state = GetOrCreate(id);
+  PENSIEVE_CHECK_EQ(state.kv_len(), 0)
+      << "shared prefix attach requires a fresh conversation";
+  int64_t remaining = tokens;
+  for (BlockId b : blocks) {
+    const int64_t take = std::min(remaining, config_.block_size);
+    gpu_allocator_.Share(b);
+    state.AttachSharedChunk(b, take);
+    remaining -= take;
+    ++counters_.shared_attached_chunks;
+  }
+  counters_.shared_attached_tokens += tokens;
+  counters_.peak_shared_blocks =
+      std::max(counters_.peak_shared_blocks, gpu_allocator_.num_shared());
+  return tokens;
+}
+
+Status TwoTierKvCache::ReattachDroppedShared(ConversationId id, int64_t chunk_index,
+                                             BlockId block) {
+  if (!config_.enable_prefix_sharing) {
+    return Status::FailedPrecondition("prefix sharing disabled");
+  }
+  ContextState* state = nullptr;
+  Status found = FindChunk(id, chunk_index, &state);
+  if (!found.ok()) {
+    return found;
+  }
+  Chunk& c = state->mutable_chunk(chunk_index);
+  if (!c.Dropped()) {
+    return Status::FailedPrecondition("ReattachDroppedShared requires a dropped chunk");
+  }
+  if (c.num_tokens != config_.block_size) {
+    return Status::FailedPrecondition("partial chunks stay private");
+  }
+  if (!gpu_allocator_.IsAllocated(block)) {
+    return Status::FailedPrecondition("shared block no longer allocated");
+  }
+  gpu_allocator_.Share(block);
+  c.gpu_block = block;
+  c.location = ChunkLocation::kGpu;
+  ++counters_.shared_attached_chunks;
+  counters_.shared_attached_tokens += c.num_tokens;
+  counters_.peak_shared_blocks =
+      std::max(counters_.peak_shared_blocks, gpu_allocator_.num_shared());
+  return Status::Ok();
+}
+
+void TwoTierKvCache::VerifyNoLeaks() const {
+  int64_t gpu_refs = 0;
+  int64_t cpu_refs = 0;
+  for (const auto& [id, state] : conversations_) {
+    for (const Chunk& c : state.chunks()) {
+      if (c.OnGpu()) {
+        ++gpu_refs;
+      }
+      if (c.HasCpuCopy()) {
+        ++cpu_refs;
+      }
+    }
+  }
+  PENSIEVE_CHECK_EQ(gpu_refs, gpu_allocator_.live_refs())
+      << "GPU KV block leak: " << gpu_allocator_.live_refs()
+      << " live references but only " << gpu_refs << " chunk views";
+  PENSIEVE_CHECK_EQ(cpu_refs, cpu_allocator_.live_refs())
+      << "CPU KV block leak: " << cpu_allocator_.live_refs()
+      << " live references but only " << cpu_refs << " chunk views";
+}
+
 void TwoTierKvCache::CheckInvariants() const {
   int64_t gpu_in_use = 0;
   int64_t cpu_in_use = 0;
   int64_t reclaimable = 0;
   int64_t ssd_chunks = 0;
+  std::unordered_map<BlockId, int64_t> gpu_views;
   for (const auto& [id, state] : conversations_) {
     bool seen_non_dropped = false;
     bool seen_past_flash_run = false;
@@ -598,6 +749,7 @@ void TwoTierKvCache::CheckInvariants() const {
       if (c.OnGpu()) {
         PENSIEVE_CHECK(gpu_allocator_.IsAllocated(c.gpu_block));
         ++gpu_in_use;
+        ++gpu_views[c.gpu_block];
       }
       if (c.HasCpuCopy()) {
         PENSIEVE_CHECK(cpu_allocator_.IsAllocated(c.cpu_block));
@@ -612,8 +764,26 @@ void TwoTierKvCache::CheckInvariants() const {
       }
     }
   }
-  PENSIEVE_CHECK_EQ(gpu_in_use, gpu_allocator_.num_allocated());
+  // Shared blocks make chunk views and physical blocks distinct quantities:
+  // every view holds one allocator reference, distinct blocks equal the
+  // physically allocated count, and each block's refcount matches its views.
+  PENSIEVE_CHECK_EQ(gpu_in_use, gpu_allocator_.live_refs());
+  PENSIEVE_CHECK_EQ(static_cast<int64_t>(gpu_views.size()),
+                    gpu_allocator_.num_allocated());
+  for (const auto& [block, views] : gpu_views) {
+    PENSIEVE_CHECK_EQ(views, gpu_allocator_.refcount(block))
+        << "block " << block << " refcount disagrees with its view count";
+  }
+  // The CPU tier is never shared: views, live references, and physical
+  // blocks all coincide.
   PENSIEVE_CHECK_EQ(cpu_in_use, cpu_allocator_.num_allocated());
+  PENSIEVE_CHECK_EQ(cpu_in_use, cpu_allocator_.live_refs());
+  // Trie references are weak but must never dangle: invalidation happens
+  // when the last view releases the block.
+  for (BlockId b : trie_.ReferencedBlocks()) {
+    PENSIEVE_CHECK(gpu_allocator_.IsAllocated(b))
+        << "prefix trie references freed block " << b;
+  }
   PENSIEVE_CHECK_EQ(reclaimable, reclaimable_gpu_blocks_);
   if (flash_ != nullptr) {
     PENSIEVE_CHECK_EQ(ssd_chunks, flash_->live_blocks());

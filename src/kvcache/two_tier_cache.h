@@ -41,6 +41,7 @@
 #include "src/kvcache/context_state.h"
 #include "src/kvcache/flash/flash_tier.h"
 #include "src/kvcache/kv_pool.h"
+#include "src/kvcache/prefix_trie.h"
 
 namespace pensieve {
 
@@ -55,6 +56,11 @@ struct KvCacheConfig {
   int64_t num_ssd_blocks = 0;
   FlashAlgoKind ssd_algo = FlashAlgoKind::kLru;
   int64_t ssd_segment_blocks = 64;
+  // Cross-conversation shared-prefix dedup: refcounted GPU blocks published
+  // in a content-addressed prefix trie, attached by later conversations with
+  // matching prompts, copy-on-write on divergence. Off by default; when off
+  // every block keeps the exclusive-ownership lifecycle bit-identically.
+  bool enable_prefix_sharing = false;
   // Numeric mode: allocate real pools with this geometry.
   bool numeric = false;
   int64_t num_layers = 1;
@@ -65,8 +71,13 @@ struct KvCacheConfig {
 class TwoTierKvCache {
  public:
   explicit TwoTierKvCache(const KvCacheConfig& config);
+  // Shutdown leak audit: every allocator reference must be reachable from a
+  // chunk view. Aborts with a diagnostic on leaked blocks, which previously
+  // died silently with the pool.
+  ~TwoTierKvCache();
 
   int64_t block_size() const { return config_.block_size; }
+  bool prefix_sharing_enabled() const { return config_.enable_prefix_sharing; }
 
   BlockAllocator& gpu_allocator() { return gpu_allocator_; }
   const BlockAllocator& gpu_allocator() const { return gpu_allocator_; }
@@ -105,9 +116,41 @@ class TwoTierKvCache {
   // Appends n token slots on the GPU, allocating new blocks as needed (the
   // caller must have ensured availability; fails with RESOURCE_EXHAUSTED
   // otherwise, leaving state unchanged). If the tail chunk is partial and
-  // carries a CPU copy, the copy is invalidated (freed).
+  // carries a CPU copy, the copy is invalidated (freed). If the tail chunk
+  // is a partial view of a *shared* block, the first appended token triggers
+  // copy-on-write: the view moves to a freshly allocated private block
+  // (contents copied in numeric mode) before any slot is handed out.
   Status AppendTokenSlots(ConversationId id, int64_t n,
                           std::vector<ContextState::SlotRef>* slots);
+  // GPU blocks AppendTokenSlots would consume for an n-token append: new
+  // chunks plus a possible copy-on-write block for a shared partial tail.
+  // Identical to ContextState::NumNewChunksForAppend when sharing is off.
+  int64_t AppendBlockDemand(ConversationId id, int64_t n) const;
+
+  // --- Shared-prefix dedup -----------------------------------------------
+  // All no-ops / failures unless config.enable_prefix_sharing.
+  //
+  // Longest published run matching the content-hash chain; appends the
+  // backing GPU blocks to *blocks. Returns matched block count.
+  int64_t LookupSharedPrefix(const std::vector<uint64_t>& chain,
+                             std::vector<BlockId>* blocks) const;
+  // Publishes a conversation's full, GPU-resident prefix blocks under the
+  // chain (weak references; first publisher wins). Returns new trie nodes.
+  int64_t PublishSharedPrefix(const std::vector<uint64_t>& chain,
+                              const std::vector<BlockId>& blocks);
+  // Attaches `tokens` tokens of shared prefix to a *fresh* conversation as
+  // views over `blocks` (refcounts bumped, no prefill needed). The final
+  // view may be partial; a later append into it goes through copy-on-write.
+  // Returns the tokens attached.
+  int64_t AttachSharedPrefix(ConversationId id, const std::vector<BlockId>& blocks,
+                             int64_t tokens);
+  // Re-attaches a *dropped* full chunk to a still-published shared block,
+  // replacing the RestoreDropped + recompute path with a refcount bump.
+  Status ReattachDroppedShared(ConversationId id, int64_t chunk_index, BlockId block);
+  // True when more than one view holds the block (detaching one reader
+  // frees no physical memory, and a later restore is a re-attach).
+  bool SharedGpuBlock(BlockId block) const;
+  const PrefixTrie& prefix_trie() const { return trie_; }
 
   // --- Swap / drop mechanisms --------------------------------------------
   // kGpu -> kGpuAndCpu. Copies data in numeric mode.
@@ -202,12 +245,22 @@ class TwoTierKvCache {
     int64_t promoted_from_flash_chunks = 0;
     int64_t flash_evicted_chunks = 0;
     int64_t flash_evicted_tokens = 0;
+    // Shared-prefix dedup traffic.
+    int64_t shared_attached_chunks = 0;
+    int64_t shared_attached_tokens = 0;
+    int64_t cow_copies = 0;
+    int64_t peak_shared_blocks = 0;
   };
   const Counters& counters() const { return counters_; }
 
   // Internal-consistency audit used by tests: verifies allocator/refcount
   // agreement and the drop-prefix invariant. Aborts on violation.
   void CheckInvariants() const;
+
+  // Leak audit (also run by the destructor): every live allocator reference
+  // in both tiers is held by exactly one chunk view. Unlike CheckInvariants
+  // this is legal mid-operation and with conversations still resident.
+  void VerifyNoLeaks() const;
 
  private:
   ContextState& MustFind(ConversationId id);
@@ -223,6 +276,10 @@ class TwoTierKvCache {
   // Drops the chunks behind flash-algo evictions, each as a prefix drop of
   // its conversation (intermediate flash chunks go down with their victim).
   void DropFlashVictims(const std::vector<uint64_t>& evicted);
+  // Drops one reference to a GPU block; when the last reference goes, the
+  // block returns to the free list and any trie entry anchored on it (plus
+  // descendants) is invalidated — trie references are weak.
+  void ReleaseGpuBlock(BlockId block);
 
   KvCacheConfig config_;
   BlockAllocator gpu_allocator_;
@@ -231,6 +288,7 @@ class TwoTierKvCache {
   std::unique_ptr<KvPool> cpu_pool_;
   std::unique_ptr<FlashTier> flash_;
   std::unordered_map<ConversationId, ContextState> conversations_;
+  PrefixTrie trie_;
   int64_t reclaimable_gpu_blocks_ = 0;
   Counters counters_;
 };

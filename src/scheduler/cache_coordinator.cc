@@ -41,6 +41,8 @@ double CacheCoordinator::Score(ConversationId id, const ContextState& state,
   candidate.chunk_index = chunk_index;
   candidate.context_len = state.ChunkContextLen(chunk_index);
   candidate.last_active = state.last_active();
+  const Chunk& chunk = state.chunk(chunk_index);
+  candidate.shared = chunk.OnGpu() && cache_->SharedGpuBlock(chunk.gpu_block);
   return policy_->Score(candidate, now);
 }
 

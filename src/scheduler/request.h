@@ -25,6 +25,12 @@ struct Request {
   // the model emitting EOS).
   int64_t target_output_len = 0;
   double arrival_time = 0.0;
+  // Shared-prefix template metadata: the conversation's first
+  // `template_prefix_len` raw tokens are the deterministic token stream of
+  // template `template_id` (TemplatePrefixToken), identical across every
+  // conversation carrying the same id. -1 = no template.
+  int32_t template_id = -1;
+  int64_t template_prefix_len = 0;
 };
 
 // Completion record for one request, with the reuse accounting that the
@@ -43,6 +49,11 @@ struct RequestOutcome {
   // History tokens promoted from the flash (SSD) tier, then restored. Counted
   // separately from reused_cpu_tokens: these paid the extra flash read.
   int64_t reused_ssd_tokens = 0;
+  // Tokens attached as views over blocks another conversation prefilled
+  // (shared-prefix dedup). A subset of reused_gpu_tokens — the shared run is
+  // GPU-resident at admission — broken out because no conversation-local
+  // cache could have served them.
+  int64_t reused_shared_tokens = 0;
   // History tokens recomputed because their KV had been dropped (or the
   // system is stateless).
   int64_t recomputed_tokens = 0;

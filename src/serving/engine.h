@@ -77,6 +77,24 @@ struct EngineStats {
   // than pull through the SSD + PCIe path.
   int64_t ssd_failed_demotes = 0;
   int64_t ssd_planned_recompute_tokens = 0;
+  // --- Shared-prefix dedup accounting. All zero when sharing is off. ---
+  // Admissions that attached at least one shared block, and the tokens they
+  // were spared from prefilling (subset of reused_gpu_tokens).
+  int64_t dedup_hit_requests = 0;
+  int64_t reused_shared_tokens = 0;
+  // Chunk views attached over shared blocks (initial attach + dropped-chunk
+  // re-attach) and copy-on-write block copies on divergence.
+  int64_t shared_attached_chunks = 0;
+  int64_t cow_copies = 0;
+  // High-water mark of physical GPU blocks held by more than one view.
+  int64_t peak_shared_blocks = 0;
+  // Allocator reference-balance snapshot (acquires == releases + live at all
+  // times; live == 0 at leak-free shutdown) and the GPU-capacity high-water
+  // mark, for capacity-per-GB analysis.
+  int64_t kv_block_acquires = 0;
+  int64_t kv_block_releases = 0;
+  int64_t kv_blocks_live = 0;
+  int64_t gpu_peak_allocated_blocks = 0;
 
   // Field-wise accumulation, used wherever stats from several engines (or
   // several engine incarnations of one replica, across crashes) are summed.
@@ -116,6 +134,15 @@ struct EngineStats {
     ssd_gc_runs += other.ssd_gc_runs;
     ssd_failed_demotes += other.ssd_failed_demotes;
     ssd_planned_recompute_tokens += other.ssd_planned_recompute_tokens;
+    dedup_hit_requests += other.dedup_hit_requests;
+    reused_shared_tokens += other.reused_shared_tokens;
+    shared_attached_chunks += other.shared_attached_chunks;
+    cow_copies += other.cow_copies;
+    peak_shared_blocks += other.peak_shared_blocks;
+    kv_block_acquires += other.kv_block_acquires;
+    kv_block_releases += other.kv_block_releases;
+    kv_blocks_live += other.kv_blocks_live;
+    gpu_peak_allocated_blocks += other.gpu_peak_allocated_blocks;
     return *this;
   }
 

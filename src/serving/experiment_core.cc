@@ -49,6 +49,8 @@ Request ArrivalProcess::BuildRequest(const SimEvent& arrival) {
   req.history_len = conv.spec.HistoryLenBeforeTurn(arrival.turn);
   req.target_output_len = turn.output_len;
   req.arrival_time = arrival.time;
+  req.template_id = conv.spec.template_id;
+  req.template_prefix_len = conv.spec.template_prefix_len;
   return req;
 }
 

@@ -1,7 +1,9 @@
 #include "src/serving/pensieve_engine.h"
 
 #include <algorithm>
+#include <vector>
 
+#include "src/common/hash.h"
 #include "src/common/logging.h"
 
 namespace pensieve {
@@ -18,7 +20,29 @@ KvCacheConfig MakeCacheConfig(const PensieveEngineOptions& options) {
   config.ssd_algo = options.ssd_algo;
   config.ssd_segment_blocks = options.ssd_segment_blocks;
   config.numeric = false;
+  config.enable_prefix_sharing = options.enable_prefix_sharing;
   return config;
+}
+
+// Cumulative FNV-1a chain over a template's raw token stream, one hash per
+// full block. A pure function of (template id, block count): the publisher
+// and every later reader derive identical trie keys without materializing
+// each other's blocks — content identity by construction, since the template
+// token stream itself is the deterministic function TemplatePrefixMix.
+std::vector<uint64_t> TemplateHashChain(int32_t template_id, int64_t num_blocks,
+                                        int64_t block_size) {
+  std::vector<uint64_t> chain;
+  chain.reserve(static_cast<size_t>(num_blocks));
+  uint64_t h = kFnv1a64OffsetBasis;
+  int64_t pos = 0;
+  for (int64_t b = 0; b < num_blocks; ++b) {
+    for (int64_t i = 0; i < block_size; ++i, ++pos) {
+      const uint64_t tok = TemplatePrefixMix(template_id, pos);
+      h = Fnv1a64(&tok, sizeof(tok), h);
+    }
+    chain.push_back(h);
+  }
+  return chain;
 }
 
 CacheCoordinator::Options MakeCoordinatorOptions(const PensieveEngineOptions& options) {
@@ -170,6 +194,150 @@ void PensieveEngine::SyncFlashStats() {
   stats_.ssd_gc_runs = log_stats.gc_runs;
 }
 
+PensieveEngine::TemplateAttachOutcome PensieveEngine::AttachTemplatePrefix(
+    Running* r, ContextState* conv, bool first_admission) {
+  TemplateAttachOutcome attach;
+  if (!options_.enable_prefix_sharing || r->request.template_id < 0) {
+    return attach;
+  }
+  const int64_t bs = options_.block_size;
+  const int64_t template_blocks = r->request.template_prefix_len / bs;
+  if (template_blocks == 0) {
+    return attach;  // a sub-block template can never publish, so never matches
+  }
+  std::vector<BlockId> blocks;
+  const int64_t matched = cache_.LookupSharedPrefix(
+      TemplateHashChain(r->request.template_id, template_blocks, bs), &blocks);
+  if (matched <= 0) {
+    return attach;
+  }
+  const int64_t conv_id = r->request.conversation_id;
+  if (first_admission && conv->kv_len() == 0) {
+    // Fresh conversation: attach the matched run as refcounted views, capped
+    // one short of the pending input so the step keeps a query token to
+    // extend the context with. The cap (or the template length) can land
+    // mid-block; the partial tail view diverges via copy-on-write on the
+    // first append into it.
+    const int64_t span =
+        std::min(std::min(matched * bs, r->request.template_prefix_len),
+                 r->pending_new_tokens - 1);
+    if (span <= 0) {
+      return attach;
+    }
+    blocks.resize(static_cast<size_t>((span + bs - 1) / bs));
+    const int64_t tail_raw = r->request.history_len;  // kv_len() == 0
+    attach.fresh_tokens = cache_.AttachSharedPrefix(conv_id, blocks, span);
+    r->pending_new_tokens -= attach.fresh_tokens;
+    r->reused_shared += attach.fresh_tokens;
+    r->shared_prompt_skipped = std::max<int64_t>(0, attach.fresh_tokens - tail_raw);
+    ++stats_.dedup_hit_requests;
+    stats_.reused_shared_tokens += attach.fresh_tokens;
+    attach.counted_hit = true;
+    return attach;
+  }
+  // Re-admission (or a later turn): a dropped leading run still matching
+  // published template blocks is re-attached as views instead of being
+  // restored and recomputed. All or nothing: rescuing only part of the
+  // dropped prefix would leave dropped chunks *behind* GPU-resident ones,
+  // breaking the drop-prefix invariant the restore paths rely on.
+  const int64_t dropped_prefix = conv->LeadingDroppedChunks();
+  if (dropped_prefix == 0 || dropped_prefix > matched) {
+    return attach;
+  }
+  for (int64_t i = 0; i < dropped_prefix; ++i) {
+    if (conv->chunk(i).num_tokens != bs) {
+      return attach;  // a partial dropped chunk stays private
+    }
+  }
+  for (int64_t i = 0; i < dropped_prefix; ++i) {
+    if (!cache_.ReattachDroppedShared(conv_id, i, blocks[static_cast<size_t>(i)])
+             .ok()) {
+      // Re-drop the rescued run (front to back) so the invariant holds, and
+      // fall back to the ordinary restore + recompute path.
+      for (int64_t j = 0; j < i; ++j) {
+        PENSIEVE_CHECK_OK(cache_.DropChunk(conv_id, j));
+      }
+      return attach;
+    }
+    ++attach.reattached_chunks;
+    attach.reattached_tokens += conv->chunk(i).num_tokens;
+  }
+  if (attach.reattached_tokens > 0 && first_admission) {
+    r->reused_shared += attach.reattached_tokens;
+    stats_.reused_shared_tokens += attach.reattached_tokens;
+    ++stats_.dedup_hit_requests;
+    attach.counted_hit = true;
+  }
+  return attach;
+}
+
+void PensieveEngine::UndoTemplateAttach(Running* r,
+                                        const TemplateAttachOutcome& attach) {
+  const int64_t conv_id = r->request.conversation_id;
+  if (attach.fresh_tokens > 0) {
+    // The conversation was fresh before the attach, so releasing its state
+    // restores exactly the pre-attach world (views DecRef'd, blocks freed
+    // when the last holder drops).
+    cache_.Release(conv_id);
+    r->pending_new_tokens += attach.fresh_tokens;
+    r->shared_prompt_skipped = 0;
+  }
+  for (int64_t j = 0; j < attach.reattached_chunks; ++j) {
+    PENSIEVE_CHECK_OK(cache_.DropChunk(conv_id, j));
+  }
+  if (attach.counted_hit) {
+    const int64_t tokens = attach.fresh_tokens + attach.reattached_tokens;
+    r->reused_shared -= tokens;
+    stats_.reused_shared_tokens -= tokens;
+    --stats_.dedup_hit_requests;
+  }
+}
+
+void PensieveEngine::PublishTemplatePrefix(const Running& r) {
+  if (!options_.enable_prefix_sharing || r.request.template_id < 0) {
+    return;
+  }
+  const int64_t bs = options_.block_size;
+  const int64_t template_blocks = r.request.template_prefix_len / bs;
+  if (template_blocks == 0) {
+    return;
+  }
+  const ContextState* conv = cache_.Find(r.request.conversation_id);
+  if (conv == nullptr) {
+    return;
+  }
+  // Leading run of full, GPU-resident chunks within the template span. A
+  // chunk evicted between prefill and this publish simply shortens the run.
+  std::vector<BlockId> blocks;
+  const int64_t limit = std::min(template_blocks, conv->num_chunks());
+  for (int64_t i = 0; i < limit; ++i) {
+    const Chunk& c = conv->chunk(i);
+    if (!c.OnGpu() || c.num_tokens < bs) {
+      break;
+    }
+    blocks.push_back(c.gpu_block);
+  }
+  if (blocks.empty()) {
+    return;
+  }
+  cache_.PublishSharedPrefix(
+      TemplateHashChain(r.request.template_id,
+                        static_cast<int64_t>(blocks.size()), bs),
+      blocks);
+}
+
+void PensieveEngine::SyncShareStats() {
+  const TwoTierKvCache::Counters& counters = cache_.counters();
+  stats_.shared_attached_chunks = counters.shared_attached_chunks;
+  stats_.cow_copies = counters.cow_copies;
+  stats_.peak_shared_blocks = counters.peak_shared_blocks;
+  const BlockAllocator& gpu = cache_.gpu_allocator();
+  stats_.kv_block_acquires = gpu.total_acquires();
+  stats_.kv_block_releases = gpu.total_releases();
+  stats_.kv_blocks_live = gpu.live_refs();
+  stats_.gpu_peak_allocated_blocks = gpu.peak_allocated();
+}
+
 void PensieveEngine::ChargeForcedSwapOut(const CacheCoordinator::FreeOutcome& freed,
                                          double now) {
   if (freed.forced_swap_out_tokens == 0) {
@@ -272,7 +440,13 @@ bool PensieveEngine::TryAdmit(Running* r, double now, int64_t batch_input_tokens
     // persistent store and recomputed as new input atop whatever prefix is
     // still cached here.
     const int64_t tail_raw = r->request.history_len - conv.kv_len();
-    PENSIEVE_CHECK_GE(tail_raw, 0)
+    // Negative is legal in exactly one case: a shared-prefix attach from an
+    // earlier failed admission attempt of this same request already covers
+    // part of this turn's prompt, so kv_len exceeds the raw history by that
+    // in-prompt span (always leaving at least one pending query token).
+    PENSIEVE_CHECK(tail_raw >= 0 ||
+                   (r->request.template_id >= 0 &&
+                    -tail_raw < r->request.new_prompt_len))
         << "conversation " << conv_id << " turn " << r->request.turn_index;
     r->pending_new_tokens = tail_raw + r->request.new_prompt_len;
   }
@@ -288,6 +462,13 @@ bool PensieveEngine::TryAdmit(Running* r, double now, int64_t batch_input_tokens
   // beats their restore path (no-op unless the flash tier is enabled).
   PlanSsdRecompute(conv_id);
 
+  // Shared-prefix dedup: attach (or re-attach) published template blocks
+  // before the admission plan is computed, so the shared run counts as
+  // GPU-resident reuse instead of restore or recompute work. Runs after the
+  // degrade passes above: a prefix they dropped may be rescued from the trie.
+  const TemplateAttachOutcome attach =
+      AttachTemplatePrefix(r, &conv, first_admission);
+
   const int64_t dropped_chunks = conv.LeadingDroppedChunks();
   const int64_t dropped_tokens = conv.LeadingDroppedTokens();
   const std::vector<int64_t> ssd_chunks = conv.SsdChunks();
@@ -295,9 +476,10 @@ bool PensieveEngine::TryAdmit(Running* r, double now, int64_t batch_input_tokens
   const int64_t input_tokens = dropped_tokens + r->pending_new_tokens;
   if (batch_input_tokens > 0 &&
       batch_input_tokens + input_tokens > options_.max_batch_tokens) {
+    UndoTemplateAttach(r, attach);
     return false;
   }
-  const int64_t append_chunks = conv.NumNewChunksForAppend(r->pending_new_tokens);
+  const int64_t append_chunks = cache_.AppendBlockDemand(conv_id, r->pending_new_tokens);
   const int64_t blocks_needed = dropped_chunks +
                                 static_cast<int64_t>(ssd_chunks.size()) +
                                 static_cast<int64_t>(staged_cpu_chunks.size()) +
@@ -308,6 +490,7 @@ bool PensieveEngine::TryAdmit(Running* r, double now, int64_t batch_input_tokens
   const double reserve_blocks = options_.decode_reserve * static_cast<double>(capacity);
   if (!running_.empty() &&
       static_cast<double>(cache_.AvailableGpuBlocks() - blocks_needed) < reserve_blocks) {
+    UndoTemplateAttach(r, attach);
     return false;
   }
 
@@ -318,6 +501,7 @@ bool PensieveEngine::TryAdmit(Running* r, double now, int64_t batch_input_tokens
   ChargeFlashSpill(now);
   if (!freed.ok) {
     conv.Unpin();
+    UndoTemplateAttach(r, attach);
     return false;
   }
 
@@ -591,6 +775,7 @@ StepResult PensieveEngine::Step(double now) {
   if (running_.empty()) {
     result.idle = true;
     SyncFlashStats();
+    SyncShareStats();
     return result;
   }
 
@@ -609,8 +794,7 @@ StepResult PensieveEngine::Step(double now) {
     while (i < running_.size()) {
       Running& r = running_[i];
       const int64_t conv_id = r.request.conversation_id;
-      ContextState* conv = cache_.Find(conv_id);
-      const int64_t need = conv->NumNewChunksForAppend(r.pending_new_tokens);
+      const int64_t need = cache_.AppendBlockDemand(conv_id, r.pending_new_tokens);
       bool ok = need <= cache_.gpu_allocator().num_free();
       if (!ok) {
         const CacheCoordinator::FreeOutcome freed =
@@ -641,6 +825,7 @@ StepResult PensieveEngine::Step(double now) {
     if (running_.empty()) {
       result.idle = true;
       SyncFlashStats();
+      SyncShareStats();
       return result;
     }
     if (compute_begin < running_.size()) {
@@ -693,6 +878,9 @@ StepResult PensieveEngine::Step(double now) {
     if (!r.prefilled) {
       stats_.prefill_tokens += r.pending_recompute + r.pending_new_tokens;
       r.prefilled = true;
+      // The template prefix (if any) now holds valid KV: publish it so later
+      // conversations with the same template attach instead of prefilling.
+      PublishTemplatePrefix(r);
     } else {
       stats_.prefill_tokens += r.pending_recompute;
     }
@@ -731,10 +919,12 @@ StepResult PensieveEngine::Step(double now) {
       outcome.request = r.request;
       outcome.first_scheduled_time = r.first_scheduled_time;
       outcome.finish_time = finish_time;
-      outcome.prefill_input_tokens = r.recomputed + r.request.new_prompt_len;
+      outcome.prefill_input_tokens =
+          r.recomputed + r.request.new_prompt_len - r.shared_prompt_skipped;
       outcome.reused_gpu_tokens = r.reused_gpu;
       outcome.reused_cpu_tokens = r.reused_cpu;
       outcome.reused_ssd_tokens = r.reused_ssd;
+      outcome.reused_shared_tokens = r.reused_shared;
       outcome.recomputed_tokens = r.recomputed;
       outcome.generated_tokens = r.generated;
       outcome.suspensions = r.suspensions;
@@ -745,6 +935,7 @@ StepResult PensieveEngine::Step(double now) {
   }
   running_ = std::move(keep);
   SyncFlashStats();
+  SyncShareStats();
   return result;
 }
 
@@ -811,6 +1002,7 @@ DrainedWork PensieveEngine::DrainUnfinished() {
   inflight_.clear();
   pending_forced_stall_ = 0.0;
   SyncFlashStats();
+  SyncShareStats();
   return drained;
 }
 

@@ -50,6 +50,13 @@ struct PensieveEngineOptions {
   bool pipelined_restore = true;   // false => blocking swap-in ablation
   bool prioritize_swap_in = true;  // false => duplex PCIe ablation (§5)
   double dense_speedup = 1.0;
+  // Cross-conversation shared-prefix dedup: conversations opening with the
+  // same template prefix (Request::template_id) attach refcounted views over
+  // the blocks the first such conversation prefilled, skipping that prefill
+  // entirely. Safe to leave on: a workload without template metadata never
+  // touches the trie, keeping the engine bit-identical to the dedup-free
+  // build.
+  bool enable_prefix_sharing = true;
   EvictionPolicyKind policy = EvictionPolicyKind::kRetentionValue;
   // KV-transfer fault injection on the PCIe link (off by default: all rates
   // zero, which takes the injector's draw-free fast path).
@@ -121,6 +128,13 @@ class PensieveEngine final : public Engine {
     int64_t reused_gpu = 0;
     int64_t reused_cpu = 0;
     int64_t reused_ssd = 0;
+    // Subset of reused_gpu attached as shared-prefix views over blocks
+    // another conversation prefilled.
+    int64_t reused_shared = 0;
+    // Of reused_shared, tokens that displaced this turn's own prompt
+    // prefill (rather than cached-history recompute); subtracted from the
+    // outcome's prefill-input accounting.
+    int64_t shared_prompt_skipped = 0;
     int64_t recomputed = 0;
   };
 
@@ -176,6 +190,39 @@ class PensieveEngine final : public Engine {
   // Mirrors the cache's monotone flash counters into stats_ (assignment, not
   // accumulation — same idiom as the link-fault stats snapshots).
   void SyncFlashStats();
+
+  // --- Shared-prefix dedup -------------------------------------------------
+  // What AttachTemplatePrefix changed, so a failed admission can undo it: a
+  // request waiting in the queue must not hold shared views, since its
+  // conversation is inflight (unevictable) and pinned views could starve
+  // every other admission.
+  struct TemplateAttachOutcome {
+    int64_t fresh_tokens = 0;       // fresh-attach tokens taken off pending
+    int64_t reattached_chunks = 0;  // dropped chunks rescued as views
+    int64_t reattached_tokens = 0;
+    bool counted_hit = false;       // reuse bookkeeping was applied
+  };
+
+  // Consults the prefix trie for the request's template and attaches (or, on
+  // re-admission, re-attaches dropped leading chunks as) views over the
+  // shared block run. On a fresh conversation the attached span comes off
+  // r->pending_new_tokens — the tokens admit GPU-resident with zero prefill.
+  TemplateAttachOutcome AttachTemplatePrefix(Running* r, ContextState* conv,
+                                             bool first_admission);
+
+  // Reverses a TemplateAttachOutcome (views released, pending and reuse
+  // bookkeeping restored). Called on every failed-admission path after the
+  // attach; a no-op for an empty outcome.
+  void UndoTemplateAttach(Running* r, const TemplateAttachOutcome& attach);
+
+  // After a template conversation's prefill completes, publishes its leading
+  // full GPU-resident chunks (within the template span) into the trie so
+  // later conversations can attach them. Idempotent.
+  void PublishTemplatePrefix(const Running& r);
+
+  // Mirrors the cache's sharing counters and the GPU allocator's refcount
+  // ledger into stats_ (assignment idiom, like SyncFlashStats).
+  void SyncShareStats();
 
   // Degradation ladder entry: discards corrupt CPU copies that still have a
   // GPU twin, and drops the prefix through the deepest CPU-only chunk whose

@@ -105,6 +105,35 @@ std::string FormatSsdTierSummary(const EngineStats& stats) {
   return out;
 }
 
+std::string FormatPrefixSharingSummary(const EngineStats& stats) {
+  if (stats.dedup_hit_requests == 0 && stats.shared_attached_chunks == 0 &&
+      stats.cow_copies == 0) {
+    return "";
+  }
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "dedup-hits:        %lld requests attached %lld shared tokens "
+                "(%lld chunk views)\n",
+                static_cast<long long>(stats.dedup_hit_requests),
+                static_cast<long long>(stats.reused_shared_tokens),
+                static_cast<long long>(stats.shared_attached_chunks));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "shared-blocks:     %lld peak shared, %lld peak allocated of a "
+                "ledger of %lld acquires / %lld releases (%lld live)\n",
+                static_cast<long long>(stats.peak_shared_blocks),
+                static_cast<long long>(stats.gpu_peak_allocated_blocks),
+                static_cast<long long>(stats.kv_block_acquires),
+                static_cast<long long>(stats.kv_block_releases),
+                static_cast<long long>(stats.kv_blocks_live));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "cow-copies:        %lld divergence copies\n",
+                static_cast<long long>(stats.cow_copies));
+  out += buf;
+  return out;
+}
+
 Status WriteStepTraceCsv(const std::string& path,
                          const std::vector<StepTraceEntry>& trace) {
   std::ofstream out(path, std::ios::trunc);
@@ -131,7 +160,7 @@ Status WriteOutcomesCsv(const std::string& path,
   }
   out << "request_id,conversation_id,turn,arrival_s,first_scheduled_s,finish_s,"
          "prompt_tokens,history_tokens,output_tokens,normalized_latency_s,"
-         "reused_gpu,reused_cpu,reused_ssd,recomputed,suspensions\n";
+         "reused_gpu,reused_cpu,reused_ssd,reused_shared,recomputed,suspensions\n";
   for (const RequestOutcome& o : outcomes) {
     out << o.request.request_id << ',' << o.request.conversation_id << ','
         << o.request.turn_index << ',' << o.request.arrival_time << ','
@@ -139,8 +168,8 @@ Status WriteOutcomesCsv(const std::string& path,
         << o.request.new_prompt_len << ',' << o.request.history_len << ','
         << o.request.target_output_len << ',' << o.NormalizedLatency() << ','
         << o.reused_gpu_tokens << ',' << o.reused_cpu_tokens << ','
-        << o.reused_ssd_tokens << ',' << o.recomputed_tokens << ','
-        << o.suspensions << '\n';
+        << o.reused_ssd_tokens << ',' << o.reused_shared_tokens << ','
+        << o.recomputed_tokens << ',' << o.suspensions << '\n';
   }
   out.flush();
   if (!out.good()) {

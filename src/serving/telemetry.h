@@ -52,6 +52,11 @@ std::string FormatKvFaultSummary(const EngineStats& stats);
 // what they always did.
 std::string FormatSsdTierSummary(const EngineStats& stats);
 
+// Human-readable shared-prefix dedup report (`dedup-hits:`,
+// `shared-blocks:`, `cow-copies:` lines). Empty when no sharing happened, so
+// dedup-off runs and template-free traces print exactly what they always did.
+std::string FormatPrefixSharingSummary(const EngineStats& stats);
+
 // CSV writers. Paths are created/truncated; returns an error on I/O failure.
 Status WriteStepTraceCsv(const std::string& path,
                          const std::vector<StepTraceEntry>& trace);

@@ -52,6 +52,19 @@ void WorkloadTrace::BuildTimeline(std::vector<ConversationSpec> specs, Rng* rng)
     conv.spec = std::move(specs[i]);
     // The driver uses conversation ids as dense indices into the trace.
     conv.spec.conversation_id = static_cast<int64_t>(i);
+    // Template assignment is a pure function of the dense id — no RNG draws,
+    // so the sampled bodies/arrivals/think-times are identical with and
+    // without templates. Conversations the prepended prefix would push past
+    // the context cap stay template-free.
+    if (options_.num_prefix_templates > 0 && options_.prefix_len > 0 &&
+        !conv.spec.turns.empty() &&
+        conv.spec.TotalTokens() + options_.prefix_len <= profile_.max_context) {
+      conv.spec.template_id =
+          static_cast<int32_t>(conv.spec.conversation_id %
+                               options_.num_prefix_templates);
+      conv.spec.template_prefix_len = options_.prefix_len;
+      conv.spec.turns.front().input_len += options_.prefix_len;
+    }
     // Poisson process: exponential inter-arrival gaps.
     arrival += rng->Exponential(1.0 / options_.conversation_rate);
     conv.first_arrival = arrival;

@@ -34,6 +34,15 @@ struct TraceOptions {
   // Mean user think time, seconds (60 in most paper experiments).
   double mean_think_time = 60.0;
   uint64_t seed = 42;
+  // Shared-prefix templates: with both knobs positive, conversation i opens
+  // with `prefix_len` tokens of template (i % num_prefix_templates) prepended
+  // to its first prompt — the "N system prompts shared across M
+  // conversations" pattern that shared-prefix dedup exploits. Assignment is
+  // deterministic and draws nothing from the RNG, so enabling templates
+  // never perturbs the sampled conversation bodies, arrivals, or think
+  // times. Zero (the default) leaves the trace untouched.
+  int64_t num_prefix_templates = 0;
+  int64_t prefix_len = 0;
 };
 
 class WorkloadTrace {

@@ -60,6 +60,53 @@ TEST(BlockAllocatorDeathTest, DoubleFreeAborts) {
   EXPECT_DEATH(alloc.Free(b), "double free");
 }
 
+TEST(BlockAllocatorTest, ShareAddsReferencesAndFreeDropsThem) {
+  BlockAllocator alloc(2);
+  BlockId b = *alloc.Allocate();
+  EXPECT_EQ(alloc.refcount(b), 1);
+  alloc.Share(b);
+  alloc.Share(b);
+  EXPECT_EQ(alloc.refcount(b), 3);
+  EXPECT_EQ(alloc.num_shared(), 1);
+  // Intermediate frees return nothing to the free list.
+  EXPECT_FALSE(alloc.Free(b));
+  EXPECT_FALSE(alloc.Free(b));
+  EXPECT_TRUE(alloc.IsAllocated(b));
+  EXPECT_EQ(alloc.num_shared(), 0);
+  // The last reference actually frees the block.
+  EXPECT_TRUE(alloc.Free(b));
+  EXPECT_FALSE(alloc.IsAllocated(b));
+  EXPECT_EQ(alloc.num_free(), 2);
+  // Ledger: 3 acquires (1 allocate + 2 shares) balanced by 3 releases.
+  EXPECT_EQ(alloc.total_acquires(), 3);
+  EXPECT_EQ(alloc.total_releases(), 3);
+  EXPECT_EQ(alloc.live_refs(), 0);
+  alloc.CheckAllFree();
+}
+
+TEST(BlockAllocatorTest, PeakAllocatedIsAHighWaterMark) {
+  BlockAllocator alloc(4);
+  BlockId a = *alloc.Allocate();
+  BlockId b = *alloc.Allocate();
+  alloc.Free(a);
+  alloc.Free(b);
+  *alloc.Allocate();
+  EXPECT_EQ(alloc.peak_allocated(), 2);
+}
+
+TEST(BlockAllocatorDeathTest, CheckAllFreeDiesOnOutstandingBlock) {
+  BlockAllocator alloc(2);
+  *alloc.Allocate();
+  EXPECT_DEATH(alloc.CheckAllFree(), "block leak");
+}
+
+TEST(BlockAllocatorDeathTest, ShareOfFreeBlockAborts) {
+  BlockAllocator alloc(2);
+  BlockId b = *alloc.Allocate();
+  alloc.Free(b);
+  EXPECT_DEATH(alloc.Share(b), "share of unallocated");
+}
+
 // --- KvPool -------------------------------------------------------------------
 
 TEST(KvPoolTest, WriteAndReadBack) {
@@ -334,6 +381,33 @@ TEST(TwoTierCacheTest, CountersTrackOperations) {
   EXPECT_EQ(counters.swapped_in_chunks, 1);
   EXPECT_EQ(counters.dropped_chunks, 1);
   EXPECT_EQ(counters.restored_chunks, 1);
+}
+
+TEST(TwoTierCacheTest, ShutdownLeakAuditBalancedAfterSharedLifecycle) {
+  KvCacheConfig config = SmallConfig();
+  config.enable_prefix_sharing = true;
+  TwoTierKvCache cache(config);
+  // Exercise allocate, share, copy-on-write and release, then prove the
+  // ledger balances: no outstanding blocks, acquires == releases, and the
+  // destructor's VerifyNoLeaks audit passes.
+  ASSERT_TRUE(cache.AppendTokenSlots(1, 8, nullptr).ok());
+  std::vector<BlockId> published = cache.GpuBlockTable(1);
+  cache.PublishSharedPrefix({11, 22}, published);
+  cache.AttachSharedPrefix(2, published, 7);  // partial tail view
+  ASSERT_TRUE(cache.AppendTokenSlots(2, 2, nullptr).ok());  // forces CoW
+  ASSERT_TRUE(cache.SwapOut(1, 0).ok());
+  cache.VerifyNoLeaks();
+  cache.Release(1);
+  cache.Release(2);
+  EXPECT_EQ(cache.gpu_allocator().num_allocated(), 0);
+  EXPECT_EQ(cache.cpu_allocator().num_allocated(), 0);
+  EXPECT_EQ(cache.gpu_allocator().live_refs(), 0);
+  EXPECT_EQ(cache.gpu_allocator().total_acquires(),
+            cache.gpu_allocator().total_releases());
+  cache.gpu_allocator().CheckAllFree();
+  cache.cpu_allocator().CheckAllFree();
+  cache.VerifyNoLeaks();
+  cache.CheckInvariants();
 }
 
 TEST(TwoTierCacheTest, MultipleConversationsIsolated) {

@@ -112,7 +112,69 @@ TEST(TelemetryTest, OutcomesCsvContainsReuseColumns) {
   ASSERT_TRUE(WriteOutcomesCsv(path, outcomes).ok());
   const std::string contents = ReadAll(path);
   EXPECT_EQ(CountLines(contents), outcomes.size() + 1);
-  EXPECT_NE(contents.find("reused_gpu,reused_cpu,reused_ssd,recomputed"), std::string::npos);
+  EXPECT_NE(contents.find("reused_gpu,reused_cpu,reused_ssd,reused_shared,recomputed"),
+            std::string::npos);
+}
+
+TEST(TelemetryTest, PrefixSharingSummaryEmptyWithoutTraffic) {
+  EngineStats stats;
+  EXPECT_EQ(FormatPrefixSharingSummary(stats), "");
+}
+
+TEST(TelemetryTest, PrefixSharingSummaryFormatsAllLines) {
+  EngineStats stats;
+  stats.dedup_hit_requests = 7;
+  stats.reused_shared_tokens = 448;
+  stats.shared_attached_chunks = 14;
+  stats.cow_copies = 3;
+  stats.peak_shared_blocks = 6;
+  stats.gpu_peak_allocated_blocks = 40;
+  stats.kv_block_acquires = 100;
+  stats.kv_block_releases = 90;
+  stats.kv_blocks_live = 10;
+  const std::string out = FormatPrefixSharingSummary(stats);
+  EXPECT_NE(out.find("dedup-hits:"), std::string::npos);
+  EXPECT_NE(out.find("7 requests attached 448 shared tokens (14 chunk views)"),
+            std::string::npos);
+  EXPECT_NE(out.find("shared-blocks:"), std::string::npos);
+  EXPECT_NE(out.find("6 peak shared, 40 peak allocated"), std::string::npos);
+  EXPECT_NE(out.find("100 acquires / 90 releases (10 live)"), std::string::npos);
+  EXPECT_NE(out.find("cow-copies:        3 divergence copies"), std::string::npos);
+  EXPECT_EQ(CountLines(out), 3u);
+}
+
+TEST(TelemetryTest, TemplateRunPopulatesReusedSharedColumn) {
+  GpuCostModel model(Opt13BConfig(), A100Spec(1));
+  TraceOptions trace_options;
+  trace_options.num_conversations = 30;
+  trace_options.conversation_rate = 0.5;
+  trace_options.mean_think_time = 10.0;
+  trace_options.seed = 4;
+  trace_options.num_prefix_templates = 3;
+  trace_options.prefix_len = 96;
+  WorkloadTrace trace(ShareGptProfile(), trace_options);
+  auto engine = MakeEngine(SystemKind::kPensieve, model);
+  std::vector<RequestOutcome> outcomes;
+  DriverOptions options;
+  options.outcomes = &outcomes;
+  ServingSummary summary = RunServingExperiment(engine.get(), trace, options);
+
+  EXPECT_GT(summary.engine_stats.dedup_hit_requests, 0);
+  int64_t shared_total = 0;
+  for (const RequestOutcome& o : outcomes) {
+    shared_total += o.reused_shared_tokens;
+  }
+  EXPECT_EQ(shared_total, summary.engine_stats.reused_shared_tokens);
+  EXPECT_GT(shared_total, 0);
+
+  const std::string summary_text = FormatPrefixSharingSummary(summary.engine_stats);
+  EXPECT_NE(summary_text.find("dedup-hits:"), std::string::npos);
+
+  // The per-request CSV carries the attach counts.
+  const std::string path = TempPath("outcomes_shared.csv");
+  ASSERT_TRUE(WriteOutcomesCsv(path, outcomes).ok());
+  const std::string contents = ReadAll(path);
+  EXPECT_NE(contents.find("reused_shared"), std::string::npos);
 }
 
 TEST(TelemetryTest, CsvWriteFailsOnBadPath) {

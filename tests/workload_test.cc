@@ -184,6 +184,89 @@ TEST(WorkloadTraceTest, DeterministicForSeed) {
   }
 }
 
+TEST(TemplatePrefixTokenTest, DeterministicInRangeAndTemplateSensitive) {
+  std::set<int32_t> values;
+  for (int64_t pos = 0; pos < 500; ++pos) {
+    const int32_t t = TemplatePrefixToken(3, pos, 128);
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 128);
+    EXPECT_EQ(t, TemplatePrefixToken(3, pos, 128));
+    values.insert(t);
+  }
+  EXPECT_GT(values.size(), 100u);
+  // Different templates produce different streams.
+  int differences = 0;
+  for (int64_t pos = 0; pos < 100; ++pos) {
+    if (TemplatePrefixToken(1, pos, 1 << 20) != TemplatePrefixToken(2, pos, 1 << 20)) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 95);
+}
+
+TEST(WorkloadTraceTest, PrefixTemplateKnobsAssignRoundRobin) {
+  TraceOptions base;
+  base.num_conversations = 60;
+  base.conversation_rate = 1.0;
+  base.seed = 21;
+  TraceOptions templated = base;
+  templated.num_prefix_templates = 4;
+  templated.prefix_len = 64;
+  WorkloadTrace plain(ShareGptProfile(), base);
+  WorkloadTrace with(ShareGptProfile(), templated);
+  ASSERT_EQ(plain.conversations().size(), with.conversations().size());
+  const int64_t max_context = ShareGptProfile().max_context;
+  int64_t assigned = 0;
+  for (size_t i = 0; i < with.conversations().size(); ++i) {
+    const ConversationSpec& p = plain.conversations()[i].spec;
+    const ConversationSpec& t = with.conversations()[i].spec;
+    ASSERT_EQ(t.turns.size(), p.turns.size());
+    if (t.template_id >= 0) {
+      ++assigned;
+      EXPECT_EQ(t.template_id, static_cast<int32_t>(t.conversation_id % 4));
+      EXPECT_EQ(t.template_prefix_len, 64);
+      // The prefix rides in front of the first turn's prompt; nothing else
+      // about the conversation changes.
+      EXPECT_EQ(t.turns[0].input_len, p.turns[0].input_len + 64);
+    } else {
+      // Only oversized conversations are exempt.
+      EXPECT_GT(p.TotalTokens() + 64, max_context);
+      EXPECT_EQ(t.turns[0].input_len, p.turns[0].input_len);
+    }
+    for (size_t turn = 1; turn < t.turns.size(); ++turn) {
+      EXPECT_EQ(t.turns[turn].input_len, p.turns[turn].input_len);
+      EXPECT_EQ(t.turns[turn].output_len, p.turns[turn].output_len);
+    }
+  }
+  EXPECT_GT(assigned, 50);
+}
+
+TEST(WorkloadTraceTest, PrefixTemplatesDrawNothingFromRng) {
+  // Template assignment is deterministic bookkeeping: the Poisson arrival
+  // process and think times must be bit-identical with and without it.
+  TraceOptions base;
+  base.num_conversations = 40;
+  base.conversation_rate = 2.0;
+  base.mean_think_time = 30.0;
+  base.seed = 13;
+  TraceOptions templated = base;
+  templated.num_prefix_templates = 8;
+  templated.prefix_len = 96;
+  WorkloadTrace plain(ShareGptProfile(), base);
+  WorkloadTrace with(ShareGptProfile(), templated);
+  ASSERT_EQ(plain.conversations().size(), with.conversations().size());
+  for (size_t i = 0; i < plain.conversations().size(); ++i) {
+    EXPECT_DOUBLE_EQ(plain.conversations()[i].first_arrival,
+                     with.conversations()[i].first_arrival);
+    ASSERT_EQ(plain.conversations()[i].think_times.size(),
+              with.conversations()[i].think_times.size());
+    for (size_t t = 0; t < plain.conversations()[i].think_times.size(); ++t) {
+      EXPECT_DOUBLE_EQ(plain.conversations()[i].think_times[t],
+                       with.conversations()[i].think_times[t]);
+    }
+  }
+}
+
 TEST(WorkloadTraceTest, HigherRateCompressesArrivals) {
   TraceOptions slow;
   slow.num_conversations = 1000;

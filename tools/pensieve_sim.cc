@@ -83,6 +83,18 @@ int Run(int argc, char** argv) {
                   "sieve");
   flags.AddInt("ssd-segment-blocks", 64,
                "blocks per append-only flash log segment (GC granularity)");
+  flags.AddInt("prefix-templates", 0,
+               "number of shared prompt templates; conversation i opens with "
+               "template (i mod N) prepended to its first prompt (0 = none)");
+  flags.AddInt("prefix-len", 0,
+               "tokens per shared prompt template (ignored unless "
+               "--prefix-templates > 0)");
+  flags.AddBool("prefix-share", true,
+                "cross-conversation shared-prefix dedup (Pensieve variants): "
+                "conversations opening with the same template attach "
+                "refcounted views over the first conversation's KV blocks "
+                "instead of prefilling; off = every conversation prefills its "
+                "own copy");
   flags.AddInt("seed", 42, "workload seed");
   flags.AddInt("replicas", 1,
                "number of serving replicas; > 1 runs the cluster layer");
@@ -159,6 +171,7 @@ int Run(int argc, char** argv) {
   overrides.cache_scale = flags.GetDouble("cache_scale");
   overrides.cpu_cache_scale = flags.GetDouble("cpu-scale");
   overrides.unified_scheduling = !flags.GetBool("split_scheduling");
+  overrides.enable_prefix_sharing = flags.GetBool("prefix-share");
   const std::string policy = flags.GetString("policy");
   if (policy == "retention") {
     overrides.policy = EvictionPolicyKind::kRetentionValue;
@@ -191,6 +204,8 @@ int Run(int argc, char** argv) {
   trace_options.conversation_rate = flags.GetDouble("rate");
   trace_options.mean_think_time = flags.GetDouble("think");
   trace_options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  trace_options.num_prefix_templates = flags.GetInt("prefix-templates");
+  trace_options.prefix_len = flags.GetInt("prefix-len");
   std::optional<WorkloadTrace> trace_storage;
   if (!flags.GetString("trace_csv").empty()) {
     auto loaded = LoadConversationsCsv(flags.GetString("trace_csv"));
@@ -307,6 +322,7 @@ int Run(int argc, char** argv) {
     }
     std::printf("%s", FormatKvFaultSummary(s.engine_stats).c_str());
     std::printf("%s", FormatSsdTierSummary(s.engine_stats).c_str());
+    std::printf("%s", FormatPrefixSharingSummary(s.engine_stats).c_str());
     for (size_t i = 0; i < cs.replicas.size(); ++i) {
       const ServingSummary& r = cs.replicas[i];
       std::printf("  replica %-2zu       %ld requests, %.1f s busy, hit %.3f\n",
@@ -366,6 +382,7 @@ int Run(int argc, char** argv) {
               s.engine_stats.restore_stall_seconds);
   std::printf("%s", FormatKvFaultSummary(s.engine_stats).c_str());
   std::printf("%s", FormatSsdTierSummary(s.engine_stats).c_str());
+  std::printf("%s", FormatPrefixSharingSummary(s.engine_stats).c_str());
   const StepTraceSummary st = SummarizeStepTrace(steps);
   std::printf("scheduler:         %ld steps, mean batch %.1f requests / %.1f "
               "tokens, %.1f s busy\n",
