@@ -363,11 +363,12 @@ int RunScalingMode(const ScalingOptions& opts) {
     return 1;
   }
   std::fprintf(f,
-               "{\n  \"bench\": \"kernel_scaling\",\n  \"batch\": %ld,\n"
+               "%s  \"batch\": %ld,\n"
                "  \"query\": %ld,\n  \"context\": %ld,\n  \"iters\": %ld,\n"
                "  \"results\": [\n",
-               static_cast<long>(kBatch), static_cast<long>(kQuery),
-               static_cast<long>(opts.context), static_cast<long>(opts.iters));
+               BenchJsonHeader("kernel_scaling").c_str(), static_cast<long>(kBatch),
+               static_cast<long>(kQuery), static_cast<long>(opts.context),
+               static_cast<long>(opts.iters));
   for (size_t i = 0; i < results.size(); ++i) {
     const ScalingResult& r = results[i];
     double base_seconds = r.mean_seconds;

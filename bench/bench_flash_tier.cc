@@ -42,6 +42,7 @@
 #include "src/common/flags.h"
 #include "src/common/stats.h"
 #include "src/serving/driver.h"
+#include "src/serving/pensieve_engine.h"
 
 namespace pensieve {
 namespace {
@@ -127,6 +128,10 @@ int Run(int argc, char** argv) {
                   "which the sweep crosses into flash territory");
   flags.AddDouble("ssd-capacity", 128.0, "flash tier capacity in GiB");
   flags.AddInt("ssd-segment-blocks", 64, "blocks per flash log segment");
+  flags.AddString("kv-quant", "off",
+                  "int8 KV in the CPU/SSD tiers (on/off): the same byte "
+                  "budget holds ~2x the blocks, so ~2x the conversations "
+                  "stay resident per GB");
   flags.AddString("json", "BENCH_flash.json", "output JSON path");
   flags.AddBool("smoke", false, "CI-sized run: one small sweep point");
   flags.AddBool("help", false, "print usage");
@@ -165,6 +170,13 @@ int Run(int argc, char** argv) {
   }
   base.ssd_segment_blocks = flags.GetInt("ssd-segment-blocks");
   const double ssd_gb = flags.GetDouble("ssd-capacity");
+  const std::string kv_quant_flag = flags.GetString("kv-quant");
+  if (kv_quant_flag != "on" && kv_quant_flag != "off") {
+    std::fprintf(stderr, "--kv-quant must be 'on' or 'off', got '%s'\n",
+                 kv_quant_flag.c_str());
+    return 2;
+  }
+  base.kv_quant = kv_quant_flag == "on";
 
   TraceOptions trace_options;
   trace_options.conversation_rate = flags.GetDouble("rate");
@@ -177,6 +189,51 @@ int Run(int argc, char** argv) {
                                    BenchConversations(150)};
   int failures = 0;
   std::vector<std::string> json_entries;
+
+  // ---- 0. KV-quant capacity check (always on) ----------------------------
+  // The CPU/SSD budgets are byte-denominated: with int8 KV the same budget
+  // must hold >= 1.8x the blocks, which is >= 1.8x the conversations
+  // resident per GB (mean conversation footprint is workload-invariant).
+  // Measured on freshly built engines, so this checks what the serving
+  // stack actually sizes, not flag arithmetic.
+  {
+    EngineOverrides fp16 = base;
+    fp16.kv_quant = false;
+    fp16.ssd_capacity_gb = ssd_gb;
+    EngineOverrides int8 = base;
+    int8.kv_quant = true;
+    int8.ssd_capacity_gb = ssd_gb;
+    const auto engine_fp16 = MakeEngine(SystemKind::kPensieve, cost_model, fp16);
+    const auto engine_int8 = MakeEngine(SystemKind::kPensieve, cost_model, int8);
+    const auto* p_fp16 = dynamic_cast<const PensieveEngine*>(engine_fp16.get());
+    const auto* p_int8 = dynamic_cast<const PensieveEngine*>(engine_int8.get());
+    const int64_t cpu_blocks_fp16 = p_fp16->cache().cpu_allocator().num_free();
+    const int64_t cpu_blocks_int8 = p_int8->cache().cpu_allocator().num_free();
+    const double capacity_ratio =
+        cpu_blocks_fp16 > 0
+            ? static_cast<double>(cpu_blocks_int8) /
+                  static_cast<double>(cpu_blocks_fp16)
+            : 0.0;
+    std::printf("kv-quant capacity: cpu tier %ld blocks (fp16) -> %ld blocks "
+                "(int8) at the same byte budget = %.2fx conversations per GB\n",
+                static_cast<long>(cpu_blocks_fp16),
+                static_cast<long>(cpu_blocks_int8), capacity_ratio);
+    char entry[256];
+    std::snprintf(entry, sizeof(entry),
+                  "{\"phase\": \"kv_quant_capacity\", \"cpu_blocks_fp16\": "
+                  "%ld, \"cpu_blocks_int8\": %ld, \"capacity_ratio\": %.4f}",
+                  static_cast<long>(cpu_blocks_fp16),
+                  static_cast<long>(cpu_blocks_int8), capacity_ratio);
+    json_entries.push_back(entry);
+    if (capacity_ratio < 1.8) {
+      std::fprintf(stderr,
+                   "FAIL kv-quant capacity ratio %.3f < 1.8 (fp16 %ld vs "
+                   "int8 %ld cpu blocks)\n",
+                   capacity_ratio, static_cast<long>(cpu_blocks_fp16),
+                   static_cast<long>(cpu_blocks_int8));
+      ++failures;
+    }
+  }
 
   // ---- 1. Conversation-set sweep: flash off vs on ------------------------
   std::printf("==== flash-tier sweep (%s, %s, cache x%.2f, cpu x%.2f, ssd "
@@ -328,8 +385,9 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
     return 1;
   }
-  out << "{\n  \"bench\": \"flash_tier\",\n  \"model\": \"" << model.name
-      << "\",\n  \"smoke\": " << (smoke ? "true" : "false")
+  out << BenchJsonHeader("flash_tier") << "  \"model\": \"" << model.name
+      << "\",\n  \"kv_quant\": " << (base.kv_quant ? "true" : "false")
+      << ",\n  \"smoke\": " << (smoke ? "true" : "false")
       << ",\n  \"entries\": [\n";
   for (size_t i = 0; i < json_entries.size(); ++i) {
     out << "    " << json_entries[i]

@@ -1,22 +1,30 @@
 // GEMM benchmark: naive MatMulTransposedB vs the prepacked cache-blocked
-// GEMM (src/tensor/packed_matrix.h) on the projection shapes of the paper's
-// models (Table 1). Two regimes:
+// GEMM (src/tensor/packed_matrix.h), fp32 and int8, on the projection
+// shapes of the paper's models (Table 1). Two regimes:
 //   * prefill — m = --prefill_m activation rows (default 512);
 //   * decode  — m in --decode_ms (default 1,2,4,8), where the packed GEMM
 //     takes the panel-partitioned GEMV path so m = 1 still uses every
-//     thread. A --gemv_threads sweep records how that path scales.
+//     thread. A --gemv_threads sweep records how that path scales for both
+//     weight formats.
+//
+// The quantized entries double as an accuracy gate: every int8 timing shape
+// first compares its output against the fp32 packed result and the run
+// fails if the relative error exceeds --int8_gate (a perplexity proxy —
+// logit-scale weight error feeds the final projection directly).
 //
 // Emits machine-readable JSON (default BENCH_gemm.json): one entry per
-// (model, shape, m, impl, threads) with seconds per call, GFLOP/s and
-// tokens/s. --smoke shrinks the sweep for CI.
+// (model, shape, m, impl, threads) with seconds per call, GFLOP/s, tokens/s
+// and weight bytes streamed per token. --smoke shrinks the sweep for CI.
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_serving_common.h"
 #include "src/common/flags.h"
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
@@ -54,6 +62,9 @@ struct Entry {
   double seconds;  // per call
   double gflops;
   double tokens_per_s;
+  // Weight bytes a token's GEMV must stream from memory: the decode regime
+  // is bandwidth-bound, so this is the quantity int8 weights halve+.
+  double bytes_streamed_per_token = 0.0;
 };
 
 double Now() {
@@ -111,7 +122,8 @@ std::vector<std::string> ParseStringList(const std::string& csv) {
 }
 
 Entry MakeEntry(const std::string& model, const GemmShape& shape,
-                const std::string& impl, int64_t m, int threads, double seconds) {
+                const std::string& impl, int64_t m, int threads, double seconds,
+                int64_t weight_bytes) {
   Entry e;
   e.model = model;
   e.shape = shape.name;
@@ -124,27 +136,48 @@ Entry MakeEntry(const std::string& model, const GemmShape& shape,
   e.gflops = 2.0 * static_cast<double>(m) * static_cast<double>(shape.k) *
              static_cast<double>(shape.n) / seconds / 1e9;
   e.tokens_per_s = static_cast<double>(m) / seconds;
+  // Every token of the batch streams the whole operand once (the microkernel
+  // reuses a weight panel across the batch's rows, so per-token traffic
+  // shrinks as m grows).
+  e.bytes_streamed_per_token =
+      static_cast<double>(weight_bytes) / static_cast<double>(m);
   return e;
+}
+
+// Relative L-inf error of the int8 path against the fp32 packed result on
+// this shape — a perplexity proxy (the same weights feed the final logit
+// projection). Returns the error; the caller gates on it.
+double Int8RelError(const Tensor& a, const PackedMatrix& fp32,
+                    const PackedMatrix& int8) {
+  Tensor ref({a.dim(0), fp32.out_dim()});
+  Tensor got({a.dim(0), int8.out_dim()});
+  MatMulPackedInto(a, fp32, &ref);
+  MatMulPackedInto(a, int8, &got);
+  float max_abs = 0.0f;
+  float max_delta = 0.0f;
+  for (int64_t i = 0; i < ref.numel(); ++i) {
+    max_abs = std::max(max_abs, std::fabs(ref.data()[i]));
+    max_delta = std::max(max_delta, std::fabs(ref.data()[i] - got.data()[i]));
+  }
+  return max_abs > 0.0f ? static_cast<double>(max_delta) / max_abs : 0.0;
 }
 
 void WriteJson(const std::string& path, const std::vector<Entry>& entries) {
   FILE* f = std::fopen(path.c_str(), "w");
   PENSIEVE_CHECK(f != nullptr) << "cannot open " << path;
-  // Host core count: thread-sweep entries only show wall-clock scaling when
-  // the sweep stays within hardware_concurrency.
-  std::fprintf(f, "{\n  \"bench\": \"gemm\",\n  \"nproc\": %u,\n  \"entries\": [\n",
-               std::thread::hardware_concurrency());
+  std::fprintf(f, "%s  \"entries\": [\n", BenchJsonHeader("gemm").c_str());
   for (size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];
     std::fprintf(f,
                  "    {\"model\": \"%s\", \"shape\": \"%s\", \"impl\": \"%s\", "
                  "\"m\": %lld, \"k\": %lld, \"n\": %lld, \"threads\": %d, "
                  "\"seconds_per_call\": %.6e, \"gflops\": %.3f, "
-                 "\"tokens_per_s\": %.1f}%s\n",
+                 "\"tokens_per_s\": %.1f, \"bytes_streamed_per_token\": %.1f}%s\n",
                  e.model.c_str(), e.shape.c_str(), e.impl.c_str(),
                  static_cast<long long>(e.m), static_cast<long long>(e.k),
                  static_cast<long long>(e.n), e.threads, e.seconds, e.gflops,
-                 e.tokens_per_s, i + 1 < entries.size() ? "," : "");
+                 e.tokens_per_s, e.bytes_streamed_per_token,
+                 i + 1 < entries.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -162,6 +195,11 @@ int Run(int argc, char** argv) {
   flags.AddInt("threads", 0, "pool size for the main sections (0 = default)");
   flags.AddDouble("min_time", 0.2, "min seconds of timing per measurement");
   flags.AddBool("smoke", false, "CI-sized run: tiny m, one model, short sweep");
+  flags.AddString("weight-quant", "both",
+                  "which weight formats to sweep: fp32, int8, or both");
+  flags.AddDouble("int8_gate", 0.02,
+                  "max relative L-inf error of the int8 path vs fp32 before "
+                  "the run fails (accuracy self-check)");
   const Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.message().c_str(), flags.Help().c_str());
@@ -184,6 +222,14 @@ int Run(int argc, char** argv) {
     ThreadPool::SetGlobalThreads(static_cast<int>(flags.GetInt("threads")));
   }
   const int threads = ThreadPool::Global().num_threads();
+  const std::string quant_sweep = flags.GetString("weight-quant");
+  PENSIEVE_CHECK(quant_sweep == "fp32" || quant_sweep == "int8" ||
+                 quant_sweep == "both")
+      << "unknown --weight-quant '" << quant_sweep << "' (fp32, int8, both)";
+  const bool run_fp32 = quant_sweep != "int8";
+  const bool run_int8 = quant_sweep != "fp32";
+  const double int8_gate = flags.GetDouble("int8_gate");
+  double worst_int8_error = 0.0;
 
   std::vector<Entry> entries;
   for (const std::string& model_name : models) {
@@ -194,58 +240,121 @@ int Run(int argc, char** argv) {
       Tensor w({shape.n, shape.k});
       FillNormal(w, 1, 0.02f);
       const PackedMatrix packed(w);
+      const PackedMatrix packed_int8(w, QuantMode::kInt8);
+      const int64_t naive_bytes =
+          shape.n * shape.k * static_cast<int64_t>(sizeof(float));
       Tensor a({prefill_m, shape.k});
       FillNormal(a, 2, 1.0f);
       Tensor c({prefill_m, shape.n});
       std::printf("%s %s [n=%lld k=%lld] ...\n", model_name.c_str(), shape.name,
                   static_cast<long long>(shape.n), static_cast<long long>(shape.k));
+      if (run_int8) {
+        // Accuracy gate before any timing on this shape.
+        Tensor probe({8, shape.k});
+        FillNormal(probe, 6, 1.0f);
+        const double err = Int8RelError(probe, packed, packed_int8);
+        worst_int8_error = std::max(worst_int8_error, err);
+        PENSIEVE_CHECK(err <= int8_gate)
+            << shape.name << " int8 rel error " << err << " exceeds gate "
+            << int8_gate;
+      }
       // Prefill regime.
-      const double naive_s =
-          TimePerCall([&] { MatMulTransposedB(a, w); }, min_time);
-      entries.push_back(
-          MakeEntry(model_name, shape, "naive", prefill_m, threads, naive_s));
-      const double packed_s =
-          TimePerCall([&] { MatMulPackedInto(a, packed, &c); }, min_time);
-      entries.push_back(
-          MakeEntry(model_name, shape, "packed", prefill_m, threads, packed_s));
-      std::printf("  prefill m=%lld: naive %.2f GFLOP/s, packed %.2f GFLOP/s "
-                  "(%.2fx)\n",
-                  static_cast<long long>(prefill_m),
-                  entries[entries.size() - 2].gflops, entries.back().gflops,
-                  naive_s / packed_s);
+      if (run_fp32) {
+        const double naive_s =
+            TimePerCall([&] { MatMulTransposedB(a, w); }, min_time);
+        entries.push_back(MakeEntry(model_name, shape, "naive", prefill_m,
+                                    threads, naive_s, naive_bytes));
+        const double packed_s =
+            TimePerCall([&] { MatMulPackedInto(a, packed, &c); }, min_time);
+        entries.push_back(MakeEntry(model_name, shape, "packed", prefill_m,
+                                    threads, packed_s, packed.PackedBytes()));
+        std::printf("  prefill m=%lld: naive %.2f GFLOP/s, packed %.2f GFLOP/s "
+                    "(%.2fx)\n",
+                    static_cast<long long>(prefill_m),
+                    entries[entries.size() - 2].gflops, entries.back().gflops,
+                    naive_s / packed_s);
+      }
+      if (run_int8) {
+        const double int8_s =
+            TimePerCall([&] { MatMulPackedInto(a, packed_int8, &c); }, min_time);
+        entries.push_back(MakeEntry(model_name, shape, "packed_int8", prefill_m,
+                                    threads, int8_s, packed_int8.PackedBytes()));
+        std::printf("  prefill m=%lld: packed_int8 %.2f GFLOP/s\n",
+                    static_cast<long long>(prefill_m), entries.back().gflops);
+      }
       // Decode regime.
       for (int64_t m : decode_ms) {
         Tensor ad({m, shape.k});
         FillNormal(ad, 3, 1.0f);
         Tensor cd({m, shape.n});
-        const double dn = TimePerCall([&] { MatMulTransposedB(ad, w); }, min_time);
-        entries.push_back(MakeEntry(model_name, shape, "naive", m, threads, dn));
-        const double dp =
-            TimePerCall([&] { MatMulPackedInto(ad, packed, &cd); }, min_time);
-        entries.push_back(MakeEntry(model_name, shape, "packed", m, threads, dp));
+        if (run_fp32) {
+          const double dn =
+              TimePerCall([&] { MatMulTransposedB(ad, w); }, min_time);
+          entries.push_back(
+              MakeEntry(model_name, shape, "naive", m, threads, dn, naive_bytes));
+          const double dp =
+              TimePerCall([&] { MatMulPackedInto(ad, packed, &cd); }, min_time);
+          entries.push_back(MakeEntry(model_name, shape, "packed", m, threads,
+                                      dp, packed.PackedBytes()));
+        }
+        if (run_int8) {
+          const double dq = TimePerCall(
+              [&] { MatMulPackedInto(ad, packed_int8, &cd); }, min_time);
+          entries.push_back(MakeEntry(model_name, shape, "packed_int8", m,
+                                      threads, dq, packed_int8.PackedBytes()));
+        }
       }
     }
-    // m = 1 GEMV thread-scaling sweep on the model's largest projection.
+    // m = 1 GEMV thread-scaling sweep on the model's largest projection,
+    // fp32 vs int8: the decode path is bandwidth-bound, so the int8 panels'
+    // halved stream should show up directly as tokens/s.
     const GemmShape gemv_shape = ModelShapes(config)[2];  // ffn_up
     Tensor w({gemv_shape.n, gemv_shape.k});
     FillNormal(w, 4, 0.02f);
     const PackedMatrix packed(w);
+    const PackedMatrix packed_int8(w, QuantMode::kInt8);
     Tensor a({1, gemv_shape.k});
     FillNormal(a, 5, 1.0f);
     Tensor c({1, gemv_shape.n});
     for (int64_t t : gemv_threads) {
       ThreadPool::SetGlobalThreads(static_cast<int>(t));
-      const double s =
-          TimePerCall([&] { MatMulPackedInto(a, packed, &c); }, min_time);
-      entries.push_back(MakeEntry(model_name, gemv_shape, "packed_gemv", 1,
-                                  static_cast<int>(t), s));
-      std::printf("  gemv m=1 threads=%lld: %.1f tokens/s\n",
-                  static_cast<long long>(t), entries.back().tokens_per_s);
+      double fp32_tps = 0.0;
+      if (run_fp32) {
+        const double s =
+            TimePerCall([&] { MatMulPackedInto(a, packed, &c); }, min_time);
+        entries.push_back(MakeEntry(model_name, gemv_shape, "packed_gemv", 1,
+                                    static_cast<int>(t), s, packed.PackedBytes()));
+        fp32_tps = entries.back().tokens_per_s;
+      }
+      if (run_int8) {
+        const double s = TimePerCall(
+            [&] { MatMulPackedInto(a, packed_int8, &c); }, min_time);
+        entries.push_back(MakeEntry(model_name, gemv_shape, "packed_int8_gemv",
+                                    1, static_cast<int>(t), s,
+                                    packed_int8.PackedBytes()));
+        if (fp32_tps > 0.0) {
+          std::printf("  gemv m=1 threads=%lld: fp32 %.1f tok/s, int8 %.1f "
+                      "tok/s (%.2fx)\n",
+                      static_cast<long long>(t), fp32_tps,
+                      entries.back().tokens_per_s,
+                      entries.back().tokens_per_s / fp32_tps);
+        } else {
+          std::printf("  gemv m=1 threads=%lld: int8 %.1f tokens/s\n",
+                      static_cast<long long>(t), entries.back().tokens_per_s);
+        }
+      } else {
+        std::printf("  gemv m=1 threads=%lld: %.1f tokens/s\n",
+                    static_cast<long long>(t), fp32_tps);
+      }
     }
     ThreadPool::SetGlobalThreads(
         flags.GetInt("threads") > 0 ? static_cast<int>(flags.GetInt("threads")) : 0);
   }
 
+  if (run_int8) {
+    std::printf("int8 self-check: max rel error %.5f (gate %.3f)\n",
+                worst_int8_error, int8_gate);
+  }
   WriteJson(flags.GetString("json"), entries);
   return 0;
 }

@@ -329,7 +329,7 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
     return 1;
   }
-  out << "{\n  \"bench\": \"prefix_sharing\",\n  \"model\": \"" << model.name
+  out << BenchJsonHeader("prefix_sharing") << "  \"model\": \"" << model.name
       << "\",\n  \"smoke\": " << (smoke ? "true" : "false")
       << ",\n  \"entries\": [\n";
   for (size_t i = 0; i < json_entries.size(); ++i) {

@@ -68,6 +68,10 @@ struct EngineOverrides {
   FlashAlgoKind ssd_algo = FlashAlgoKind::kLru;
   int64_t ssd_segment_blocks = 64;
   LinkFaultProfile ssd_fault_profile;
+  // Int8-quantize KV blocks at the GPU boundary (Pensieve variants only).
+  // CPU/SSD tiers hold ~2x the conversations and off-GPU transfers move the
+  // compressed bytes; GPU-resident KV stays fp32.
+  bool kv_quant = false;
 };
 
 std::unique_ptr<Engine> MakeEngine(SystemKind kind, const GpuCostModel& cost_model,

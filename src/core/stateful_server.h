@@ -33,6 +33,11 @@ struct StatefulServerConfig {
   int64_t num_cpu_blocks = 512;
   uint64_t weight_seed = 1234;
   EvictionPolicyKind policy = EvictionPolicyKind::kRetentionValue;
+  // Weight storage for the numeric transformer: int8 runs the prepacked
+  // int8 microkernels (per-column symmetric scales, fp32 accumulation).
+  QuantMode weight_quant = QuantMode::kFp32;
+  // Int8-quantize KV blocks demoted to the CPU tier (GPU KV stays fp32).
+  bool kv_quant = false;
 };
 
 class StatefulLlmServer {

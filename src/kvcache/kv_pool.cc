@@ -1,5 +1,7 @@
 #include "src/kvcache/kv_pool.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "src/common/hash.h"
@@ -13,7 +15,8 @@ KvPool::KvPool(int64_t num_blocks, int64_t block_size, int64_t num_layers,
       num_kv_heads_(num_kv_heads), head_dim_(head_dim),
       token_stride_(num_kv_heads * head_dim),
       block_stride_(num_layers * 2 * block_size * token_stride_),
-      data_(static_cast<size_t>(num_blocks * block_stride_), 0.0f) {
+      data_(static_cast<size_t>(num_blocks * block_stride_), 0.0f),
+      quant_(static_cast<size_t>(num_blocks)) {
   PENSIEVE_CHECK_GT(block_size, 0);
   PENSIEVE_CHECK_GT(num_layers, 0);
   PENSIEVE_CHECK_GT(num_kv_heads, 0);
@@ -58,11 +61,89 @@ void KvPool::CopyBlock(const KvPool& src, BlockId src_block, KvPool& dst,
   std::memcpy(dst.data_.data() + dst_block * dst.block_stride_,
               src.data_.data() + src_block * src.block_stride_,
               static_cast<size_t>(src.block_stride_) * sizeof(float));
+  dst.quant_[static_cast<size_t>(dst_block)] =
+      src.quant_[static_cast<size_t>(src_block)];
+}
+
+void KvPool::QuantizeBlock(const KvPool& src, BlockId src_block, KvPool& dst,
+                           BlockId dst_block) {
+  PENSIEVE_CHECK_EQ(src.block_stride_, dst.block_stride_);
+  PENSIEVE_CHECK_GE(src_block, 0);
+  PENSIEVE_CHECK_LT(src_block, src.num_blocks_);
+  PENSIEVE_CHECK_GE(dst_block, 0);
+  PENSIEVE_CHECK_LT(dst_block, dst.num_blocks_);
+  PENSIEVE_CHECK(!src.quant_[static_cast<size_t>(src_block)].quantized)
+      << "quantizing an already-quantized block";
+  const float* in = src.data_.data() + src_block * src.block_stride_;
+  int8_t* out =
+      reinterpret_cast<int8_t*>(dst.data_.data() + dst_block * dst.block_stride_);
+  const int64_t n = src.block_stride_;
+  float amax = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    amax = std::max(amax, std::fabs(in[i]));
+  }
+  const float scale = amax / 127.0f;
+  if (scale == 0.0f) {
+    // All-zero block (or amax so small the scale flushes to zero): the
+    // payload is exactly zero and dequantizes to exactly zero.
+    std::memset(out, 0, static_cast<size_t>(n));
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      // lround = round-half-away-from-zero, independent of the FP
+      // environment. |in| <= amax bounds the quotient by 127; the clamp
+      // only guards rounding at the +-amax endpoints.
+      const long q = std::lround(in[i] / scale);
+      out[i] = static_cast<int8_t>(std::max<long>(-127, std::min<long>(127, q)));
+    }
+  }
+  dst.quant_[static_cast<size_t>(dst_block)] = QuantInfo{true, scale};
+}
+
+void KvPool::DequantizeBlock(const KvPool& src, BlockId src_block, KvPool& dst,
+                             BlockId dst_block) {
+  PENSIEVE_CHECK_EQ(src.block_stride_, dst.block_stride_);
+  PENSIEVE_CHECK_GE(src_block, 0);
+  PENSIEVE_CHECK_LT(src_block, src.num_blocks_);
+  PENSIEVE_CHECK_GE(dst_block, 0);
+  PENSIEVE_CHECK_LT(dst_block, dst.num_blocks_);
+  const QuantInfo& info = src.quant_[static_cast<size_t>(src_block)];
+  if (!info.quantized) {
+    CopyBlock(src, src_block, dst, dst_block);
+    return;
+  }
+  const int8_t* in = reinterpret_cast<const int8_t*>(src.data_.data() +
+                                                     src_block * src.block_stride_);
+  float* out = dst.data_.data() + dst_block * dst.block_stride_;
+  const int64_t n = src.block_stride_;
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = info.scale * static_cast<float>(in[i]);
+  }
+  dst.quant_[static_cast<size_t>(dst_block)] = QuantInfo{};
+}
+
+bool KvPool::BlockQuantized(BlockId block) const {
+  PENSIEVE_CHECK_GE(block, 0);
+  PENSIEVE_CHECK_LT(block, num_blocks_);
+  return quant_[static_cast<size_t>(block)].quantized;
+}
+
+float KvPool::BlockScale(BlockId block) const {
+  PENSIEVE_CHECK_GE(block, 0);
+  PENSIEVE_CHECK_LT(block, num_blocks_);
+  return quant_[static_cast<size_t>(block)].scale;
 }
 
 uint32_t KvPool::BlockChecksum(BlockId block) const {
   PENSIEVE_CHECK_GE(block, 0);
   PENSIEVE_CHECK_LT(block, num_blocks_);
+  const QuantInfo& info = quant_[static_cast<size_t>(block)];
+  if (info.quantized) {
+    // Hash the int8 payload, then chain the scale in — together these are
+    // the bytes a quantized transfer actually moves.
+    const uint32_t payload = Fnv1a32(data_.data() + block * block_stride_,
+                                     static_cast<size_t>(block_stride_));
+    return Fnv1a32(&info.scale, sizeof(info.scale), payload);
+  }
   return Fnv1a32(data_.data() + block * block_stride_,
                  static_cast<size_t>(block_stride_) * sizeof(float));
 }

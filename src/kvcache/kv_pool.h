@@ -39,25 +39,59 @@ class KvPool {
   void WriteToken(BlockId block, int64_t layer, int64_t slot, const float* k,
                   const float* v);
 
-  // Copies the full contents of one block (all layers) between pools; used
-  // by the numeric swap path (GPU tier <-> CPU tier).
+  // Copies the full contents of one block (all layers) between pools,
+  // including its quantization state; used by the numeric swap path
+  // (GPU tier <-> CPU tier) and the flash demote/promote copies.
   static void CopyBlock(const KvPool& src, BlockId src_block, KvPool& dst,
                         BlockId dst_block);
 
+  // --- Int8 block quantization (tier-boundary compression) ---------------
+  // Quantizes an fp32 source block into dst with one symmetric per-block
+  // amax scale (scale = amax / 127) and an int8 payload stored in the
+  // leading quarter of dst's storage; dst is marked quantized and carries
+  // the scale in its block metadata. The source must not itself be
+  // quantized.
+  static void QuantizeBlock(const KvPool& src, BlockId src_block, KvPool& dst,
+                            BlockId dst_block);
+  // Expands a quantized source block back to fp32 in dst. A non-quantized
+  // source degenerates to CopyBlock, so promote paths need not branch on
+  // how the copy was created.
+  static void DequantizeBlock(const KvPool& src, BlockId src_block, KvPool& dst,
+                              BlockId dst_block);
+
+  // Whether the block currently holds an int8 payload, and its scale.
+  bool BlockQuantized(BlockId block) const;
+  float BlockScale(BlockId block) const;
+
   // Bytes occupied by one block in this pool (fp32 substrate).
   int64_t BlockBytes() const { return block_stride_ * static_cast<int64_t>(sizeof(float)); }
+  // Wire/storage size of an int8-quantized block: the int8 payload plus its
+  // fp32 scale. What compressed tiers and transfer pricing account in.
+  int64_t QuantizedBlockBytes() const {
+    return block_stride_ * static_cast<int64_t>(sizeof(int8_t)) +
+           static_cast<int64_t>(sizeof(float));
+  }
 
-  // FNV-1a hash over the block's raw bytes (all layers). The KV-fault path
-  // records it at swap-out and verifies it at swap-in to catch in-flight
-  // bit flips.
+  // FNV-1a hash over the block's payload (all layers). For a quantized
+  // block this covers the int8 bytes *and* the scale — exactly the bytes a
+  // transfer moves — so the PR 5/6 fault handling verifies quantized copies
+  // unchanged. Recorded at swap-out and verified at swap-in to catch
+  // in-flight bit flips.
   uint32_t BlockChecksum(BlockId block) const;
 
   // Flips one bit of the block's payload (deterministic position), the
-  // numeric-mode realization of a silent transfer corruption.
+  // numeric-mode realization of a silent transfer corruption. The flipped
+  // byte lies inside the int8 payload when the block is quantized.
   void CorruptBlock(BlockId block);
 
  private:
   int64_t Offset(BlockId block, int64_t layer, int kv, int64_t slot) const;
+
+  // Per-block quantization state; default fp32 (not quantized).
+  struct QuantInfo {
+    bool quantized = false;
+    float scale = 0.0f;
+  };
 
   int64_t num_blocks_;
   int64_t block_size_;
@@ -67,6 +101,7 @@ class KvPool {
   int64_t token_stride_;  // floats per token per layer per K-or-V
   int64_t block_stride_;  // floats per block
   std::vector<float> data_;
+  std::vector<QuantInfo> quant_;
 };
 
 }  // namespace pensieve

@@ -7,28 +7,56 @@
 
 namespace pensieve {
 
-TwoTierKvCache::TwoTierKvCache(const KvCacheConfig& config)
-    : config_(config), gpu_allocator_(config.num_gpu_blocks),
-      cpu_allocator_(config.num_cpu_blocks) {
-  if (config.numeric) {
-    gpu_pool_ = std::make_unique<KvPool>(config.num_gpu_blocks, config.block_size,
-                                         config.num_layers, config.num_kv_heads,
-                                         config.head_dim);
-    cpu_pool_ = std::make_unique<KvPool>(config.num_cpu_blocks, config.block_size,
-                                         config.num_layers, config.num_kv_heads,
-                                         config.head_dim);
+namespace {
+
+// Capacity accounting in compressed bytes: with kv_quant on, the same CPU /
+// SSD byte budget holds raw/quant times more blocks, so the block budgets
+// are scaled up before any allocator or pool is sized.
+KvCacheConfig ApplyKvQuantCapacity(KvCacheConfig config) {
+  if (config.kv_quant && config.kv_raw_block_bytes > 0 &&
+      config.kv_quant_block_bytes > 0) {
+    config.num_cpu_blocks =
+        config.num_cpu_blocks * config.kv_raw_block_bytes / config.kv_quant_block_bytes;
+    config.num_ssd_blocks =
+        config.num_ssd_blocks * config.kv_raw_block_bytes / config.kv_quant_block_bytes;
   }
-  if (config.num_ssd_blocks > 0) {
+  return config;
+}
+
+}  // namespace
+
+TwoTierKvCache::TwoTierKvCache(const KvCacheConfig& config)
+    : config_(ApplyKvQuantCapacity(config)),
+      gpu_allocator_(config_.num_gpu_blocks),
+      cpu_allocator_(config_.num_cpu_blocks) {
+  if (config_.numeric) {
+    gpu_pool_ = std::make_unique<KvPool>(config_.num_gpu_blocks, config_.block_size,
+                                         config_.num_layers, config_.num_kv_heads,
+                                         config_.head_dim);
+    cpu_pool_ = std::make_unique<KvPool>(config_.num_cpu_blocks, config_.block_size,
+                                         config_.num_layers, config_.num_kv_heads,
+                                         config_.head_dim);
+  }
+  if (config_.num_ssd_blocks > 0) {
     FlashTierConfig flash;
-    flash.capacity_blocks = config.num_ssd_blocks;
-    flash.segment_blocks = config.ssd_segment_blocks;
-    flash.algo = config.ssd_algo;
-    flash.numeric = config.numeric;
-    flash.block_size = config.block_size;
-    flash.num_layers = config.num_layers;
-    flash.num_kv_heads = config.num_kv_heads;
-    flash.head_dim = config.head_dim;
+    flash.capacity_blocks = config_.num_ssd_blocks;
+    flash.segment_blocks = config_.ssd_segment_blocks;
+    flash.algo = config_.ssd_algo;
+    flash.numeric = config_.numeric;
+    flash.block_size = config_.block_size;
+    flash.num_layers = config_.num_layers;
+    flash.num_kv_heads = config_.num_kv_heads;
+    flash.head_dim = config_.head_dim;
     flash_ = std::make_unique<FlashTier>(flash);
+  }
+  if (config_.kv_quant) {
+    if (config_.kv_raw_block_bytes > 0 && config_.kv_quant_block_bytes > 0) {
+      quant_saved_per_block_ =
+          config_.kv_raw_block_bytes - config_.kv_quant_block_bytes;
+    } else if (cpu_pool_ != nullptr) {
+      quant_saved_per_block_ =
+          cpu_pool_->BlockBytes() - cpu_pool_->QuantizedBlockBytes();
+    }
   }
 }
 
@@ -190,7 +218,15 @@ Status TwoTierKvCache::SwapOut(ConversationId id, int64_t chunk_index) {
   }
   c.cpu_block = *cpu_block;
   if (cpu_pool_ != nullptr) {
-    KvPool::CopyBlock(*gpu_pool_, c.gpu_block, *cpu_pool_, c.cpu_block);
+    if (config_.kv_quant) {
+      KvPool::QuantizeBlock(*gpu_pool_, c.gpu_block, *cpu_pool_, c.cpu_block);
+    } else {
+      KvPool::CopyBlock(*gpu_pool_, c.gpu_block, *cpu_pool_, c.cpu_block);
+    }
+  }
+  if (config_.kv_quant) {
+    ++counters_.quantized_blocks;
+    counters_.quant_bytes_saved += quant_saved_per_block_;
   }
   c.location = ChunkLocation::kGpuAndCpu;
   c.cpu_checksum = ComputeCpuChecksum(id, chunk_index, c);
@@ -242,7 +278,13 @@ Status TwoTierKvCache::SwapIn(ConversationId id, int64_t chunk_index) {
   }
   c.gpu_block = *gpu_block;
   if (gpu_pool_ != nullptr) {
-    KvPool::CopyBlock(*cpu_pool_, c.cpu_block, *gpu_pool_, c.gpu_block);
+    if (config_.kv_quant) {
+      // Falls back to a plain copy for an unquantized CPU copy (e.g. one
+      // materialized by a migration import).
+      KvPool::DequantizeBlock(*cpu_pool_, c.cpu_block, *gpu_pool_, c.gpu_block);
+    } else {
+      KvPool::CopyBlock(*cpu_pool_, c.cpu_block, *gpu_pool_, c.gpu_block);
+    }
   }
   c.location = ChunkLocation::kGpuAndCpu;
   ++reclaimable_gpu_blocks_;

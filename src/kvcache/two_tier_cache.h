@@ -61,6 +61,19 @@ struct KvCacheConfig {
   // matching prompts, copy-on-write on divergence. Off by default; when off
   // every block keeps the exclusive-ownership lifecycle bit-identically.
   bool enable_prefix_sharing = false;
+  // Int8 KV quantization at the tier boundary: GPU copies stay fp32,
+  // swap-out quantizes into the CPU tier (per-block amax scale, checksums
+  // over the quantized bytes), swap-in dequantizes back, and flash copies
+  // stay quantized end to end. Off by default; when off every copy and
+  // checksum is bit-identical to the unquantized build.
+  bool kv_quant = false;
+  // Per-block byte sizes in the serving substrate (e.g. fp16 KV vs int8 +
+  // scale), used to account CPU/SSD capacity in *compressed* bytes: when
+  // kv_quant is on and both are set, the num_cpu_blocks / num_ssd_blocks
+  // budgets are scaled up by raw/quant so the same byte budget holds ~2x
+  // the conversations. Zero leaves the budgets untouched.
+  int64_t kv_raw_block_bytes = 0;
+  int64_t kv_quant_block_bytes = 0;
   // Numeric mode: allocate real pools with this geometry.
   bool numeric = false;
   int64_t num_layers = 1;
@@ -250,6 +263,11 @@ class TwoTierKvCache {
     int64_t shared_attached_tokens = 0;
     int64_t cow_copies = 0;
     int64_t peak_shared_blocks = 0;
+    // KV quantization traffic: blocks quantized crossing the GPU->CPU
+    // boundary and the cumulative bytes that compression kept off the
+    // CPU/SSD tiers.
+    int64_t quantized_blocks = 0;
+    int64_t quant_bytes_saved = 0;
   };
   const Counters& counters() const { return counters_; }
 
@@ -282,6 +300,8 @@ class TwoTierKvCache {
   void ReleaseGpuBlock(BlockId block);
 
   KvCacheConfig config_;
+  // Bytes one quantized tier crossing saves (0 when kv_quant is off).
+  int64_t quant_saved_per_block_ = 0;
   BlockAllocator gpu_allocator_;
   BlockAllocator cpu_allocator_;
   std::unique_ptr<KvPool> gpu_pool_;

@@ -47,6 +47,16 @@ struct ModelConfig {
   // partitioned across GPUs along the feature dimension, paper §4.4.2).
   int64_t KvBytesPerTokenPerGpu() const { return KvBytesPerToken() / num_gpus; }
 
+  // Int8-quantized KV bytes per token (one byte per K/V value; the per-block
+  // amax scale is accounted separately at block granularity). What a
+  // kv_quant tier stores and a quantized transfer moves.
+  int64_t KvQuantBytesPerToken() const {
+    return 2 * num_layers * num_kv_heads * head_dim;
+  }
+  int64_t KvQuantBytesPerTokenPerGpu() const {
+    return KvQuantBytesPerToken() / num_gpus;
+  }
+
   // Approximate parameter count (weights only; used by the cost model for
   // memory-bandwidth-bound decode steps).
   int64_t ApproxParamCount() const;

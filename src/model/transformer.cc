@@ -14,7 +14,9 @@ constexpr float kNormEps = 1e-5f;
 constexpr float kRotaryBase = 10000.0f;
 }  // namespace
 
-Transformer::Transformer(const ModelConfig& config, uint64_t seed) : config_(config) {
+Transformer::Transformer(const ModelConfig& config, uint64_t seed,
+                         QuantMode weight_quant)
+    : config_(config), weight_quant_(weight_quant) {
   const int64_t h = config.hidden_size;
   const float w_std = 1.0f / std::sqrt(static_cast<float>(h));
   uint64_t s = seed;
@@ -57,17 +59,18 @@ Transformer::Transformer(const ModelConfig& config, uint64_t seed) : config_(con
     FillNormal(w.w_down, next_seed(), 1.0f / std::sqrt(static_cast<float>(config.ffn_hidden)));
     w.b_down = Tensor::Zeros({h});
     // Repack the static projections once; Forward multiplies only against
-    // the packed forms.
-    w.wqkv_packed = PackedMatrix(w.wqkv);
-    w.wo_packed = PackedMatrix(w.wo);
-    w.w_up_packed = PackedMatrix(w.w_up);
+    // the packed forms. weight_quant selects the payload type for every
+    // projection including the tied LM head.
+    w.wqkv_packed = PackedMatrix(w.wqkv, weight_quant);
+    w.wo_packed = PackedMatrix(w.wo, weight_quant);
+    w.w_up_packed = PackedMatrix(w.w_up, weight_quant);
     if (config.gated_ffn) {
-      w.w_gate_packed = PackedMatrix(w.w_gate);
+      w.w_gate_packed = PackedMatrix(w.w_gate, weight_quant);
     }
-    w.w_down_packed = PackedMatrix(w.w_down);
+    w.w_down_packed = PackedMatrix(w.w_down, weight_quant);
     layers_.push_back(std::move(w));
   }
-  lm_head_packed_ = PackedMatrix(embedding_);
+  lm_head_packed_ = PackedMatrix(embedding_, weight_quant);
 }
 
 void Transformer::NormalizeInto(const Tensor& x, const Tensor& gain,

@@ -54,9 +54,14 @@ struct ForwardBatch {
 
 class Transformer {
  public:
-  Transformer(const ModelConfig& config, uint64_t seed);
+  // weight_quant selects the packed-weight payload for every projection
+  // (QuantMode::kInt8 = per-column symmetric int8, fp32 accumulation); the
+  // raw fp32 tensors and every non-GEMM operator are unaffected.
+  Transformer(const ModelConfig& config, uint64_t seed,
+              QuantMode weight_quant = QuantMode::kFp32);
 
   const ModelConfig& config() const { return config_; }
+  QuantMode weight_quant() const { return weight_quant_; }
 
   // Runs the batch, updating the pool, and writes logits
   // [logit_rows.size(), vocab_size] into *logits. If *logits already has
@@ -105,6 +110,7 @@ class Transformer {
                      Tensor* out) const;
 
   ModelConfig config_;
+  QuantMode weight_quant_ = QuantMode::kFp32;
   Tensor embedding_;      // [vocab, hidden]; tied LM head
   Tensor pos_embedding_;  // [max_context, hidden] for learned positions
   Tensor final_norm_gain_;

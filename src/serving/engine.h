@@ -88,6 +88,11 @@ struct EngineStats {
   int64_t cow_copies = 0;
   // High-water mark of physical GPU blocks held by more than one view.
   int64_t peak_shared_blocks = 0;
+  // --- KV-quantization accounting. All zero when kv_quant is off. ---
+  // Blocks int8-quantized crossing the GPU->CPU tier boundary, and the
+  // cumulative bytes compression kept off the CPU/SSD tiers.
+  int64_t kv_quant_blocks = 0;
+  int64_t kv_quant_bytes_saved = 0;
   // Allocator reference-balance snapshot (acquires == releases + live at all
   // times; live == 0 at leak-free shutdown) and the GPU-capacity high-water
   // mark, for capacity-per-GB analysis.
@@ -139,6 +144,8 @@ struct EngineStats {
     shared_attached_chunks += other.shared_attached_chunks;
     cow_copies += other.cow_copies;
     peak_shared_blocks += other.peak_shared_blocks;
+    kv_quant_blocks += other.kv_quant_blocks;
+    kv_quant_bytes_saved += other.kv_quant_bytes_saved;
     kv_block_acquires += other.kv_block_acquires;
     kv_block_releases += other.kv_block_releases;
     kv_blocks_live += other.kv_blocks_live;

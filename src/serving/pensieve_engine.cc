@@ -10,7 +10,8 @@ namespace pensieve {
 
 namespace {
 
-KvCacheConfig MakeCacheConfig(const PensieveEngineOptions& options) {
+KvCacheConfig MakeCacheConfig(const PensieveEngineOptions& options,
+                              const GpuCostModel& cost_model) {
   KvCacheConfig config;
   config.block_size = options.block_size;
   config.num_gpu_blocks = options.num_gpu_blocks;
@@ -21,6 +22,18 @@ KvCacheConfig MakeCacheConfig(const PensieveEngineOptions& options) {
   config.ssd_segment_blocks = options.ssd_segment_blocks;
   config.numeric = false;
   config.enable_prefix_sharing = options.enable_prefix_sharing;
+  config.kv_quant = options.kv_quant;
+  if (options.kv_quant) {
+    // CPU/SSD capacity is accounted in compressed bytes: one block of
+    // block_size tokens shrinks from the fp16 substrate size to the int8
+    // payload plus one amax scale, and the cache scales its CPU/SSD block
+    // budgets up by that ratio.
+    const ModelConfig& model = cost_model.model();
+    config.kv_raw_block_bytes = options.block_size * model.KvBytesPerTokenPerGpu();
+    config.kv_quant_block_bytes =
+        options.block_size * model.KvQuantBytesPerTokenPerGpu() +
+        static_cast<int64_t>(sizeof(float));
+  }
   return config;
 }
 
@@ -64,7 +77,7 @@ constexpr uint64_t kSsdSeedSalt = 0x9E3779B97F4A7C15ull;
 PensieveEngine::PensieveEngine(const GpuCostModel& cost_model,
                                PensieveEngineOptions options)
     : cost_model_(cost_model), options_(std::move(options)),
-      cache_(MakeCacheConfig(options_)),
+      cache_(MakeCacheConfig(options_, cost_model)),
       cost_estimator_(ChunkCostEstimator::ProfileFromCostModel(
           cost_model, options_.block_size, cost_model.model().max_context)),
       policy_(MakeEvictionPolicy(options_.policy, cost_estimator_)),
@@ -134,7 +147,7 @@ void PensieveEngine::ChargeFlashSpill(double now) {
   }
   stats_.ssd_demoted_tokens += spill.demoted_tokens;
   const double bytes = static_cast<double>(spill.demoted_tokens) *
-                       static_cast<double>(cost_model_.KvBytesPerToken());
+                       static_cast<double>(KvWireBytesPerToken());
   bool delivered = false;
   TransferSsdWrite(now, bytes, &delivered);
   if (!delivered) {
@@ -160,7 +173,7 @@ void PensieveEngine::PlanSsdRecompute(int64_t conversation_id) {
   speeds.pcie_bandwidth = hw.pcie_bandwidth;
   speeds.ssd_read_bandwidth = hw.ssd_read_bandwidth;
   speeds.ssd_access_latency = hw.ssd_access_latency;
-  const int64_t kv_bytes = cost_model_.KvBytesPerToken();
+  const int64_t kv_bytes = KvWireBytesPerToken();
   int64_t context = conv->LeadingDroppedTokens();
   for (int64_t i = conv->LeadingDroppedChunks(); i < conv->num_chunks(); ++i) {
     const Chunk& c = conv->chunk(i);
@@ -192,6 +205,21 @@ void PensieveEngine::SyncFlashStats() {
   stats_.ssd_user_blocks_written = log_stats.user_appends;
   stats_.ssd_gc_moves = log_stats.gc_moves;
   stats_.ssd_gc_runs = log_stats.gc_runs;
+}
+
+void PensieveEngine::SyncQuantStats() {
+  const TwoTierKvCache::Counters& counters = cache_.counters();
+  stats_.kv_quant_blocks = counters.quantized_blocks;
+  stats_.kv_quant_bytes_saved = counters.quant_bytes_saved;
+}
+
+int64_t PensieveEngine::KvWireBytesPerToken() const {
+  if (!options_.kv_quant) {
+    return cost_model_.KvBytesPerToken();
+  }
+  // The per-block amax scale rides along but is noise at wire granularity
+  // (4 bytes per block_size tokens); capacity accounting carries it exactly.
+  return cost_model_.model().KvQuantBytesPerTokenPerGpu();
 }
 
 PensieveEngine::TemplateAttachOutcome PensieveEngine::AttachTemplatePrefix(
@@ -344,7 +372,7 @@ void PensieveEngine::ChargeForcedSwapOut(const CacheCoordinator::FreeOutcome& fr
     return;
   }
   const double bytes = static_cast<double>(freed.forced_swap_out_tokens) *
-                       static_cast<double>(cost_model_.KvBytesPerToken());
+                       static_cast<double>(KvWireBytesPerToken());
   bool delivered = false;
   const double done = TransferDeviceToHost(now, bytes, &delivered);
   pending_forced_stall_ += std::max(0.0, done - now);
@@ -527,7 +555,7 @@ bool PensieveEngine::TryAdmit(Running* r, double now, int64_t batch_input_tokens
     }
     ChargeFlashSpill(now);
     const double bytes = static_cast<double>(ssd_tokens) *
-                         static_cast<double>(cost_model_.KvBytesPerToken());
+                         static_cast<double>(KvWireBytesPerToken());
     bool delivered = false;
     const double ssd_done = TransferSsdRead(now, bytes, &delivered);
     if (!delivered) {
@@ -568,7 +596,7 @@ bool PensieveEngine::TryAdmit(Running* r, double now, int64_t batch_input_tokens
   double restore_transfer_s = 0.0;
   if (cpu_tokens > 0) {
     const double bytes = static_cast<double>(cpu_tokens) *
-                         static_cast<double>(cost_model_.KvBytesPerToken());
+                         static_cast<double>(KvWireBytesPerToken());
     bool delivered = false;
     const double done = TransferHostToDevice(restore_start, bytes, &delivered);
     if (!delivered) {
@@ -701,7 +729,7 @@ void PensieveEngine::EvictConversationFromGpu(int64_t conversation_id, double no
   }
   if (swapped_tokens > 0) {
     const double bytes = static_cast<double>(swapped_tokens) *
-                         static_cast<double>(cost_model_.KvBytesPerToken());
+                         static_cast<double>(KvWireBytesPerToken());
     bool delivered = false;
     TransferDeviceToHost(now, bytes, &delivered);
     if (!delivered) {
@@ -751,7 +779,7 @@ StepResult PensieveEngine::Step(double now) {
   const CacheCoordinator::EvictOutcome aot = coordinator_.AheadOfTimeEvict(now);
   if (aot.swapped_out_tokens > 0) {
     const double bytes = static_cast<double>(aot.swapped_out_tokens) *
-                         static_cast<double>(cost_model_.KvBytesPerToken());
+                         static_cast<double>(KvWireBytesPerToken());
     bool delivered = false;
     TransferDeviceToHost(now, bytes, &delivered);
     if (delivered) {
@@ -776,6 +804,7 @@ StepResult PensieveEngine::Step(double now) {
     result.idle = true;
     SyncFlashStats();
     SyncShareStats();
+    SyncQuantStats();
     return result;
   }
 
@@ -826,6 +855,7 @@ StepResult PensieveEngine::Step(double now) {
       result.idle = true;
       SyncFlashStats();
       SyncShareStats();
+      SyncQuantStats();
       return result;
     }
     if (compute_begin < running_.size()) {
@@ -936,6 +966,7 @@ StepResult PensieveEngine::Step(double now) {
   running_ = std::move(keep);
   SyncFlashStats();
   SyncShareStats();
+  SyncQuantStats();
   return result;
 }
 
@@ -975,7 +1006,7 @@ MigratedKvState PensieveEngine::ExportConversationState(int64_t conversation_id)
   state.resident_tokens = state.kv_len - conv->LeadingDroppedTokens();
   // Every tensor-parallel worker ships its feature slice of each chunk.
   state.bytes = static_cast<double>(state.resident_tokens) *
-                static_cast<double>(cost_model_.KvBytesPerToken()) *
+                static_cast<double>(KvWireBytesPerToken()) *
                 static_cast<double>(cost_model_.hardware().num_gpus);
   cache_.Release(conversation_id);
   stats_.migrated_out_tokens += state.resident_tokens;
@@ -1003,6 +1034,7 @@ DrainedWork PensieveEngine::DrainUnfinished() {
   pending_forced_stall_ = 0.0;
   SyncFlashStats();
   SyncShareStats();
+  SyncQuantStats();
   return drained;
 }
 

@@ -72,6 +72,13 @@ struct PensieveEngineOptions {
   int64_t ssd_segment_blocks = 64;
   // Fault injection on the simulated SSD link (demote/promote transfers).
   LinkFaultProfile ssd_fault_profile;
+  // Int8 KV quantization at the tier boundary: CPU/SSD copies are stored
+  // and transferred compressed (per-block amax scale), the CPU and SSD
+  // block budgets are accounted in compressed bytes (~2x the
+  // conversations per GB), and every off-GPU KV transfer — swap, spill,
+  // promote, migration — is priced at the compressed size. Off by default;
+  // when off the engine is bit-identical to the unquantized build.
+  bool kv_quant = false;
 };
 
 class PensieveEngine final : public Engine {
@@ -190,6 +197,16 @@ class PensieveEngine final : public Engine {
   // Mirrors the cache's monotone flash counters into stats_ (assignment, not
   // accumulation — same idiom as the link-fault stats snapshots).
   void SyncFlashStats();
+
+  // Mirrors the cache's KV-quantization counters into stats_ (assignment
+  // idiom, like SyncFlashStats). No-op fields when kv_quant is off.
+  void SyncQuantStats();
+
+  // Bytes one KV token occupies on the wire for off-GPU transfers (swap,
+  // spill, promote, migration) and in CPU/SSD storage: the compressed int8
+  // size under kv_quant, the fp16 substrate size otherwise. Per-GPU share,
+  // matching cost_model_.KvBytesPerToken().
+  int64_t KvWireBytesPerToken() const;
 
   // --- Shared-prefix dedup -------------------------------------------------
   // What AttachTemplatePrefix changed, so a failed admission can undo it: a

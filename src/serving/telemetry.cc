@@ -134,16 +134,37 @@ std::string FormatPrefixSharingSummary(const EngineStats& stats) {
   return out;
 }
 
+std::string FormatKvQuantSummary(const EngineStats& stats) {
+  if (stats.kv_quant_blocks == 0 && stats.kv_quant_bytes_saved == 0) {
+    return "";
+  }
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "kv-quant-blocks:   %lld blocks int8-quantized at the GPU "
+                "boundary\n",
+                static_cast<long long>(stats.kv_quant_blocks));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "kv-quant-bytes-saved: %.1f MB vs fp16 KV in the CPU/SSD "
+                "tiers\n",
+                static_cast<double>(stats.kv_quant_bytes_saved) / 1e6);
+  out += buf;
+  return out;
+}
+
 Status WriteStepTraceCsv(const std::string& path,
-                         const std::vector<StepTraceEntry>& trace) {
+                         const std::vector<StepTraceEntry>& trace,
+                         QuantMode weight_quant) {
   std::ofstream out(path, std::ios::trunc);
   if (!out.is_open()) {
     return Status::Internal("cannot open " + path);
   }
-  out << "start_s,duration_s,batch_requests,batch_tokens,finished\n";
+  const char* quant = QuantModeName(weight_quant);
+  out << "start_s,duration_s,batch_requests,batch_tokens,finished,weight_quant\n";
   for (const StepTraceEntry& e : trace) {
     out << e.start << ',' << e.duration << ',' << e.batch_requests << ','
-        << e.batch_tokens << ',' << e.finished << '\n';
+        << e.batch_tokens << ',' << e.finished << ',' << quant << '\n';
   }
   out.flush();
   if (!out.good()) {

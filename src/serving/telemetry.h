@@ -14,6 +14,7 @@
 #include "src/common/status.h"
 #include "src/scheduler/request.h"
 #include "src/serving/engine.h"
+#include "src/tensor/packed_matrix.h"
 
 namespace pensieve {
 
@@ -57,9 +58,17 @@ std::string FormatSsdTierSummary(const EngineStats& stats);
 // dedup-off runs and template-free traces print exactly what they always did.
 std::string FormatPrefixSharingSummary(const EngineStats& stats);
 
+// Human-readable KV-quantization report (`kv-quant-blocks:` and
+// `kv-quant-bytes-saved:` lines). Empty when no block was quantized, so
+// kv-quant-off runs print exactly what they always did.
+std::string FormatKvQuantSummary(const EngineStats& stats);
+
 // CSV writers. Paths are created/truncated; returns an error on I/O failure.
+// The step trace carries the run's weight-quantization mode as a constant
+// `weight_quant` column so downstream plots can separate fp32/int8 sweeps.
 Status WriteStepTraceCsv(const std::string& path,
-                         const std::vector<StepTraceEntry>& trace);
+                         const std::vector<StepTraceEntry>& trace,
+                         QuantMode weight_quant = QuantMode::kFp32);
 Status WriteOutcomesCsv(const std::string& path,
                         const std::vector<RequestOutcome>& outcomes);
 

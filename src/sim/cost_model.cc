@@ -7,13 +7,16 @@
 
 namespace pensieve {
 
-GpuCostModel::GpuCostModel(const ModelConfig& model, const HardwareSpec& hw)
-    : model_(model), hw_(hw) {
+GpuCostModel::GpuCostModel(const ModelConfig& model, const HardwareSpec& hw,
+                           QuantMode weight_quant)
+    : model_(model), hw_(hw), weight_quant_(weight_quant) {
   PENSIEVE_CHECK_EQ(model.num_gpus, hw.num_gpus);
   effective_flops_ = hw.gpu_flops * hw.num_gpus * (hw.num_gpus > 1 ? hw.tp_efficiency : 1.0);
   effective_hbm_ = hw.hbm_bandwidth * hw.num_gpus * (hw.num_gpus > 1 ? hw.tp_efficiency : 1.0);
-  weight_bytes_ = static_cast<double>(model.ApproxParamCount()) *
-                  static_cast<double>(model.bytes_per_value);
+  const double weight_bytes_per_value =
+      weight_quant == QuantMode::kInt8 ? 1.0
+                                       : static_cast<double>(model.bytes_per_value);
+  weight_bytes_ = static_cast<double>(model.ApproxParamCount()) * weight_bytes_per_value;
 }
 
 double GpuCostModel::WeightReadTime() const { return weight_bytes_ / effective_hbm_; }

@@ -14,15 +14,23 @@
 
 #include "src/model/model_config.h"
 #include "src/sim/hardware.h"
+#include "src/tensor/packed_matrix.h"
 
 namespace pensieve {
 
 class GpuCostModel {
  public:
-  GpuCostModel(const ModelConfig& model, const HardwareSpec& hw);
+  // weight_quant models int8 weight storage: the per-step weight-read floor
+  // (the memory-bound decode bound) streams one byte per parameter instead
+  // of bytes_per_value. FLOP counts are unchanged — accumulation stays
+  // wide — so only the bandwidth term moves, matching the CPU substrate's
+  // prepacked int8 microkernels.
+  GpuCostModel(const ModelConfig& model, const HardwareSpec& hw,
+               QuantMode weight_quant = QuantMode::kFp32);
 
   const ModelConfig& model() const { return model_; }
   const HardwareSpec& hardware() const { return hw_; }
+  QuantMode weight_quant() const { return weight_quant_; }
 
   // One request's contribution to a batch step: it processes `query_len`
   // input tokens attending to a total context of `context_len` tokens
@@ -67,6 +75,7 @@ class GpuCostModel {
  private:
   ModelConfig model_;
   HardwareSpec hw_;
+  QuantMode weight_quant_ = QuantMode::kFp32;
   double effective_flops_;   // across all tensor-parallel GPUs
   double effective_hbm_;     // across all tensor-parallel GPUs
   double weight_bytes_;

@@ -30,16 +30,42 @@
 // older CPUs. Both follow the reduction order above; FMA rounds differently
 // than mul+add, so absolute values may differ *between* the two variants,
 // but never within a process (one variant serves every call).
+//
+// Int8 path (QuantMode::kInt8). Decode GEMV is memory-bound: m = 1 streams
+// the whole weight matrix per token and saturates the bus long before the
+// ALUs. Quantizing the payload to int8 (symmetric per output column:
+// scale[j] = amax_k |W[j][k]| / 127, stored once per panel column) quarters
+// the bytes streamed while accumulation stays fp32 — each int8 panel entry
+// is widened to float inside the microkernel, summed in the exact reduction
+// order above, and the column scale is applied once per kKC block as the
+// block's partial sum is folded into C. That keeps the §7 determinism
+// contract intact for the int8 path: still bit-identical across thread
+// counts, partitioning paths and batch sizes (DESIGN.md §12).
 
 #ifndef PENSIEVE_SRC_TENSOR_PACKED_MATRIX_H_
 #define PENSIEVE_SRC_TENSOR_PACKED_MATRIX_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/tensor/tensor.h"
 
 namespace pensieve {
+
+// Weight storage mode for a PackedMatrix. kFp32 is the exact prepacked
+// float path; kInt8 stores the panels as symmetric per-column int8 with
+// fp32 accumulation.
+enum class QuantMode { kFp32, kInt8 };
+
+// "fp32" / "int8".
+const char* QuantModeName(QuantMode mode);
+// Parses "fp32" / "int8"; returns false on anything else.
+bool QuantModeByName(const std::string& name, QuantMode* mode);
+
+// Instruction set the per-process GEMM dispatcher selected: "avx2" or
+// "sse". Recorded in bench JSON headers so results are attributable.
+const char* GemmIsaName();
 
 // Register-tile and cache-block constants for the packed GEMM. Sized for a
 // baseline SSE2 target: an MR x NR = 4 x 8 float accumulator tile uses 8 of
@@ -56,24 +82,48 @@ class PackedMatrix {
   // Empty placeholder (0 x 0); assign a packed value before use.
   PackedMatrix() = default;
 
-  // Packs w (rank 2, [out, in]). Parallelized over panels.
-  explicit PackedMatrix(const Tensor& w);
+  // Packs w (rank 2, [out, in]). Parallelized over panels. kInt8 quantizes
+  // each output column symmetrically (scale = amax / 127) while packing;
+  // the fp32 weights are not retained.
+  explicit PackedMatrix(const Tensor& w, QuantMode mode = QuantMode::kFp32);
 
   int64_t out_dim() const { return out_dim_; }
   int64_t in_dim() const { return in_dim_; }
   int64_t num_panels() const { return num_panels_; }
+  QuantMode quant_mode() const { return quant_mode_; }
 
-  // Start of panel p: in_dim() rows of kGemmNR contiguous floats.
+  // Start of panel p: in_dim() rows of kGemmNR contiguous floats. fp32 mode
+  // only.
   const float* panel(int64_t p) const {
     PENSIEVE_CHECK_LT(p, num_panels_);
     return data_.data() + p * in_dim_ * kGemmNR;
   }
 
+  // Int8-mode accessors: panel payload (same k-major layout as panel(),
+  // int8 entries) and the kGemmNR per-column scales of panel p (padding
+  // columns carry scale 0).
+  const int8_t* qpanel(int64_t p) const {
+    PENSIEVE_CHECK_LT(p, num_panels_);
+    return qdata_.data() + p * in_dim_ * kGemmNR;
+  }
+  const float* scales(int64_t p) const {
+    PENSIEVE_CHECK_LT(p, num_panels_);
+    return scales_.data() + p * kGemmNR;
+  }
+
+  // Bytes the GEMV streams per full pass over the matrix (payload plus, in
+  // int8 mode, the per-column scales). The memory-bound decode story in
+  // BENCH_gemm.json is told in these bytes.
+  int64_t PackedBytes() const;
+
  private:
   int64_t out_dim_ = 0;
   int64_t in_dim_ = 0;
   int64_t num_panels_ = 0;
-  std::vector<float> data_;
+  QuantMode quant_mode_ = QuantMode::kFp32;
+  std::vector<float> data_;      // fp32 mode payload
+  std::vector<int8_t> qdata_;    // int8 mode payload
+  std::vector<float> scales_;    // int8 mode: num_panels * kGemmNR scales
 };
 
 // C[m, out] = A[m, in] * W^T for a prepacked W. Overwrites c (no need to

@@ -121,6 +121,35 @@ TEST(TelemetryTest, PrefixSharingSummaryEmptyWithoutTraffic) {
   EXPECT_EQ(FormatPrefixSharingSummary(stats), "");
 }
 
+TEST(TelemetryTest, KvQuantSummaryEmptyWithoutQuantizedBlocks) {
+  EngineStats stats;
+  EXPECT_EQ(FormatKvQuantSummary(stats), "");
+}
+
+TEST(TelemetryTest, KvQuantSummaryFormatsBothLines) {
+  EngineStats stats;
+  stats.kv_quant_blocks = 42;
+  stats.kv_quant_bytes_saved = 3 * 1000 * 1000;
+  const std::string out = FormatKvQuantSummary(stats);
+  EXPECT_NE(out.find("kv-quant-blocks:"), std::string::npos);
+  EXPECT_NE(out.find("42 blocks int8-quantized"), std::string::npos);
+  EXPECT_NE(out.find("kv-quant-bytes-saved:"), std::string::npos);
+  EXPECT_NE(out.find("3.0 MB"), std::string::npos);
+  EXPECT_EQ(CountLines(out), 2u);
+}
+
+TEST(TelemetryTest, StepTraceCsvCarriesWeightQuantColumn) {
+  std::vector<StepTraceEntry> trace = {{0.5, 0.25, 3, 99, 2}};
+  const std::string path = TempPath("steps_quant.csv");
+  ASSERT_TRUE(WriteStepTraceCsv(path, trace, QuantMode::kInt8).ok());
+  const std::string contents = ReadAll(path);
+  EXPECT_NE(contents.find(",weight_quant\n"), std::string::npos);
+  EXPECT_NE(contents.find("0.5,0.25,3,99,2,int8"), std::string::npos);
+  // Default stays fp32 so existing callers keep a truthful column.
+  ASSERT_TRUE(WriteStepTraceCsv(path, trace).ok());
+  EXPECT_NE(ReadAll(path).find("0.5,0.25,3,99,2,fp32"), std::string::npos);
+}
+
 TEST(TelemetryTest, PrefixSharingSummaryFormatsAllLines) {
   EngineStats stats;
   stats.dedup_hit_requests = 7;

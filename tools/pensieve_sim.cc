@@ -124,6 +124,15 @@ int Run(int argc, char** argv) {
                "worker threads for the CPU kernels/GEMMs (default: "
                "PENSIEVE_THREADS env var, else hardware concurrency); results "
                "are bit-identical for every value");
+  flags.AddString("weight-quant", "fp32",
+                  "weight storage: fp32 (default, bit-identical to prior "
+                  "builds) or int8 (per-column symmetric scales; the cost "
+                  "model's per-step weight-read floor streams 1 B/param)");
+  flags.AddString("kv-quant", "off",
+                  "int8 KV compression at the GPU boundary: on quantizes "
+                  "blocks demoted to the CPU/SSD tiers (~2x capacity, "
+                  "compressed transfers), off keeps fp16 KV everywhere "
+                  "(bit-identical to prior builds)");
   AddFaultFlags(&flags);
   flags.AddBool("help", false, "print usage");
   Status status = flags.Parse(argc, argv);
@@ -197,8 +206,20 @@ int Run(int argc, char** argv) {
   }
   overrides.ssd_segment_blocks = flags.GetInt("ssd-segment-blocks");
   overrides.ssd_fault_profile = fault_config.ssd;
+  QuantMode weight_quant;
+  if (!QuantModeByName(flags.GetString("weight-quant"), &weight_quant)) {
+    std::fprintf(stderr, "unknown weight-quant '%s' (fp32 or int8)\n",
+                 flags.GetString("weight-quant").c_str());
+    return 2;
+  }
+  const std::string kv_quant = flags.GetString("kv-quant");
+  if (kv_quant != "on" && kv_quant != "off") {
+    std::fprintf(stderr, "unknown kv-quant '%s' (on or off)\n", kv_quant.c_str());
+    return 2;
+  }
+  overrides.kv_quant = kv_quant == "on";
 
-  const GpuCostModel cost_model(model, A100Spec(model.num_gpus));
+  const GpuCostModel cost_model(model, A100Spec(model.num_gpus), weight_quant);
   TraceOptions trace_options;
   trace_options.num_conversations = flags.GetInt("conversations");
   trace_options.conversation_rate = flags.GetDouble("rate");
@@ -323,6 +344,7 @@ int Run(int argc, char** argv) {
     std::printf("%s", FormatKvFaultSummary(s.engine_stats).c_str());
     std::printf("%s", FormatSsdTierSummary(s.engine_stats).c_str());
     std::printf("%s", FormatPrefixSharingSummary(s.engine_stats).c_str());
+    std::printf("%s", FormatKvQuantSummary(s.engine_stats).c_str());
     for (size_t i = 0; i < cs.replicas.size(); ++i) {
       const ServingSummary& r = cs.replicas[i];
       std::printf("  replica %-2zu       %ld requests, %.1f s busy, hit %.3f\n",
@@ -383,6 +405,7 @@ int Run(int argc, char** argv) {
   std::printf("%s", FormatKvFaultSummary(s.engine_stats).c_str());
   std::printf("%s", FormatSsdTierSummary(s.engine_stats).c_str());
   std::printf("%s", FormatPrefixSharingSummary(s.engine_stats).c_str());
+  std::printf("%s", FormatKvQuantSummary(s.engine_stats).c_str());
   const StepTraceSummary st = SummarizeStepTrace(steps);
   std::printf("scheduler:         %ld steps, mean batch %.1f requests / %.1f "
               "tokens, %.1f s busy\n",
@@ -398,7 +421,7 @@ int Run(int argc, char** argv) {
     std::printf("wrote %s\n", flags.GetString("outcomes_csv").c_str());
   }
   if (!flags.GetString("steps_csv").empty()) {
-    status = WriteStepTraceCsv(flags.GetString("steps_csv"), steps);
+    status = WriteStepTraceCsv(flags.GetString("steps_csv"), steps, weight_quant);
     if (!status.ok()) {
       std::fprintf(stderr, "%s\n", status.ToString().c_str());
       return 1;
