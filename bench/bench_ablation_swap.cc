@@ -15,9 +15,10 @@ namespace pensieve {
 namespace {
 
 ServingSummary RunWith(const GpuCostModel& cost_model, double rate,
-                       double swap_threshold, bool pipelined, double reserve) {
+                       double swap_threshold, bool pipelined, double reserve,
+                       bool smoke) {
   TraceOptions trace_options;
-  trace_options.num_conversations = BenchConversations(200);
+  trace_options.num_conversations = BenchConversations(smoke ? 12 : 200);
   trace_options.conversation_rate = rate;
   trace_options.mean_think_time = 60.0;
   WorkloadTrace trace(ShareGptProfile(), trace_options);
@@ -38,7 +39,7 @@ ServingSummary RunWith(const GpuCostModel& cost_model, double rate,
   return RunServingExperiment(&engine, trace);
 }
 
-void RunAblations() {
+void RunAblations(bool smoke) {
   const GpuCostModel cost_model(Opt13BConfig(), A100Spec(1));
   const double rate = 2.0;
 
@@ -46,8 +47,11 @@ void RunAblations() {
               "====\n");
   std::printf("%-12s %-14s %-14s %-22s %-20s\n", "threshold", "tput(req/s)",
               "p90_lat(ms)", "forced_swap_tokens", "aot_swap_tokens");
-  for (double threshold : {0.0, 0.1, 0.25, 0.5}) {
-    ServingSummary s = RunWith(cost_model, rate, threshold, true, 0.10);
+  const std::vector<double> thresholds =
+      smoke ? std::vector<double>{0.0, 0.25}
+            : std::vector<double>{0.0, 0.1, 0.25, 0.5};
+  for (double threshold : thresholds) {
+    ServingSummary s = RunWith(cost_model, rate, threshold, true, 0.10, smoke);
     std::printf("%-12.2f %-14.3f %-14.1f %-22ld %-20ld\n", threshold,
                 s.throughput_rps, s.p90_normalized_latency * 1e3,
                 static_cast<long>(s.engine_stats.forced_swap_out_tokens),
@@ -58,18 +62,32 @@ void RunAblations() {
               "§4.3.3) ====\n");
   std::printf("%-12s %-14s %-14s %-22s\n", "pipelined", "tput(req/s)",
               "p90_lat(ms)", "restore_stall(s)");
+  double stall_pipelined = 0.0;
+  double stall_blocking = 0.0;
   for (bool pipelined : {true, false}) {
-    ServingSummary s = RunWith(cost_model, rate, 0.25, pipelined, 0.10);
+    ServingSummary s = RunWith(cost_model, rate, 0.25, pipelined, 0.10, smoke);
     std::printf("%-12s %-14.3f %-14.1f %-22.3f\n", pipelined ? "yes" : "no",
                 s.throughput_rps, s.p90_normalized_latency * 1e3,
                 s.engine_stats.restore_stall_seconds);
+    (pipelined ? stall_pipelined : stall_blocking) =
+        s.engine_stats.restore_stall_seconds;
+  }
+  // --smoke self-check: layer-pipelined restore can only hide stall.
+  if (smoke && stall_pipelined > stall_blocking) {
+    std::fprintf(stderr,
+                 "FAIL: pipelined restore stalled longer than blocking "
+                 "(%.3f s > %.3f s)\n", stall_pipelined, stall_blocking);
+    std::exit(1);
   }
 
   std::printf("\n==== Ablation 3: decode reservation (paper §4.3.5: 0.10) ====\n");
   std::printf("%-12s %-14s %-14s %-14s\n", "reserve", "tput(req/s)",
               "p90_lat(ms)", "suspensions");
-  for (double reserve : {0.0, 0.05, 0.10, 0.25}) {
-    ServingSummary s = RunWith(cost_model, rate, 0.25, true, reserve);
+  const std::vector<double> reserves =
+      smoke ? std::vector<double>{0.0, 0.10}
+            : std::vector<double>{0.0, 0.05, 0.10, 0.25};
+  for (double reserve : reserves) {
+    ServingSummary s = RunWith(cost_model, rate, 0.25, true, reserve, smoke);
     std::printf("%-12.2f %-14.3f %-14.1f %-14ld\n", reserve, s.throughput_rps,
                 s.p90_normalized_latency * 1e3,
                 static_cast<long>(s.engine_stats.suspensions));
@@ -82,6 +100,7 @@ void RunAblations() {
 
 int main(int argc, char** argv) {
   pensieve::ConsumeThreadsFlag(&argc, argv);
-  pensieve::RunAblations();
+  const bool smoke = pensieve::ConsumeSmokeFlag(&argc, argv);
+  pensieve::RunAblations(smoke);
   return 0;
 }

@@ -81,6 +81,23 @@ inline void ConsumeThreadsFlag(int* argc, char** argv) {
   ThreadPool::SetGlobalThreads(threads);
 }
 
+// Consumes `--smoke` from argv; returns true when present. Benches use it
+// to shrink to CI size and turn on their self-checks (a violated invariant
+// exits nonzero, which makes the smoke ctest entry a real test).
+inline bool ConsumeSmokeFlag(int* argc, char** argv) {
+  bool smoke = false;
+  int write = 1;
+  for (int read = 1; read < *argc; ++read) {
+    if (std::strcmp(argv[read], "--smoke") == 0) {
+      smoke = true;
+      continue;
+    }
+    argv[write++] = argv[read];
+  }
+  *argc = write;
+  return smoke;
+}
+
 inline void RunSystemsSweep(const std::string& title, const GpuCostModel& cost_model,
                             const DatasetProfile& profile,
                             const std::vector<SystemKind>& systems,

@@ -2,18 +2,43 @@
 
 #include <algorithm>
 #include <limits>
+#include <unordered_map>
 #include <utility>
 
 #include "src/cluster/replica.h"
 #include "src/common/logging.h"
 #include "src/serving/experiment_core.h"
 #include "src/sim/event_loop.h"
+#include "src/sim/kv_stream.h"
 
 namespace pensieve {
 
 namespace {
 
 constexpr double kNever = std::numeric_limits<double>::infinity();
+
+// One prefill->decode KV stream on the NIC (DESIGN.md §13). Indexed by its
+// kHandoffArrival event id; the entry outlives the stream so a replica
+// failure between launch and arrival can void the payload in place.
+struct HandoffStream {
+  int64_t conversation_id = 0;
+  int32_t src = -1;
+  int32_t dst = -1;
+  MigratedKvState state;
+  Request continuation;
+  bool state_only = false;  // nothing left to decode; KV placement only
+  bool cancelled = false;   // an endpoint died mid-stream; payload lost
+  bool arrived = false;     // the kHandoffArrival event has been processed
+};
+
+// Prefill-side half of a handed-off turn, waiting to be merged with the
+// decode-side half into one end-to-end outcome. A conversation has at most
+// one turn in flight, so at most one chain.
+struct HandoffChain {
+  Request original;
+  RequestOutcome partial;
+  bool has_partial = false;
+};
 
 }  // namespace
 
@@ -28,7 +53,17 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
   for (int32_t i = 0; i < options.num_replicas; ++i) {
     replicas.emplace_back(i, make_engine(i));
   }
-  std::unique_ptr<Router> router = MakeRouter(options.router);
+  std::unique_ptr<Router> router;
+  if (options.disagg.enabled) {
+    PENSIEVE_CHECK_GE(options.num_replicas, 2)
+        << "disaggregation needs at least one prefill and one decode replica";
+    DisaggRouterConfig config;
+    config.prefill_replicas = options.disagg.prefill_replicas;
+    config.min_handoff_tokens = options.disagg.min_handoff_tokens;
+    router = MakeDisaggRouter(config);
+  } else {
+    router = MakeRouter(options.router);
+  }
   ClusterInterconnect interconnect(options.num_replicas, options.interconnect);
   LinkFaultInjector nic_faults(options.fault_seed, options.nic_fault_profile,
                                options.fault_retry);
@@ -55,6 +90,11 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
   FaultStats faults;
   // Requests with no alive replica to run on; flushed at the next recovery.
   std::vector<Request> orphans;
+  HandoffStats handoff;
+  // Prefill-side halves waiting for their decode halves, by conversation.
+  std::unordered_map<int64_t, HandoffChain> chains;
+  // Every KV stream launched this run; kHandoffArrival events index this.
+  std::vector<HandoffStream> streams;
 
   std::vector<ReplicaView> views(replicas.size());
   auto snapshot_views = [&]() {
@@ -62,6 +102,12 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
       views[i].alive = replicas[i].alive();
       views[i].engine = views[i].alive ? &replicas[i].engine() : nullptr;
       views[i].load = views[i].alive ? replicas[i].engine().Load() : EngineLoad{};
+      // Routed-but-undelivered work is invisible to the engine; without it a
+      // burst dispatched between replica steps sees every load as zero and
+      // herds. Folded into the weighted term only, so unweighted
+      // (session-affinity / --disagg=off) decisions are untouched.
+      views[i].load.queued_uncached_prefill_tokens +=
+          replicas[i].pending_request_tokens();
     }
   };
   auto any_alive = [&]() {
@@ -94,6 +140,27 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
     Replica::Delivery delivery;
     delivery.time = now;
     delivery.request = req;
+    if (options.disagg.enabled && !req.handoff_continuation) {
+      // The router decides afresh at every dispatch (including crash
+      // re-drains) whether this turn prefills remotely or runs colocated.
+      delivery.request.prefill_only = decision.prefill_handoff;
+      if (decision.prefill_handoff) {
+        ++handoff.handoff_requests;
+        // (Re)arm the merge chain. A conversation has at most one turn in
+        // flight, so any existing chain belongs to an earlier incarnation
+        // of this same turn (its prefill replica crashed before finishing).
+        HandoffChain& chain = chains[req.conversation_id];
+        const bool keep_partial = chain.has_partial;
+        if (!keep_partial) {
+          chain.original = req;
+          chain.original.prefill_only = false;
+          chain.partial = RequestOutcome{};
+          chain.partial.request = chain.original;
+        }
+      } else {
+        ++handoff.colocated_requests;
+      }
+    }
     if (allow_migrate && decision.migrate && decision.source >= 0 &&
         decision.source != decision.target &&
         replicas[static_cast<size_t>(decision.source)].alive()) {
@@ -149,6 +216,25 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
     for (const Replica::Delivery& d : drain.deliveries) {
       route_and_deliver(d.request, event.time, /*allow_migrate=*/false);
     }
+    // KV streams touching the dead replica die mid-flight: the payload is
+    // voided here, but the arrival event still fires and delivers (or
+    // re-routes) the continuation with bookkeeping only, so the decode side
+    // degrades to dropped-prefix recompute instead of dropping the request.
+    for (HandoffStream& s : streams) {
+      if (s.arrived || s.cancelled || s.state.resident_tokens <= 0) {
+        continue;
+      }
+      if (s.src != static_cast<int32_t>(event.id) &&
+          s.dst != static_cast<int32_t>(event.id)) {
+        continue;
+      }
+      s.cancelled = true;
+      ++handoff.failed_streams;
+      handoff.kv_tokens_lost += s.state.resident_tokens;
+      faults.lost_kv_tokens += s.state.resident_tokens;
+      s.state.resident_tokens = 0;
+      s.state.bytes = 0.0;
+    }
   };
 
   auto handle_recover = [&](const SimEvent& event) {
@@ -167,6 +253,204 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
     for (const Request& req : stranded) {
       route_and_deliver(req, event.time, /*allow_migrate=*/false);
     }
+  };
+
+  // Merges the prefill- and decode-side halves of a handed-off turn into
+  // one end-to-end outcome and records it on the finishing replica.
+  // `decode_half` is null for single-token responses that finished entirely
+  // on the prefill side.
+  auto finish_chain = [&](int64_t conv, const RequestOutcome* decode_half,
+                          int32_t finishing_replica, double finish_time) {
+    auto it = chains.find(conv);
+    PENSIEVE_CHECK(it != chains.end())
+        << "handoff half finished with no chain for conversation " << conv;
+    RequestOutcome merged = it->second.partial;
+    merged.request = it->second.original;
+    merged.finish_time = finish_time;
+    if (decode_half != nullptr) {
+      merged.prefill_input_tokens += decode_half->prefill_input_tokens;
+      merged.reused_gpu_tokens += decode_half->reused_gpu_tokens;
+      merged.reused_cpu_tokens += decode_half->reused_cpu_tokens;
+      merged.reused_ssd_tokens += decode_half->reused_ssd_tokens;
+      merged.reused_shared_tokens += decode_half->reused_shared_tokens;
+      merged.recomputed_tokens += decode_half->recomputed_tokens;
+      merged.generated_tokens += decode_half->generated_tokens;
+      merged.suspensions += decode_half->suspensions;
+      merged.decode_admit_time = decode_half->first_scheduled_time;
+    }
+    replicas[static_cast<size_t>(finishing_replica)].RecordOutcome(merged);
+    if (options.outcomes != nullptr) {
+      options.outcomes->push_back(merged);
+    }
+    arrivals.OnRequestFinished(merged);
+    chains.erase(it);
+  };
+
+  // A prefill-role replica finished the prefill half of a handed-off turn:
+  // fold its accounting into the chain, place the remainder on a decode
+  // replica, export the KV, and launch the layer-pipelined stream. The
+  // stream was already overlapping the prefill step, so its chunks become
+  // ready across [prefill_compute_start, finish_time].
+  auto handle_prefill_finish = [&](const RequestOutcome& outcome, int32_t p) {
+    const int64_t conv = outcome.request.conversation_id;
+    auto it = chains.find(conv);
+    PENSIEVE_CHECK(it != chains.end())
+        << "prefill finished with no chain for conversation " << conv;
+    HandoffChain& chain = it->second;
+    if (!chain.has_partial) {
+      chain.partial.first_scheduled_time = outcome.first_scheduled_time;
+      chain.partial.first_token_time = outcome.first_token_time;
+      chain.partial.prefill_compute_start = outcome.prefill_compute_start;
+      chain.partial.prefill_replica = p;
+      chain.has_partial = true;
+    }
+    chain.partial.prefill_input_tokens += outcome.prefill_input_tokens;
+    chain.partial.reused_gpu_tokens += outcome.reused_gpu_tokens;
+    chain.partial.reused_cpu_tokens += outcome.reused_cpu_tokens;
+    chain.partial.reused_ssd_tokens += outcome.reused_ssd_tokens;
+    chain.partial.reused_shared_tokens += outcome.reused_shared_tokens;
+    chain.partial.recomputed_tokens += outcome.recomputed_tokens;
+    chain.partial.generated_tokens += outcome.generated_tokens;
+    chain.partial.suspensions += outcome.suspensions;
+
+    // The decode-side remainder: the prefill side emitted the first output
+    // token, which becomes the continuation's one-token "prompt".
+    Request cont = outcome.request;
+    cont.prefill_only = false;
+    cont.handoff_continuation = true;
+    cont.history_len =
+        outcome.request.history_len + outcome.request.new_prompt_len;
+    cont.new_prompt_len = 1;
+    cont.target_output_len =
+        outcome.request.target_output_len - outcome.generated_tokens;
+    // Single-token responses finished entirely on the prefill side; the
+    // stream below (if any) only places KV for the conversation's next turn.
+    const bool state_only = cont.target_output_len <= 0;
+
+    snapshot_views();
+    const RoutingDecision decision = router->Route(cont, views);
+    const int32_t d = decision.target;
+    PENSIEVE_CHECK_GE(d, 0);
+    PENSIEVE_CHECK_LT(d, static_cast<int32_t>(replicas.size()));
+
+    Replica& prefiller = replicas[static_cast<size_t>(p)];
+    if (d == p) {
+      // Decode pool routed back onto the prefill replica (pool dead): the
+      // KV is already resident here, no wire transfer.
+      ++handoff.local_handoffs;
+      if (state_only) {
+        finish_chain(conv, nullptr, p, outcome.finish_time);
+        return;
+      }
+      Replica::Delivery delivery;
+      delivery.time = outcome.finish_time;
+      delivery.request = cont;
+      prefiller.Deliver(std::move(delivery));
+      return;
+    }
+
+    MigratedKvState state = prefiller.engine().ExportConversationState(conv);
+    // The stream writes layer by layer into the decode GPU's KV pool; no
+    // host->device restore is owed when the continuation admits.
+    state.gpu_direct = true;
+    if (state.resident_tokens <= 0) {
+      // Nothing resident to stream (evicted under pressure mid-prefill);
+      // the decode side recomputes the whole prefix.
+      ++handoff.local_handoffs;
+      if (state_only) {
+        finish_chain(conv, nullptr, p, outcome.finish_time);
+        return;
+      }
+      Replica::Delivery delivery;
+      delivery.time = outcome.finish_time;
+      delivery.request = cont;
+      delivery.migrated = state;  // kv_len bookkeeping only
+      replicas[static_cast<size_t>(d)].Deliver(std::move(delivery));
+      return;
+    }
+
+    KvStreamPlan plan;
+    plan.src = p;
+    plan.dst = d;
+    plan.bytes = state.bytes;
+    plan.num_layers = std::max<int64_t>(1, options.disagg.stream_layers);
+    plan.compute_start = outcome.prefill_compute_start;
+    plan.compute_end = outcome.finish_time;
+    const KvStreamResult stream =
+        StreamKvLayers(&interconnect, &nic_faults, plan);
+    ++handoff.streams;
+    handoff.stream_chunks += stream.chunks_delivered;
+    handoff.stream_bytes += stream.bytes_delivered;
+    if (stream.delivered) {
+      handoff.overlap_saved_seconds += stream.unpipelined_done - stream.done;
+      handoff.stream_wait_seconds +=
+          std::max(0.0, stream.done - outcome.finish_time);
+    } else {
+      ++handoff.failed_streams;
+      handoff.kv_tokens_lost += state.resident_tokens;
+      faults.lost_kv_tokens += state.resident_tokens;
+      state.resident_tokens = 0;
+      state.bytes = 0.0;
+    }
+    chain.partial.handoff_stream_done = stream.done;
+    if (state_only) {
+      finish_chain(conv, nullptr, p, outcome.finish_time);
+      // `chain` is dangling from here on.
+    }
+
+    HandoffStream inflight;
+    inflight.conversation_id = conv;
+    inflight.src = p;
+    inflight.dst = d;
+    inflight.state = state;
+    inflight.continuation = cont;
+    inflight.state_only = state_only;
+    streams.push_back(std::move(inflight));
+    SimEvent arrival;
+    arrival.time = stream.done;
+    arrival.kind = SimEventKind::kHandoffArrival;
+    arrival.id = static_cast<int64_t>(streams.size()) - 1;
+    events.Push(arrival);
+  };
+
+  // A KV stream's final layer landed (or its abandonment time passed):
+  // admit the continuation at the decode replica with whatever survived.
+  auto handle_handoff_arrival = [&](const SimEvent& event) {
+    HandoffStream& s = streams[static_cast<size_t>(event.id)];
+    s.arrived = true;
+    Replica& dst = replicas[static_cast<size_t>(s.dst)];
+    if (s.state_only) {
+      if (dst.alive() && s.state.resident_tokens > 0) {
+        Replica::Delivery delivery;
+        delivery.time = event.time;
+        delivery.request.conversation_id = s.conversation_id;
+        delivery.migrated = s.state;
+        delivery.state_only = true;
+        handoff.streamed_tokens += s.state.resident_tokens;
+        dst.Deliver(std::move(delivery));
+      } else if (!dst.alive() && s.state.resident_tokens > 0) {
+        // Landed on a corpse (the failure that would have voided the
+        // payload hit after our send completed): the KV is simply lost.
+        ++handoff.failed_streams;
+        handoff.kv_tokens_lost += s.state.resident_tokens;
+        faults.lost_kv_tokens += s.state.resident_tokens;
+      }
+      return;
+    }
+    if (!dst.alive()) {
+      // The decode target died while the stream was in flight; the payload
+      // was voided at fail time, and the continuation re-routes afresh.
+      route_and_deliver(s.continuation, event.time, /*allow_migrate=*/false);
+      return;
+    }
+    Replica::Delivery delivery;
+    delivery.time = event.time;
+    delivery.request = s.continuation;
+    delivery.migrated = s.state;
+    if (s.state.resident_tokens > 0) {
+      handoff.streamed_tokens += s.state.resident_tokens;
+    }
+    dst.Deliver(std::move(delivery));
   };
 
   while (true) {
@@ -200,6 +484,9 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
         case SimEventKind::kReplicaRecover:
           handle_recover(event);
           break;
+        case SimEventKind::kHandoffArrival:
+          handle_handoff_arrival(event);
+          break;
       }
       continue;
     }
@@ -214,6 +501,15 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
       continue;
     }
     for (const RequestOutcome& outcome : step.result.finished) {
+      if (outcome.request.prefill_only) {
+        handle_prefill_finish(outcome, next_replica);
+        continue;
+      }
+      if (outcome.request.handoff_continuation) {
+        finish_chain(outcome.request.conversation_id, &outcome, next_replica,
+                     outcome.finish_time);
+        continue;
+      }
       if (options.outcomes != nullptr) {
         options.outcomes->push_back(outcome);
       }
@@ -276,6 +572,11 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
   summary.migration.overload_queued = router->counters().overload_queued;
   summary.faults = faults;
   summary.nic_link_faults = nic_faults.stats();
+  summary.handoff = handoff;
+  if (options.disagg.enabled) {
+    summary.prefill_replicas =
+        std::min(options.disagg.prefill_replicas, options.num_replicas - 1);
+  }
   return summary;
 }
 

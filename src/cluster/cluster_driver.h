@@ -47,10 +47,30 @@ struct ReplicaFault {
   bool recover = false;  // false = fail at `time`, true = recover
 };
 
+// Prefill/decode disaggregation (DESIGN.md §13). When enabled, replicas
+// [0, prefill_replicas) form the prefill pool: turns with enough pending
+// prefill work run there, and as the prefill step's per-layer KV becomes
+// ready it streams over the NIC into the turn's decode replica, which
+// admits the continuation when the final layer lands. Disabled runs are
+// bit-identical to the colocated cluster.
+struct DisaggOptions {
+  bool enabled = false;
+  // Replicas [0, prefill_replicas) serve prefill; clamped so at least one
+  // decode replica remains.
+  int32_t prefill_replicas = 1;
+  // Minimum pending prefill tokens (new prompt + history the decode home no
+  // longer caches) for a turn to be worth the handoff.
+  int64_t min_handoff_tokens = 64;
+  // Transformer layers per stream (the chunking granularity); callers set
+  // this from the model config.
+  int64_t stream_layers = 1;
+};
+
 struct ClusterOptions {
   int32_t num_replicas = 1;
   RouterOptions router;
   InterconnectSpec interconnect;
+  DisaggOptions disagg;
   // Scheduled replica fault injection, interleaved with arrivals and steps
   // in deterministic event order (arrival < fail < recover on time ties).
   std::vector<ReplicaFault> faults;

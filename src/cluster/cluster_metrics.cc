@@ -1,6 +1,7 @@
 #include "src/cluster/cluster_metrics.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 
 namespace pensieve {
@@ -27,6 +28,43 @@ double LoadImbalance(const std::vector<ServingSummary>& replicas) {
     return 0.0;
   }
   return max_busy / (total_busy / static_cast<double>(replicas.size()));
+}
+
+std::string FormatHandoffSummary(const HandoffStats& handoff) {
+  if (handoff.handoff_requests == 0 && handoff.streams == 0) {
+    return "";
+  }
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "handoff-streams:   %lld streams (%lld chunks, %lld failed), "
+                "%lld handoffs (%lld colocated, %lld local)\n",
+                static_cast<long long>(handoff.streams),
+                static_cast<long long>(handoff.stream_chunks),
+                static_cast<long long>(handoff.failed_streams),
+                static_cast<long long>(handoff.handoff_requests),
+                static_cast<long long>(handoff.colocated_requests),
+                static_cast<long long>(handoff.local_handoffs));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "handoff-bytes:     %.1f MB streamed, %lld tokens adopted, "
+                "%lld tokens lost\n",
+                handoff.stream_bytes / 1e6,
+                static_cast<long long>(handoff.streamed_tokens),
+                static_cast<long long>(handoff.kv_tokens_lost));
+  out += buf;
+  const double per_stream =
+      handoff.streams > 0
+          ? handoff.overlap_saved_seconds /
+                static_cast<double>(handoff.streams)
+          : 0.0;
+  std::snprintf(buf, sizeof(buf),
+                "handoff-overlap-ms: %.1f saved vs blocking (%.2f/stream), "
+                "decode wait %.1f\n",
+                handoff.overlap_saved_seconds * 1e3, per_stream * 1e3,
+                handoff.stream_wait_seconds * 1e3);
+  out += buf;
+  return out;
 }
 
 Status WriteClusterStepTraceCsv(const std::string& path,

@@ -61,6 +61,30 @@ struct FaultStats {
   int64_t lost_generated_tokens = 0;
 };
 
+// Prefill->decode handoff accounting for disaggregated runs (DESIGN.md §13).
+// All zero when --disagg is off.
+struct HandoffStats {
+  int64_t handoff_requests = 0;    // turns dispatched to the prefill pool
+  int64_t colocated_requests = 0;  // turns kept on their decode home
+  int64_t streams = 0;             // KV streams launched prefill -> decode
+  int64_t stream_chunks = 0;       // layer-group chunks delivered
+  double stream_bytes = 0.0;       // wire bytes delivered
+  int64_t streamed_tokens = 0;     // KV tokens adopted by decode replicas
+  // Streams that died: NIC retries exhausted on a chunk, or either endpoint
+  // failed mid-stream. The decode side recomputed the prefix instead; no
+  // request was dropped.
+  int64_t failed_streams = 0;
+  int64_t kv_tokens_lost = 0;
+  // Handoffs resolved without a wire transfer (decode target == prefill
+  // replica because the decode pool was dead, or nothing resident).
+  int64_t local_handoffs = 0;
+  // Virtual seconds the pipelined streams finished ahead of the equivalent
+  // blocking transfer issued at prefill completion (the overlap win), and
+  // the decode-side wait between prefill completion and stream arrival.
+  double overlap_saved_seconds = 0.0;
+  double stream_wait_seconds = 0.0;
+};
+
 struct ClusterSummary {
   std::string router_name;
   int32_t num_replicas = 0;
@@ -78,6 +102,10 @@ struct ClusterSummary {
   // Per-replica PCIe fault stats live in each replica's
   // EngineStats::link_faults and sum into `cluster`.
   LinkFaultStats nic_link_faults;
+  // Disaggregated prefill/decode accounting; all zero when --disagg is off.
+  HandoffStats handoff;
+  // Number of prefill-role replicas this run (0 = colocated).
+  int32_t prefill_replicas = 0;
 };
 
 // Field-wise sum of per-replica engine stats.
@@ -90,6 +118,11 @@ double LoadImbalance(const std::vector<ServingSummary>& replicas);
 // columns of WriteStepTraceCsv).
 Status WriteClusterStepTraceCsv(const std::string& path,
                                 const std::vector<ClusterStepTraceEntry>& trace);
+
+// Multi-line handoff summary ("handoff-streams:/handoff-bytes:/
+// handoff-overlap-ms:" lines); empty when the run never handed off, so
+// colocated output stays bit-identical.
+std::string FormatHandoffSummary(const HandoffStats& handoff);
 
 }  // namespace pensieve
 

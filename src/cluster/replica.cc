@@ -8,6 +8,21 @@
 
 namespace pensieve {
 
+namespace {
+
+// Prefill-equivalent cost of a delivery still in flight: the new prompt plus
+// whatever history the migrated payload does not already carry. State-only
+// deliveries enqueue nothing, so they cost nothing.
+int64_t DeliveryLoadTokens(const Replica::Delivery& d) {
+  if (d.state_only) {
+    return 0;
+  }
+  return d.request.new_prompt_len +
+         std::max<int64_t>(0, d.request.history_len - d.migrated.resident_tokens);
+}
+
+}  // namespace
+
 Replica::Replica(int32_t id, std::unique_ptr<Engine> engine)
     : id_(id), engine_(std::move(engine)) {
   PENSIEVE_CHECK(engine_ != nullptr);
@@ -34,6 +49,11 @@ Replica::FailureDrain Replica::Fail(double now) {
     Delivery d = pending_.top();
     pending_.pop();
     drain.lost_kv_tokens += d.migrated.resident_tokens;
+    if (d.state_only) {
+      // A KV-only handoff payload has no request to re-route; the
+      // conversation simply recomputes wherever its next turn lands.
+      continue;
+    }
     d.migrated = MigratedKvState{};
     d.migration_stall = 0.0;
     d.time = now;
@@ -57,6 +77,7 @@ Replica::FailureDrain Replica::Fail(double now) {
   retired_stats_ += engine_->stats();
   engine_.reset();
   stalled_ = false;
+  pending_request_tokens_ = 0;
   return drain;
 }
 
@@ -75,6 +96,7 @@ void Replica::Deliver(Delivery delivery) {
   // as the single-engine driver enqueues overdue arrivals at now().
   PENSIEVE_CHECK(alive()) << "delivery routed to dead replica " << id_;
   delivery.seq = next_delivery_seq_++;
+  pending_request_tokens_ += DeliveryLoadTokens(delivery);
   pending_.push(std::move(delivery));
 }
 
@@ -96,11 +118,15 @@ void Replica::DeliverDue() {
   while (!pending_.empty() && pending_.top().time <= clock_.now()) {
     const Delivery d = pending_.top();
     pending_.pop();
+    pending_request_tokens_ -= DeliveryLoadTokens(d);
     if (!d.migrated.Empty()) {
       engine_->ImportConversationState(d.request.conversation_id, d.migrated,
                                        clock_.now());
     }
     migration_stall_seconds_ += d.migration_stall;
+    if (d.state_only) {
+      continue;  // KV placement only, nothing to enqueue
+    }
     engine_->Enqueue(d.request, clock_.now());
     stalled_ = false;
   }
@@ -117,7 +143,10 @@ Replica::StepOutcome Replica::StepOnce(
     clock_.AdvanceTo(std::max(clock_.now(), pending_.top().time));
   }
   DeliverDue();
-  PENSIEVE_CHECK(engine_->HasWork());
+  if (!engine_->HasWork()) {
+    // Everything due was state-only KV placement; nothing to step.
+    return out;
+  }
 
   const double step_start = clock_.now();
   StepResult result = engine_->Step(step_start);
@@ -144,12 +173,22 @@ Replica::StepOutcome Replica::StepOnce(
     step_trace->push_back(entry);
   }
   for (const RequestOutcome& outcome : result.finished) {
+    if (outcome.request.prefill_only || outcome.request.handoff_continuation) {
+      // Half of a disaggregated handoff: the driver merges both sides and
+      // records the end-to-end outcome via RecordOutcome.
+      continue;
+    }
     metrics_.Record(outcome);
     last_finish_time_ = std::max(last_finish_time_, outcome.finish_time);
   }
   out.progressed = true;
   out.result = std::move(result);
   return out;
+}
+
+void Replica::RecordOutcome(const RequestOutcome& outcome) {
+  metrics_.Record(outcome);
+  last_finish_time_ = std::max(last_finish_time_, outcome.finish_time);
 }
 
 }  // namespace pensieve

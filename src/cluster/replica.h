@@ -32,6 +32,11 @@ class Replica {
     Request request;
     MigratedKvState migrated;  // adopted right before Enqueue (may be empty)
     double migration_stall = 0.0;
+    // KV-only delivery (DESIGN.md §13): a handoff stream for a request that
+    // finished entirely on the prefill side. The migrated state is imported
+    // but no request is enqueued; if the replica dies first, the payload is
+    // lost with it (never re-routed).
+    bool state_only = false;
     int64_t seq = 0;  // assigned by Deliver(); FIFO among equal times
   };
 
@@ -86,6 +91,21 @@ class Replica {
   double last_finish_time() const { return last_finish_time_; }
   double migration_stall_seconds() const { return migration_stall_seconds_; }
 
+  // Prefill-equivalent tokens of routed-but-undelivered requests sitting in
+  // pending_. The engine's Load() cannot see these (they are not enqueued
+  // yet), so a router balancing on engine load alone herds a burst onto
+  // whichever replica looked idle at the first dispatch. Weighted routing
+  // (EngineLoad::WeightedTokens) folds this in via the cluster driver's view
+  // snapshot.
+  int64_t pending_request_tokens() const { return pending_request_tokens_; }
+
+  // Records a request outcome into this replica's metrics. StepOnce does
+  // this itself for ordinary requests; handoff halves (prefill_only /
+  // handoff_continuation) are instead returned unrecorded so the cluster
+  // driver can merge the two sides and record the single end-to-end outcome
+  // here, on the replica that finished the request.
+  void RecordOutcome(const RequestOutcome& outcome);
+
  private:
   void DeliverDue();
 
@@ -108,6 +128,7 @@ class Replica {
   MetricsCollector metrics_;
   std::priority_queue<Delivery, std::vector<Delivery>, DeliveryLater> pending_;
   int64_t next_delivery_seq_ = 0;
+  int64_t pending_request_tokens_ = 0;
   double last_finish_time_ = 0.0;
   double migration_stall_seconds_ = 0.0;
   // Engine reported idle with work queued and nothing pending: it is waiting

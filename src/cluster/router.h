@@ -69,6 +69,10 @@ struct RoutingDecision {
   // from `source` and ships it to `target` before delivery.
   bool migrate = false;
   int32_t source = -1;
+  // Disaggregated dispatch (DESIGN.md §13): run this request's prefill on
+  // `target` (a prefill-pool replica), then stream the KV to a decode
+  // replica. Only ever set by the disagg router.
+  bool prefill_handoff = false;
 };
 
 // Decision counters, for cluster-level reporting.
@@ -101,8 +105,26 @@ std::unique_ptr<Router> MakeRouter(const RouterOptions& options);
 
 // Shared helper: alive replica with the fewest outstanding tokens (ties
 // broken by fewest requests, then lowest id, keeping runs deterministic).
-// CHECK-fails when no replica is alive.
-int32_t LeastLoadedReplica(const std::vector<ReplicaView>& replicas);
+// With `weight_queued_prefill`, the score also counts history tokens that
+// queued-but-unadmitted requests will have to recompute
+// (EngineLoad::WeightedTokens) — without it, prefill-pool dispatch herds
+// cold conversations onto whichever replica's queue looks short by prompt
+// tokens alone. CHECK-fails when no replica is alive.
+int32_t LeastLoadedReplica(const std::vector<ReplicaView>& replicas,
+                           bool weight_queued_prefill = false);
+
+// Prefill/decode disaggregation (DESIGN.md §13): replicas [0,
+// prefill_replicas) form the prefill pool, the rest the decode pool. Turns
+// whose pending prefill work (new prompt + history not cached at the decode
+// home) reaches `min_handoff_tokens` run their prefill on the pool replica
+// with the least weighted queued work and hand off; well-cached returning
+// turns go straight to their decode home, colocated.
+struct DisaggRouterConfig {
+  int32_t prefill_replicas = 1;
+  int64_t min_handoff_tokens = 64;
+};
+
+std::unique_ptr<Router> MakeDisaggRouter(const DisaggRouterConfig& config);
 
 }  // namespace pensieve
 

@@ -619,6 +619,38 @@ int64_t TwoTierKvCache::ImportCpuResident(ConversationId id, int64_t kv_len,
   return imported;
 }
 
+int64_t TwoTierKvCache::ImportGpuResident(ConversationId id, int64_t kv_len,
+                                          int64_t resident_tokens) {
+  PENSIEVE_CHECK(Find(id) == nullptr) << "import over live conversation " << id;
+  PENSIEVE_CHECK_LE(resident_tokens, kv_len);
+  ContextState& state = GetOrCreate(id);
+  state.InitializeImported(kv_len);
+  int64_t budget = resident_tokens;
+  int64_t imported = 0;
+  for (int64_t i = state.num_chunks() - 1; i >= 0; --i) {
+    Chunk& c = state.mutable_chunk(i);
+    if (budget < c.num_tokens) {
+      break;
+    }
+    if (auto gpu_block = gpu_allocator_.Allocate(); gpu_block.has_value()) {
+      c.gpu_block = *gpu_block;
+      c.location = ChunkLocation::kGpu;
+    } else if (auto cpu_block = cpu_allocator_.Allocate(); cpu_block.has_value()) {
+      // GPU pool full: bounce this chunk through host memory like an
+      // ordinary migration; the swap-in path restores it on first use.
+      c.cpu_block = *cpu_block;
+      c.location = ChunkLocation::kCpu;
+      c.cpu_checksum = ComputeCpuChecksum(id, i, c);
+      c.cpu_corrupt = false;
+    } else {
+      break;
+    }
+    budget -= c.num_tokens;
+    imported += c.num_tokens;
+  }
+  return imported;
+}
+
 std::vector<BlockId> TwoTierKvCache::GpuBlockTable(ConversationId id,
                                                    int64_t first_chunk) const {
   const ContextState* state = Find(id);

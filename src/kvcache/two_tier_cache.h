@@ -234,6 +234,15 @@ class TwoTierKvCache {
   int64_t ImportCpuResident(ConversationId id, int64_t kv_len,
                             int64_t resident_tokens);
 
+  // Same adoption, but the resident region lands directly in the GPU tier
+  // (a layer-pipelined handoff stream writes into the decode replica's KV
+  // pool, so no swap-in is owed before first use). Chunks that cannot get a
+  // GPU block degrade to CPU-tier copies; when both tiers are exhausted the
+  // remaining leading region stays dropped. Returns the tokens materialized
+  // in either tier.
+  int64_t ImportGpuResident(ConversationId id, int64_t kv_len,
+                            int64_t resident_tokens);
+
   // Frees exactly one GPU block by downgrading some kGpuAndCpu chunk chosen
   // by the caller. Convenience for the coordinator: equivalent to
   // ReclaimGpu.

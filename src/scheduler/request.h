@@ -31,6 +31,14 @@ struct Request {
   // conversation carrying the same id. -1 = no template.
   int32_t template_id = -1;
   int64_t template_prefix_len = 0;
+  // Disaggregated serving (DESIGN.md §13). `prefill_only`: the engine
+  // finishes this request right after its prefill step (one token emitted);
+  // the cluster driver then streams the KV to a decode replica.
+  // `handoff_continuation`: the decode-side remainder of a handed-off
+  // request; its outcome is merged with the prefill side's before being
+  // recorded. Both are false outside disaggregated runs.
+  bool prefill_only = false;
+  bool handoff_continuation = false;
 };
 
 // Completion record for one request, with the reuse accounting that the
@@ -64,6 +72,22 @@ struct RequestOutcome {
   int64_t generated_tokens = 0;
   // Times the request was suspended and re-queued (paper §4.3.5).
   int32_t suspensions = 0;
+  // Virtual time the first output token was emitted (end of the prefill
+  // step); 0 when the engine predates the field or the request never
+  // prefilled. TTFT = first_token_time - arrival, inter-token latency =
+  // (finish - first_token_time) / (generated - 1).
+  double first_token_time = 0.0;
+  // Start of the step that ran this request's prefill — the window over
+  // which a handoff stream's per-layer chunks become ready. Only stamped for
+  // prefill_only requests.
+  double prefill_compute_start = 0.0;
+  // Disaggregated handoff attribution (-1 / 0 when the request never handed
+  // off): the replica that ran the prefill, when its KV stream landed at the
+  // decode replica, and when the decode side first scheduled the
+  // continuation. first_scheduled_time stays the *prefill-side* admission.
+  int32_t prefill_replica = -1;
+  double handoff_stream_done = 0.0;
+  double decode_admit_time = 0.0;
 
   double NormalizedLatency() const {
     PENSIEVE_CHECK_GT(request.target_output_len, 0);

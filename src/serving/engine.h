@@ -205,9 +205,21 @@ struct EngineLoad {
   int64_t queued_input_tokens = 0;
   // Output tokens still owed by running requests (decode backlog).
   int64_t outstanding_output_tokens = 0;
+  // History tokens queued-but-unadmitted requests will have to recompute
+  // because no local KV covers them. `queued_input_tokens` only counts an
+  // unadmitted request's new prompt (the recompute tail is priced at
+  // admission); without this term a prefill-pool dispatcher herds cold
+  // conversations onto one replica whose queue looks short by prompt
+  // tokens but is long by prefill work.
+  int64_t queued_uncached_prefill_tokens = 0;
 
   int64_t OutstandingTokens() const {
     return queued_input_tokens + outstanding_output_tokens;
+  }
+  // Outstanding work including the unadmitted recompute backlog — what
+  // prefill-pool dispatch balances on.
+  int64_t WeightedTokens() const {
+    return OutstandingTokens() + queued_uncached_prefill_tokens;
   }
   int64_t TotalRequests() const { return waiting_requests + running_requests; }
 };
@@ -222,6 +234,10 @@ struct MigratedKvState {
   // Wire size of the resident KV across all tensor-parallel slices, filled
   // by the exporting engine (it knows its KV geometry).
   double bytes = 0.0;
+  // Layer-pipelined handoff streams (DESIGN.md §13) land directly in the
+  // receiving GPU's KV pool — the decode side admits without a host->device
+  // restore. Overload rehoming keeps the default host-memory landing.
+  bool gpu_direct = false;
 
   bool Empty() const { return kv_len == 0; }
 };

@@ -38,6 +38,8 @@ ServingSummary MetricsCollector::SummarizeMerged(
 
   auto collect = [&](double begin, double end) {
     SampleStats latency;
+    SampleStats ttft;
+    SampleStats itl;
     int64_t tokens = 0;
     int64_t completions = 0;
     for (const MetricsCollector* c : collectors) {
@@ -49,23 +51,33 @@ ServingSummary MetricsCollector::SummarizeMerged(
           continue;
         }
         latency.Add(o.NormalizedLatency());
+        if (o.first_token_time > 0.0) {
+          ttft.Add(o.first_token_time - o.request.arrival_time);
+          if (o.generated_tokens > 1) {
+            itl.Add((o.finish_time - o.first_token_time) /
+                    static_cast<double>(o.generated_tokens - 1));
+          }
+        }
         // Tokens actually generated, not the target: an early-terminated
         // request must not inflate token throughput.
         tokens += o.generated_tokens;
         ++completions;
       }
     }
-    return std::make_tuple(std::move(latency), tokens, completions);
+    return std::make_tuple(std::move(latency), std::move(ttft),
+                           std::move(itl), tokens, completions);
   };
 
-  auto [latency, tokens, completions] = collect(window_begin, window_end);
+  auto [latency, ttft, itl, tokens, completions] =
+      collect(window_begin, window_end);
   // Fall back to the full run when the window holds too few samples (small
   // unit-test traces).
   const int64_t min_samples = std::max<int64_t>(10, total_outcomes / 20);
   if (completions < min_samples) {
     window_begin = 0.0;
     window_end = makespan;
-    std::tie(latency, tokens, completions) = collect(window_begin, window_end);
+    std::tie(latency, ttft, itl, tokens, completions) =
+        collect(window_begin, window_end);
   }
   summary.window_begin = window_begin;
   summary.window_end = window_end;
@@ -80,6 +92,16 @@ ServingSummary MetricsCollector::SummarizeMerged(
     summary.p50_normalized_latency = latency.Percentile(0.50);
     summary.p90_normalized_latency = latency.Percentile(0.90);
     summary.p99_normalized_latency = latency.Percentile(0.99);
+  }
+  if (!ttft.empty()) {
+    summary.ttft_samples = static_cast<int64_t>(ttft.count());
+    summary.mean_ttft = ttft.Mean();
+    summary.p99_ttft = ttft.Percentile(0.99);
+  }
+  if (!itl.empty()) {
+    summary.itl_samples = static_cast<int64_t>(itl.count());
+    summary.mean_itl = itl.Mean();
+    summary.p99_itl = itl.Percentile(0.99);
   }
   summary.engine_stats = engine_stats;
   return summary;

@@ -34,6 +34,17 @@ struct ServingSummary {
   double p50_normalized_latency = 0.0;
   double p90_normalized_latency = 0.0;
   double p99_normalized_latency = 0.0;
+  // Time-to-first-token and inter-token latency, over outcomes that carry a
+  // first-token timestamp (engines that predate the field contribute
+  // nothing). ITL = (finish - first_token) / (generated - 1), the
+  // prefill-interference signal disaggregation targets; requests generating
+  // a single token have no token gap and are skipped.
+  int64_t ttft_samples = 0;
+  double mean_ttft = 0.0;
+  double p99_ttft = 0.0;
+  int64_t itl_samples = 0;
+  double mean_itl = 0.0;
+  double p99_itl = 0.0;
   EngineStats engine_stats;
 };
 

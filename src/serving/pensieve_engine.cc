@@ -908,6 +908,8 @@ StepResult PensieveEngine::Step(double now) {
     if (!r.prefilled) {
       stats_.prefill_tokens += r.pending_recompute + r.pending_new_tokens;
       r.prefilled = true;
+      r.first_token_time = finish_time;
+      r.prefill_compute_start = now;
       // The template prefix (if any) now holds valid KV: publish it so later
       // conversations with the same template attach instead of prefilling.
       PublishTemplatePrefix(r);
@@ -937,7 +939,12 @@ StepResult PensieveEngine::Step(double now) {
     if (context_capped && r.generated < r.request.target_output_len) {
       ++stats_.context_capped_requests;
     }
-    if (r.generated >= r.request.target_output_len || context_capped) {
+    // Disaggregated prefill replicas stop after the prefill step: the first
+    // output token is emitted here, the remaining decode runs wherever the
+    // streamed KV lands (DESIGN.md §13).
+    const bool prefill_done = r.request.prefill_only && r.prefilled;
+    if (r.generated >= r.request.target_output_len || context_capped ||
+        prefill_done) {
       ContextState* conv = cache_.Find(r.request.conversation_id);
       conv->Unpin();
       conv->set_last_active(finish_time);
@@ -958,6 +965,8 @@ StepResult PensieveEngine::Step(double now) {
       outcome.recomputed_tokens = r.recomputed;
       outcome.generated_tokens = r.generated;
       outcome.suspensions = r.suspensions;
+      outcome.first_token_time = r.first_token_time;
+      outcome.prefill_compute_start = r.prefill_compute_start;
       result.finished.push_back(std::move(outcome));
     } else {
       keep.push_back(std::move(r));
@@ -977,6 +986,14 @@ EngineLoad PensieveEngine::Load() const {
   for (const Running& r : waiting_) {
     load.queued_input_tokens += r.pending_new_tokens + r.pending_recompute;
     load.outstanding_output_tokens += r.request.target_output_len - r.generated;
+    if (r.first_scheduled_time < 0) {
+      // Never admitted: the recompute tail is only priced at admission, so
+      // count the history tokens no local KV covers as queued prefill work.
+      const int64_t uncached =
+          r.request.history_len -
+          CachedConversationTokens(r.request.conversation_id);
+      load.queued_uncached_prefill_tokens += std::max<int64_t>(0, uncached);
+    }
   }
   for (const Running& r : running_) {
     load.outstanding_output_tokens += r.request.target_output_len - r.generated;
@@ -1052,9 +1069,29 @@ int64_t PensieveEngine::ImportConversationState(int64_t conversation_id,
   if (state.Empty()) {
     return 0;
   }
-  PENSIEVE_CHECK(inflight_.find(conversation_id) == inflight_.end());
+  if (inflight_.find(conversation_id) != inflight_.end()) {
+    // A racing request is already recomputing this conversation locally
+    // (e.g. a handoff stream landed after its continuation had been
+    // re-routed past it). Dropping the stream is the degradation contract;
+    // never clobber live KV.
+    return 0;
+  }
+  const ContextState* existing = cache_.Find(conversation_id);
+  if (existing != nullptr) {
+    const int64_t existing_resident =
+        existing->kv_len() - existing->LeadingDroppedTokens();
+    if (existing->kv_len() >= state.kv_len &&
+        existing_resident >= state.resident_tokens) {
+      return 0;  // the local copy is at least as fresh as the import
+    }
+    cache_.Release(conversation_id);
+  }
   const int64_t adopted =
-      cache_.ImportCpuResident(conversation_id, state.kv_len, state.resident_tokens);
+      state.gpu_direct
+          ? cache_.ImportGpuResident(conversation_id, state.kv_len,
+                                     state.resident_tokens)
+          : cache_.ImportCpuResident(conversation_id, state.kv_len,
+                                     state.resident_tokens);
   cache_.Find(conversation_id)->set_last_active(now);
   stats_.migrated_in_tokens += adopted;
   return adopted;

@@ -130,6 +130,11 @@ class PensieveEngine final : public Engine {
     // Swap-in transfer overhang to be absorbed by the next step (§4.3.3).
     double restore_transfer_s = 0.0;
     bool prefilled = false;
+    // Stamped when `prefilled` transitions: when the first output token was
+    // emitted and when the step that ran the prefill began (the compute
+    // window a disaggregated handoff stream overlaps with).
+    double first_token_time = 0.0;
+    double prefill_compute_start = 0.0;
     int32_t suspensions = 0;
     // Reuse accounting, captured at first admission.
     int64_t reused_gpu = 0;

@@ -181,7 +181,8 @@ Status WriteOutcomesCsv(const std::string& path,
   }
   out << "request_id,conversation_id,turn,arrival_s,first_scheduled_s,finish_s,"
          "prompt_tokens,history_tokens,output_tokens,normalized_latency_s,"
-         "reused_gpu,reused_cpu,reused_ssd,reused_shared,recomputed,suspensions\n";
+         "reused_gpu,reused_cpu,reused_ssd,reused_shared,recomputed,suspensions,"
+         "first_token_s,prefill_replica,handoff_done_s,decode_admit_s\n";
   for (const RequestOutcome& o : outcomes) {
     out << o.request.request_id << ',' << o.request.conversation_id << ','
         << o.request.turn_index << ',' << o.request.arrival_time << ','
@@ -190,7 +191,12 @@ Status WriteOutcomesCsv(const std::string& path,
         << o.request.target_output_len << ',' << o.NormalizedLatency() << ','
         << o.reused_gpu_tokens << ',' << o.reused_cpu_tokens << ','
         << o.reused_ssd_tokens << ',' << o.reused_shared_tokens << ','
-        << o.recomputed_tokens << ',' << o.suspensions << '\n';
+        << o.recomputed_tokens << ',' << o.suspensions << ','
+        // TTFT attribution (DESIGN.md §13): which replica ran the prefill
+        // and where the time went — prefill queueing (first_scheduled),
+        // stream latency (handoff_done), decode admission (decode_admit).
+        << o.first_token_time << ',' << o.prefill_replica << ','
+        << o.handoff_stream_done << ',' << o.decode_admit_time << '\n';
   }
   out.flush();
   if (!out.good()) {

@@ -15,6 +15,16 @@ ClusterInterconnect::ClusterInterconnect(int num_replicas,
   PENSIEVE_CHECK_GT(spec.bandwidth, 0.0);
 }
 
+double ClusterInterconnect::EgressBusyUntil(int replica) const {
+  PENSIEVE_CHECK_LT(static_cast<size_t>(replica), egress_busy_until_.size());
+  return egress_busy_until_[static_cast<size_t>(replica)];
+}
+
+double ClusterInterconnect::IngressBusyUntil(int replica) const {
+  PENSIEVE_CHECK_LT(static_cast<size_t>(replica), ingress_busy_until_.size());
+  return ingress_busy_until_[static_cast<size_t>(replica)];
+}
+
 double ClusterInterconnect::ScheduleTransfer(int src, int dst, double now,
                                              double bytes) {
   PENSIEVE_CHECK_LT(static_cast<size_t>(src), egress_busy_until_.size());

@@ -31,6 +31,14 @@ class ClusterInterconnect {
   // than `now`; returns its completion time on the virtual clock.
   double ScheduleTransfer(int src, int dst, double now, double bytes);
 
+  // Port occupancy on the virtual clock. The layer-pipelined KV stream model
+  // (src/sim/kv_stream.h) reads these *before* scheduling its chunks to price
+  // what an equivalent single blocking transfer would have cost.
+  double EgressBusyUntil(int replica) const;
+  double IngressBusyUntil(int replica) const;
+
+  const InterconnectSpec& spec() const { return spec_; }
+
   int64_t num_transfers() const { return num_transfers_; }
   double total_bytes() const { return total_bytes_; }
 

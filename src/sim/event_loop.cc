@@ -12,6 +12,8 @@ const char* SimEventKindName(SimEventKind kind) {
       return "fail";
     case SimEventKind::kReplicaRecover:
       return "recover";
+    case SimEventKind::kHandoffArrival:
+      return "handoff";
   }
   return "?";
 }

@@ -27,6 +27,11 @@ enum class SimEventKind : int32_t {
   kArrival = 0,        // a conversation turn reaches the front door
   kReplicaFail = 1,    // a replica crashes: KV lost, work re-routed
   kReplicaRecover = 2, // a failed replica rejoins, empty
+  // A prefill->decode KV handoff stream finishes: the decode replica can
+  // admit the continuation. Ranks after fail/recover so a stream landing at
+  // the exact instant its destination dies (or rejoins) observes the final
+  // replica state.
+  kHandoffArrival = 3,
 };
 
 const char* SimEventKindName(SimEventKind kind);

@@ -1,0 +1,90 @@
+#include "src/sim/kv_stream.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace pensieve {
+
+KvStreamResult StreamKvLayers(ClusterInterconnect* net,
+                              LinkFaultInjector* faults,
+                              const KvStreamPlan& plan) {
+  PENSIEVE_CHECK(net != nullptr);
+  PENSIEVE_CHECK_GE(plan.bytes, 0.0);
+  PENSIEVE_CHECK_GT(plan.num_layers, 0);
+  PENSIEVE_CHECK_GE(plan.compute_end, plan.compute_start);
+
+  KvStreamResult result;
+  if (plan.bytes <= 0.0) {
+    // Nothing on the wire: the "stream" completes with the prefill itself.
+    result.done = plan.compute_end;
+    result.unpipelined_done = plan.compute_end;
+    result.delivered = true;
+    return result;
+  }
+
+  const InterconnectSpec& spec = net->spec();
+  // Price the blocking alternative against the port state *before* this
+  // stream occupies it.
+  const double unpipelined_start =
+      std::max({plan.compute_end, net->EgressBusyUntil(plan.src),
+                net->IngressBusyUntil(plan.dst)});
+  result.unpipelined_done =
+      unpipelined_start + spec.latency + plan.bytes / spec.bandwidth;
+
+  // Coalesce layers into chunks big enough that the per-transfer latency
+  // does not dominate: chunk link time >= spec.latency. A zero-latency link
+  // streams one chunk per layer.
+  int64_t chunks = plan.num_layers;
+  if (spec.latency > 0.0) {
+    const double link_time = plan.bytes / spec.bandwidth;
+    const int64_t fit = static_cast<int64_t>(link_time / spec.latency);
+    chunks = std::clamp<int64_t>(fit, 1, plan.num_layers);
+  }
+  result.chunks_total = chunks;
+  result.chunks.reserve(static_cast<size_t>(chunks));
+
+  const double per_chunk = plan.bytes / static_cast<double>(chunks);
+  const double span = plan.compute_end - plan.compute_start;
+  double prev_done = plan.compute_start;
+  for (int64_t c = 0; c < chunks; ++c) {
+    KvChunkArrival chunk;
+    // The chunk covers layers (c/chunks, (c+1)/chunks] of the forward pass;
+    // it is ready when the last of them has computed.
+    chunk.ready = plan.compute_start +
+                  span * static_cast<double>(c + 1) /
+                      static_cast<double>(chunks);
+    // Strict send order: never offer chunk c+1 to the link before chunk c
+    // delivered. The link's port serialization alone would not guarantee
+    // this — injector timeouts and backoff burn time off-link.
+    const double send_at = std::max(chunk.ready, prev_done);
+    const auto schedule = [&](double start, double bytes) {
+      return net->ScheduleTransfer(plan.src, plan.dst, start, bytes);
+    };
+    LinkTransferOutcome out;
+    if (faults != nullptr) {
+      out = faults->Transfer(send_at, per_chunk, schedule);
+    } else {
+      out.done = schedule(send_at, per_chunk);
+      out.delivered = true;
+    }
+    chunk.done = out.done;
+    chunk.delivered = out.delivered;
+    result.chunks.push_back(chunk);
+    result.done = out.done;
+    prev_done = out.done;
+    if (!out.delivered) {
+      // A prefix of layers is useless KV; abandon the stream and let the
+      // decode side recompute.
+      result.delivered = false;
+      return result;
+    }
+    ++result.chunks_delivered;
+    result.bytes_delivered += per_chunk;
+  }
+  result.delivered = true;
+  return result;
+}
+
+}  // namespace pensieve

@@ -1,0 +1,88 @@
+// Layer-pipelined KV streaming between replicas (DESIGN.md §13).
+//
+// When a prefill replica hands a conversation to a decode replica, it does
+// not wait for the whole prefill to finish before shipping the KV cache:
+// each transformer layer's KV is ready as soon as that layer's forward pass
+// completes, so the stream overlaps NIC transfer with the remaining prefill
+// compute (DejaVu's KV-streaming design, arXiv 2403.01876). This module
+// models that overlap on the virtual clock:
+//
+//  - Layer l's chunk becomes *ready* at a point linearly interpolated across
+//    the prefill step window [compute_start, compute_end] (the per-layer
+//    costs are uniform in our cost model, matching RestoreStall's layer
+//    pipelining math in src/sim/cost_model.cc).
+//  - Chunks are sent strictly in layer order over the fault-injected NIC:
+//    chunk l+1 is offered to the link only after chunk l's delivery, so
+//    arrivals are monotone even when the injector burns retry/backoff time
+//    off-link. The decode side admits the request when the *last* layer
+//    lands.
+//  - Consecutive layers are coalesced into fewer wire chunks when the
+//    per-layer payload would be dwarfed by the per-transfer latency
+//    (chunk link time >= NIC latency), so tiny streams never pay
+//    num_layers x latency for no overlap win.
+//  - Any chunk that exhausts its fault retries fails the whole stream — a
+//    KV cache covering a prefix of layers is useless, the decode side
+//    degrades to dropped-prefix recompute.
+//
+// The result also reports `unpipelined_done`: when a single blocking
+// transfer of the full payload, issued at prefill completion on a fault-free
+// link, would have landed. The difference is the overlap the pipeline
+// bought; benches assert it is positive at prefill-heavy scale.
+
+#ifndef PENSIEVE_SRC_SIM_KV_STREAM_H_
+#define PENSIEVE_SRC_SIM_KV_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/cluster_link.h"
+#include "src/sim/fault_injector.h"
+
+namespace pensieve {
+
+struct KvStreamPlan {
+  int src = 0;
+  int dst = 0;
+  // Total wire bytes (already priced at KvWireBytesPerToken, so --kv-quant
+  // compresses the stream).
+  double bytes = 0.0;
+  // Transformer layers producing KV; one potential chunk per layer.
+  int64_t num_layers = 1;
+  // The prefill step window over which layers become ready.
+  double compute_start = 0.0;
+  double compute_end = 0.0;
+};
+
+struct KvChunkArrival {
+  double ready = 0.0;  // when the producing layers finished computing
+  double done = 0.0;   // delivery (or abandonment) time on the wire
+  bool delivered = false;
+};
+
+struct KvStreamResult {
+  // Delivery time of the final chunk when `delivered`; abandonment time of
+  // the failed chunk otherwise.
+  double done = 0.0;
+  bool delivered = false;
+  int64_t chunks_total = 0;
+  int64_t chunks_delivered = 0;
+  double bytes_delivered = 0.0;
+  // Completion time of the hypothetical blocking handoff: one fault-free
+  // transfer of the full payload issued at compute_end against the port
+  // state observed before this stream ran.
+  double unpipelined_done = 0.0;
+  // Per-chunk arrivals in send order (monotone `done`); tests assert the
+  // ordering invariant on this.
+  std::vector<KvChunkArrival> chunks;
+};
+
+// Streams `plan.bytes` from src to dst over `net`, drawing faults per chunk
+// from `faults` (shared with migration traffic so the NIC accounting
+// identity spans both). `faults` may be nullptr for a fault-free stream.
+KvStreamResult StreamKvLayers(ClusterInterconnect* net,
+                              LinkFaultInjector* faults,
+                              const KvStreamPlan& plan);
+
+}  // namespace pensieve
+
+#endif  // PENSIEVE_SRC_SIM_KV_STREAM_H_

@@ -107,6 +107,18 @@ int Run(int argc, char** argv) {
   flags.AddDouble("overload_factor", 2.0,
                   "affinity failover: overloaded when outstanding tokens also "
                   "exceed this multiple of the cluster mean");
+  flags.AddString("disagg", "off",
+                  "prefill/decode disaggregation (DESIGN.md §13): on splits "
+                  "the cluster into prefill- and decode-role replicas and "
+                  "streams each prefill's KV layer-by-layer over the NIC into "
+                  "the decode replica; off (default) is bit-identical to the "
+                  "colocated cluster");
+  flags.AddInt("prefill-replicas", 1,
+               "replicas [0, N) serve prefill when --disagg=on (clamped to "
+               "leave at least one decode replica)");
+  flags.AddInt("disagg-min-prefill", 64,
+               "minimum pending prefill tokens (prompt + uncached history) "
+               "for a turn to be handed to the prefill pool");
   flags.AddString("fail-replica", "",
                   "kill replica ID at virtual time T: ID@T[,ID@T...]; its KV "
                   "is lost and its requests re-route to surviving replicas");
@@ -266,7 +278,18 @@ int Run(int argc, char** argv) {
       return 2;
     }
   }
-  // Fault injection runs through the cluster layer even with one replica.
+  const std::string disagg = flags.GetString("disagg");
+  if (disagg != "on" && disagg != "off") {
+    std::fprintf(stderr, "unknown disagg '%s' (on or off)\n", disagg.c_str());
+    return 2;
+  }
+  if (disagg == "on" && replicas < 2) {
+    std::fprintf(stderr,
+                 "--disagg=on needs --replicas>=2 (one prefill + one decode)\n");
+    return 2;
+  }
+  // Fault injection and disaggregation run through the cluster layer even
+  // with one replica.
   if (replicas > 1 || !fault_events.empty()) {
     ClusterOptions cluster_options;
     cluster_options.num_replicas = static_cast<int32_t>(replicas);
@@ -277,6 +300,14 @@ int Run(int argc, char** argv) {
     cluster_options.nic_fault_profile = fault_config.nic;
     cluster_options.fault_retry = fault_config.retry;
     cluster_options.fault_seed = fault_config.seed;
+    if (disagg == "on") {
+      cluster_options.disagg.enabled = true;
+      cluster_options.disagg.prefill_replicas =
+          static_cast<int32_t>(flags.GetInt("prefill-replicas"));
+      cluster_options.disagg.min_handoff_tokens =
+          flags.GetInt("disagg-min-prefill");
+      cluster_options.disagg.stream_layers = model.num_layers;
+    }
     std::vector<RequestOutcome> outcomes;
     std::vector<ClusterStepTraceEntry> steps;
     cluster_options.outcomes = &outcomes;
@@ -341,6 +372,9 @@ int Run(int argc, char** argv) {
                   static_cast<long>(cs.migration.failed_migrations),
                   static_cast<long>(cs.migration.kv_tokens_lost_in_transit));
     }
+    // Empty unless the run actually handed off, so colocated output is
+    // bit-identical to pre-disaggregation builds.
+    std::printf("%s", FormatHandoffSummary(cs.handoff).c_str());
     std::printf("%s", FormatKvFaultSummary(s.engine_stats).c_str());
     std::printf("%s", FormatSsdTierSummary(s.engine_stats).c_str());
     std::printf("%s", FormatPrefixSharingSummary(s.engine_stats).c_str());
