@@ -68,6 +68,62 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
   LinkFaultInjector nic_faults(options.fault_seed, options.nic_fault_profile,
                                options.fault_retry);
 
+  // --- Elastic replica set (DESIGN.md §14) --------------------------------
+  const ElasticOptions& elastic = options.elastic;
+  HealthMonitor health(options.num_replicas, elastic.health);
+  Autoscaler scaler(elastic.autoscale);
+  // Probes are control-plane traffic: they share the NIC's latency/bandwidth
+  // figures but never occupy data ports, and each probe gets exactly one
+  // attempt (the next round is the retry). The injector seed mixes the
+  // cluster fault seed with a probe salt so arming probes never perturbs the
+  // data-plane fault draw sequence.
+  LinkRetryPolicy probe_retry;
+  probe_retry.max_attempts = 1;
+  LinkFaultInjector probe_faults(options.fault_seed ^ elastic.health.probe_seed,
+                                 elastic.health.probe_faults, probe_retry);
+  // Active set membership (autoscaling). Inactive slots hold no engine; a
+  // scale-up recovers the lowest inactive slot with a fresh engine.
+  std::vector<bool> active(replicas.size(), true);
+  AutoscaleStats autoscale_stats;
+  if (elastic.autoscale.enabled) {
+    PENSIEVE_CHECK(!options.disagg.enabled)
+        << "autoscaling is incompatible with disaggregated prefill (the "
+           "prefill/decode pools are statically partitioned)";
+    PENSIEVE_CHECK_LE(elastic.autoscale.max_replicas, options.num_replicas);
+    for (int32_t i = elastic.autoscale.min_replicas; i < options.num_replicas;
+         ++i) {
+      replicas[static_cast<size_t>(i)].Dormant();
+      active[static_cast<size_t>(i)] = false;
+      router->NotifyReplicaDown(i);
+    }
+  }
+  auto dispatchable = [&](int32_t i) {
+    return replicas[static_cast<size_t>(i)].alive() &&
+           active[static_cast<size_t>(i)] && !health.Quarantined(i);
+  };
+  auto active_alive_count = [&]() {
+    int32_t n = 0;
+    for (size_t i = 0; i < replicas.size(); ++i) {
+      if (active[i] && replicas[i].alive()) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  autoscale_stats.peak_active_replicas = active_alive_count();
+  autoscale_stats.min_active_replicas = autoscale_stats.peak_active_replicas;
+  // Peer-spill stash directory: per conversation, the contiguous token
+  // segment [first_token, last_token) parked in `peer`'s CPU tier.
+  PeerSpillStats spill;
+  struct StashEntry {
+    int32_t peer = -1;
+    int64_t first_token = 0;
+    int64_t last_token = 0;
+    double bytes = 0.0;
+  };
+  std::unordered_map<int64_t, StashEntry> stash;
+  int64_t stash_tokens = 0;
+
   // One typed event queue drives the run: arrivals and scheduled faults pop
   // in deterministic order (arrival < fail < recover on time ties), and
   // replica steps rank after all of them so routers always see fresh state.
@@ -109,6 +165,21 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
       views[i].load.queued_uncached_prefill_tokens +=
           replicas[i].pending_request_tokens();
     }
+    bool any_dispatchable = false;
+    for (size_t i = 0; i < replicas.size(); ++i) {
+      views[i].dispatchable =
+          views[i].alive && active[i] &&
+          !health.Quarantined(static_cast<int32_t>(i));
+      any_dispatchable = any_dispatchable || views[i].dispatchable;
+    }
+    if (!any_dispatchable) {
+      // Emergency: every alive replica is quarantined (or inactive). Routing
+      // to a sick replica beats orphaning the request — quarantine is a
+      // suspicion, not a death certificate.
+      for (size_t i = 0; i < replicas.size(); ++i) {
+        views[i].dispatchable = views[i].alive;
+      }
+    }
   };
   auto any_alive = [&]() {
     for (const Replica& r : replicas) {
@@ -117,6 +188,74 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
       }
     }
     return false;
+  };
+
+  // Peer-spill fetch-back, applied at route time: if the routed
+  // conversation has a stash segment parked on a peer, pull it back over the
+  // NIC (or adopt it in place when the request landed on the stash-holding
+  // peer) so the segment rejoins the dropped prefix before admission. Every
+  // path disposes of the stash entry exactly once: fetched, degraded (NIC
+  // fault), or invalidated (mismatch / migrated payload).
+  auto fetch_stash = [&](Replica::Delivery* delivery, int32_t target,
+                         double now) {
+    auto it = stash.find(delivery->request.conversation_id);
+    if (it == stash.end()) {
+      return;
+    }
+    const StashEntry entry = it->second;
+    const int64_t len = entry.last_token - entry.first_token;
+    stash_tokens -= len;
+    stash.erase(it);
+    if (!delivery->migrated.Empty()) {
+      // A migration is carrying the live KV; whatever frontier the import
+      // creates won't line up with the stash segment. Hole rule: invalidate
+      // rather than risk a gapped prefix.
+      spill.invalidated_tokens += len;
+      if (replicas[static_cast<size_t>(entry.peer)].alive()) {
+        replicas[static_cast<size_t>(entry.peer)]
+            .engine()
+            .ReleaseForeignCpuTokens(len);
+      }
+      return;
+    }
+    Engine& target_engine = replicas[static_cast<size_t>(target)].engine();
+    if (entry.peer == target) {
+      // The request landed where its stash lives: adopt in place, no wire.
+      target_engine.ReleaseForeignCpuTokens(len);
+      const int64_t adopted = target_engine.AcceptPeerPrefix(
+          delivery->request.conversation_id, entry.first_token,
+          entry.last_token, delivery->request.history_len, now);
+      ++spill.fetchbacks;
+      spill.fetched_tokens += adopted;
+      spill.invalidated_tokens += len - adopted;
+      return;
+    }
+    if (!replicas[static_cast<size_t>(entry.peer)].alive()) {
+      // Stale entry (the peer died and invalidation raced); nothing to pull.
+      spill.invalidated_tokens += len;
+      return;
+    }
+    const LinkTransferOutcome out = nic_faults.Transfer(
+        now, entry.bytes, [&](double start, double bytes) {
+          return interconnect.ScheduleTransfer(entry.peer, target, start,
+                                               bytes);
+        });
+    replicas[static_cast<size_t>(entry.peer)].engine().ReleaseForeignCpuTokens(
+        len);
+    if (!out.delivered) {
+      ++spill.failed_transfers;
+      spill.degraded_tokens += len;  // recomputes at the target
+      return;
+    }
+    // The request waits for its stash like it would for a migration.
+    delivery->time = std::max(delivery->time, out.done);
+    const int64_t adopted = target_engine.AcceptPeerPrefix(
+        delivery->request.conversation_id, entry.first_token, entry.last_token,
+        delivery->request.history_len, now);
+    ++spill.fetchbacks;
+    spill.fetched_bytes += entry.bytes;
+    spill.fetched_tokens += adopted;
+    spill.invalidated_tokens += len - adopted;
   };
 
   // Routes `req` at virtual time `now` and delivers it to the chosen
@@ -194,8 +333,83 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
       }
       delivery.migrated = state;
     }
+    if (elastic.peer_spill.enabled) {
+      fetch_stash(&delivery, decision.target, now);
+    }
     replicas[static_cast<size_t>(decision.target)].Deliver(
         std::move(delivery));
+  };
+
+  // Re-routes one delivery drained off a still-alive replica `src`
+  // (quarantine or scale-down retirement), hand-carrying its KV: an
+  // in-flight migrated payload is re-forwarded as is, otherwise the
+  // conversation's cached state is exported from `src`. The extra hop is
+  // charged on the NIC exactly like a router-initiated migration.
+  // `drained_kv_tokens` accumulates the tokens that reached a new home.
+  auto reroute_drained = [&](Replica::Delivery d, int32_t src, double now,
+                             int64_t* drained_kv_tokens) {
+    const double base = std::max(now, d.time);
+    if (!any_alive()) {
+      orphans.push_back(d.request);
+      ++faults.orphaned_requests;
+      return;
+    }
+    MigratedKvState state = d.migrated;
+    if (state.Empty() && replicas[static_cast<size_t>(src)].alive()) {
+      state = replicas[static_cast<size_t>(src)].engine().ExportConversationState(
+          d.request.conversation_id);
+      // A request drained mid-decode leaves KV for the tokens it had already
+      // generated this turn. That progress restarts from scratch at the new
+      // home (it is in lost_generated_tokens), so the trailing decode KV
+      // must not travel: the import would otherwise cover more raw history
+      // than the restarted request has.
+      const int64_t excess = state.kv_len - d.request.history_len;
+      if (excess > 0) {
+        const int64_t kept =
+            std::max<int64_t>(0, state.resident_tokens - excess);
+        if (state.resident_tokens > 0) {
+          state.bytes *= static_cast<double>(kept) /
+                         static_cast<double>(state.resident_tokens);
+        }
+        state.kv_len = d.request.history_len;
+        state.resident_tokens = kept;
+      }
+    }
+    snapshot_views();
+    const RoutingDecision decision = router->Route(d.request, views);
+    PENSIEVE_CHECK_GE(decision.target, 0);
+    PENSIEVE_CHECK_LT(decision.target, static_cast<int32_t>(replicas.size()));
+    PENSIEVE_CHECK(views[static_cast<size_t>(decision.target)].alive);
+
+    Replica::Delivery out;
+    out.time = base;
+    out.request = d.request;
+    if (state.resident_tokens > 0 && decision.target != src) {
+      const LinkTransferOutcome t = nic_faults.Transfer(
+          base, state.bytes, [&](double start, double bytes) {
+            return interconnect.ScheduleTransfer(src, decision.target, start,
+                                                 bytes);
+          });
+      out.time = t.done;
+      out.migration_stall = t.done - base;
+      ++migration.migrations;
+      migration.migration_stall_seconds += out.migration_stall;
+      if (t.delivered) {
+        migration.migrated_bytes += state.bytes;
+        *drained_kv_tokens += state.resident_tokens;
+      } else {
+        ++migration.failed_migrations;
+        migration.kv_tokens_lost_in_transit += state.resident_tokens;
+        faults.lost_kv_tokens += state.resident_tokens;
+        state.resident_tokens = 0;
+        state.bytes = 0.0;
+      }
+    }
+    out.migrated = state;
+    if (elastic.peer_spill.enabled) {
+      fetch_stash(&out, decision.target, base);
+    }
+    replicas[static_cast<size_t>(decision.target)].Deliver(std::move(out));
   };
 
   auto handle_fail = [&](const SimEvent& event) {
@@ -208,6 +422,19 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
     // The router forgets the replica first so re-routed (and all future)
     // requests pick an alive home.
     router->NotifyReplicaDown(static_cast<int32_t>(event.id));
+    // Probe history dies with the replica; it restarts healthy on recovery.
+    health.Reset(static_cast<int32_t>(event.id));
+    // Stash segments parked on the dead replica died with its CPU tier.
+    for (auto it = stash.begin(); it != stash.end();) {
+      if (it->second.peer == static_cast<int32_t>(event.id)) {
+        const int64_t len = it->second.last_token - it->second.first_token;
+        spill.invalidated_tokens += len;
+        stash_tokens -= len;
+        it = stash.erase(it);
+      } else {
+        ++it;
+      }
+    }
     Replica::FailureDrain drain = victim.Fail(event.time);
     ++faults.failures;
     faults.lost_kv_tokens += drain.lost_kv_tokens;
@@ -246,6 +473,10 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
     }
     replica.Recover(make_engine(static_cast<int32_t>(event.id)), event.time);
     router->NotifyReplicaUp(static_cast<int32_t>(event.id));
+    health.Reset(static_cast<int32_t>(event.id));
+    // A scheduled recovery targeting a dormant/retired slot puts it back in
+    // the active set (it is serving now, whatever the autoscaler thinks).
+    active[static_cast<size_t>(event.id)] = true;
     ++faults.recoveries;
     // Requests stranded while the whole cluster was down run here.
     std::vector<Request> stranded;
@@ -253,6 +484,345 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
     for (const Request& req : stranded) {
       route_and_deliver(req, event.time, /*allow_migrate=*/false);
     }
+  };
+
+  // Quarantine: the replica is alive but failing probes. It leaves the
+  // dispatch set, and everything it still owes is proactively drained over
+  // the migration path — requests re-route with their KV hand-carried, so
+  // a later hard failure of this replica destroys far less.
+  auto quarantine_replica = [&](int32_t id, double now) {
+    router->NotifyReplicaDown(id);
+    Replica& victim = replicas[static_cast<size_t>(id)];
+    if (!victim.alive()) {
+      return;  // already down; the failure path drained it
+    }
+    HealthStats& hs = health.stats();
+    Replica::LiveDrain drain = victim.DrainLive(now, /*keep_state_only=*/true);
+    hs.drained_requests += static_cast<int64_t>(drain.deliveries.size());
+    hs.lost_generated_tokens += drain.lost_generated_tokens;
+    for (Replica::Delivery& d : drain.deliveries) {
+      if (options.disagg.enabled) {
+        // Disagg re-dispatch must re-run the handoff chain logic; the
+        // request re-routes without a KV carry (any in-flight payload is
+        // voided, mirroring the crash path).
+        if (!d.migrated.Empty()) {
+          faults.lost_kv_tokens += d.migrated.resident_tokens;
+        }
+        route_and_deliver(d.request, std::max(now, d.time),
+                          /*allow_migrate=*/false);
+      } else {
+        reroute_drained(std::move(d), id, now, &hs.drained_kv_tokens);
+      }
+    }
+    // KV streams aimed at the quarantined replica are voided — their payload
+    // would land on a sick target. The source side of a stream stays: the
+    // quarantined replica is alive and keeps streaming what it already owes.
+    for (HandoffStream& s : streams) {
+      if (s.arrived || s.cancelled || s.state.resident_tokens <= 0 ||
+          s.dst != id) {
+        continue;
+      }
+      s.cancelled = true;
+      ++handoff.failed_streams;
+      ++hs.voided_streams;
+      handoff.kv_tokens_lost += s.state.resident_tokens;
+      faults.lost_kv_tokens += s.state.resident_tokens;
+      s.state.resident_tokens = 0;
+      s.state.bytes = 0.0;
+    }
+  };
+
+  // True while re-arming a control-plane timer could still matter: any
+  // non-timer event pending, any replica with a finite next-event time, or
+  // stranded work a future scale-up could rescue. When false, the timer lets
+  // itself lapse so the run can terminate.
+  auto cluster_busy = [&]() {
+    const int64_t timers =
+        events.PendingOfKind(SimEventKind::kHealthProbe) +
+        events.PendingOfKind(SimEventKind::kAutoscale);
+    if (static_cast<int64_t>(events.Size()) > timers) {
+      return true;
+    }
+    for (const Replica& r : replicas) {
+      if (r.NextEventTime() < kNever) {
+        return true;
+      }
+    }
+    if (elastic.autoscale.enabled && !orphans.empty()) {
+      for (size_t i = 0; i < replicas.size(); ++i) {
+        if (!active[i]) {
+          return true;  // a scale-up could still rescue the orphans
+        }
+      }
+    }
+    return false;
+  };
+  auto arm_timer = [&](SimEventKind kind, double time) {
+    SimEvent e;
+    e.time = time;
+    e.kind = kind;
+    events.Push(e);
+  };
+
+  // One probe round: every alive, active replica is probed once on the NIC
+  // with a single attempt; ok means delivered within the probe timeout. A
+  // sick window forces the verdict to failed *after* the draw, so arming
+  // sick windows never shifts the probe RNG sequence.
+  auto handle_probe = [&](const SimEvent& event) {
+    const double now = event.time;
+    for (int32_t i = 0; i < static_cast<int32_t>(replicas.size()); ++i) {
+      if (!replicas[static_cast<size_t>(i)].alive() ||
+          !active[static_cast<size_t>(i)]) {
+        continue;  // dead and dormant replicas are not probed
+      }
+      const LinkTransferOutcome out = probe_faults.Transfer(
+          now, elastic.health.probe_bytes, [&](double start, double bytes) {
+            return start + interconnect.spec().latency +
+                   bytes / interconnect.spec().bandwidth;
+          });
+      bool ok =
+          out.delivered && (out.done - now) <= elastic.health.probe_timeout;
+      if (health.InSickWindow(i, now)) {
+        ok = false;
+      }
+      switch (health.RecordProbe(i, ok)) {
+        case HealthMonitor::Transition::kQuarantine:
+          quarantine_replica(i, now);
+          break;
+        case HealthMonitor::Transition::kReinstate:
+          router->NotifyReplicaUp(i);
+          break;
+        default:
+          break;
+      }
+    }
+    if (cluster_busy()) {
+      arm_timer(SimEventKind::kHealthProbe,
+                now + elastic.health.probe_interval);
+    }
+  };
+
+  auto scale_up = [&](double now, int64_t signal_tokens, double p99) {
+    int32_t slot = -1;
+    for (int32_t i = 0; i < static_cast<int32_t>(replicas.size()); ++i) {
+      if (!active[static_cast<size_t>(i)]) {
+        slot = i;
+        break;
+      }
+    }
+    if (slot < 0) {
+      return;  // crashed-but-active replicas keep their slots
+    }
+    replicas[static_cast<size_t>(slot)].Recover(make_engine(slot), now);
+    active[static_cast<size_t>(slot)] = true;
+    health.Reset(slot);
+    router->NotifyReplicaUp(slot);
+    ++autoscale_stats.scale_ups;
+    autoscale_stats.events.push_back(
+        ScaleEvent{now, slot, /*up=*/true, signal_tokens, p99});
+    scaler.NoteScaled(now);
+    // Work stranded while the active set was empty runs here.
+    std::vector<Request> stranded;
+    stranded.swap(orphans);
+    for (const Request& req : stranded) {
+      route_and_deliver(req, now, /*allow_migrate=*/false);
+    }
+  };
+
+  auto scale_down = [&](double now, int64_t signal_tokens, double p99) {
+    int32_t victim = -1;
+    for (int32_t i = static_cast<int32_t>(replicas.size()) - 1; i >= 0; --i) {
+      if (active[static_cast<size_t>(i)] &&
+          replicas[static_cast<size_t>(i)].alive()) {
+        victim = i;
+        break;
+      }
+    }
+    if (victim < 0) {
+      return;
+    }
+    // The drained work needs somewhere dispatchable to land; if every other
+    // replica is quarantined or down, keep the victim in service.
+    bool other_home = false;
+    for (int32_t i = 0; i < static_cast<int32_t>(replicas.size()); ++i) {
+      if (i != victim && dispatchable(i)) {
+        other_home = true;
+        break;
+      }
+    }
+    if (!other_home) {
+      return;
+    }
+    router->NotifyReplicaDown(victim);
+    active[static_cast<size_t>(victim)] = false;
+    Replica& r = replicas[static_cast<size_t>(victim)];
+    Replica::LiveDrain drain = r.DrainLive(now, /*keep_state_only=*/false);
+    autoscale_stats.drained_requests +=
+        static_cast<int64_t>(drain.deliveries.size());
+    autoscale_stats.lost_generated_tokens += drain.lost_generated_tokens;
+    // State-only payloads discarded with the retiring replica are a
+    // deliberate release, not a fault.
+    autoscale_stats.released_kv_tokens += drain.dropped_state_tokens;
+    for (Replica::Delivery& d : drain.deliveries) {
+      reroute_drained(std::move(d), victim, now,
+                      &autoscale_stats.drained_kv_tokens);
+    }
+    // Stash segments parked on the victim retire with its engine.
+    for (auto it = stash.begin(); it != stash.end();) {
+      if (it->second.peer == victim) {
+        const int64_t len = it->second.last_token - it->second.first_token;
+        spill.invalidated_tokens += len;
+        stash_tokens -= len;
+        it = stash.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    autoscale_stats.released_kv_tokens += r.Retire(now);
+    health.Reset(victim);
+    ++autoscale_stats.scale_downs;
+    autoscale_stats.events.push_back(
+        ScaleEvent{now, victim, /*up=*/false, signal_tokens, p99});
+    scaler.NoteScaled(now);
+  };
+
+  auto handle_autoscale = [&](const SimEvent& event) {
+    const double now = event.time;
+    snapshot_views();
+    int64_t total_weighted = 0;
+    int32_t n_active = 0;
+    for (size_t i = 0; i < replicas.size(); ++i) {
+      if (active[i] && replicas[i].alive()) {
+        total_weighted += views[i].load.WeightedTokens();
+        ++n_active;
+      }
+    }
+    const double p99 = scaler.RecentP99();
+    const int64_t per_replica =
+        n_active > 0 ? total_weighted / n_active : total_weighted;
+    if (n_active < elastic.autoscale.min_replicas) {
+      // Below the floor (crashes ate into the active set): restore it
+      // immediately, cooldown notwithstanding — this is a safety floor, not
+      // a load decision.
+      scale_up(now, per_replica, p99);
+    } else {
+      switch (scaler.Decide(now, total_weighted, n_active)) {
+        case Autoscaler::Decision::kUp:
+          scale_up(now, per_replica, p99);
+          break;
+        case Autoscaler::Decision::kDown:
+          scale_down(now, per_replica, p99);
+          break;
+        case Autoscaler::Decision::kHold:
+          break;
+      }
+    }
+    const int32_t after = active_alive_count();
+    autoscale_stats.peak_active_replicas =
+        std::max(autoscale_stats.peak_active_replicas, after);
+    autoscale_stats.min_active_replicas =
+        std::min(autoscale_stats.min_active_replicas, after);
+    if (cluster_busy()) {
+      arm_timer(SimEventKind::kAutoscale,
+                now + elastic.autoscale.check_interval);
+    }
+  };
+
+  // A CPU-tier eviction the stepped replica offered out: pick the peer with
+  // the most idle CPU budget, reserve, and ship the chunk over the NIC. The
+  // chunk was dropped locally either way, so a declined or failed offer
+  // costs nothing beyond the recompute the drop already implied.
+  auto handle_spill_offer = [&](int32_t src, const PeerSpillOffer& o,
+                                double now) {
+    ++spill.offers;
+    auto it = stash.find(o.conversation_id);
+    if (it != stash.end() && o.first_token != it->second.last_token) {
+      // Non-contiguous with the existing stash (the frontier moved past it
+      // some other way). Hole rule: invalidate before stashing afresh.
+      const int64_t len = it->second.last_token - it->second.first_token;
+      spill.invalidated_tokens += len;
+      stash_tokens -= len;
+      if (replicas[static_cast<size_t>(it->second.peer)].alive()) {
+        replicas[static_cast<size_t>(it->second.peer)]
+            .engine()
+            .ReleaseForeignCpuTokens(len);
+      }
+      stash.erase(it);
+      it = stash.end();
+    }
+    if (it != stash.end()) {
+      // Extend the existing segment on its peer.
+      StashEntry& entry = it->second;
+      if (!dispatchable(entry.peer) ||
+          replicas[static_cast<size_t>(entry.peer)]
+                  .engine()
+                  .ReserveForeignCpuTokens(o.num_tokens) == 0) {
+        ++spill.declined_offers;
+        return;
+      }
+      const LinkTransferOutcome out = nic_faults.Transfer(
+          now, o.bytes, [&](double start, double bytes) {
+            return interconnect.ScheduleTransfer(src, entry.peer, start,
+                                                 bytes);
+          });
+      if (!out.delivered) {
+        replicas[static_cast<size_t>(entry.peer)]
+            .engine()
+            .ReleaseForeignCpuTokens(o.num_tokens);
+        ++spill.failed_transfers;
+        return;
+      }
+      entry.last_token += o.num_tokens;
+      entry.bytes += o.bytes;
+      ++spill.spills;
+      spill.spilled_tokens += o.num_tokens;
+      spill.spilled_bytes += o.bytes;
+      stash_tokens += o.num_tokens;
+      spill.stash_peak_tokens =
+          std::max(spill.stash_peak_tokens, stash_tokens);
+      return;
+    }
+    // Fresh segment: the healthiest-looking peer with the most idle CPU.
+    int32_t best = -1;
+    int64_t best_idle = 0;
+    for (int32_t j = 0; j < static_cast<int32_t>(replicas.size()); ++j) {
+      if (j == src || !dispatchable(j)) {
+        continue;
+      }
+      const int64_t idle =
+          replicas[static_cast<size_t>(j)].engine().IdleCpuCacheTokens();
+      if (idle > best_idle) {
+        best_idle = idle;
+        best = j;
+      }
+    }
+    if (best < 0 || best_idle < o.num_tokens ||
+        replicas[static_cast<size_t>(best)].engine().ReserveForeignCpuTokens(
+            o.num_tokens) == 0) {
+      ++spill.declined_offers;
+      return;
+    }
+    const LinkTransferOutcome out = nic_faults.Transfer(
+        now, o.bytes, [&](double start, double bytes) {
+          return interconnect.ScheduleTransfer(src, best, start, bytes);
+        });
+    if (!out.delivered) {
+      replicas[static_cast<size_t>(best)].engine().ReleaseForeignCpuTokens(
+          o.num_tokens);
+      ++spill.failed_transfers;
+      return;
+    }
+    StashEntry entry;
+    entry.peer = best;
+    entry.first_token = o.first_token;
+    entry.last_token = o.first_token + o.num_tokens;
+    entry.bytes = o.bytes;
+    stash[o.conversation_id] = entry;
+    ++spill.spills;
+    spill.spilled_tokens += o.num_tokens;
+    spill.spilled_bytes += o.bytes;
+    stash_tokens += o.num_tokens;
+    spill.stash_peak_tokens = std::max(spill.stash_peak_tokens, stash_tokens);
   };
 
   // Merges the prefill- and decode-side halves of a handed-off turn into
@@ -279,6 +849,9 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
       merged.decode_admit_time = decode_half->first_scheduled_time;
     }
     replicas[static_cast<size_t>(finishing_replica)].RecordOutcome(merged);
+    if (elastic.autoscale.enabled && merged.request.target_output_len > 0) {
+      scaler.RecordFinish(merged.NormalizedLatency());
+    }
     if (options.outcomes != nullptr) {
       options.outcomes->push_back(merged);
     }
@@ -437,9 +1010,11 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
       }
       return;
     }
-    if (!dst.alive()) {
-      // The decode target died while the stream was in flight; the payload
-      // was voided at fail time, and the continuation re-routes afresh.
+    if (!dst.alive() || !dispatchable(s.dst)) {
+      // The decode target died — or was quarantined — while the stream was
+      // in flight; the payload was voided at fail/quarantine time, and the
+      // continuation re-routes afresh (degrading to recompute, never
+      // dropping the request).
       route_and_deliver(s.continuation, event.time, /*allow_migrate=*/false);
       return;
     }
@@ -452,6 +1027,15 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
     }
     dst.Deliver(std::move(delivery));
   };
+
+  // Control-plane timers start one interval in (the cluster state at t=0 is
+  // by construction healthy and unloaded).
+  if (elastic.health.enabled) {
+    arm_timer(SimEventKind::kHealthProbe, elastic.health.probe_interval);
+  }
+  if (elastic.autoscale.enabled) {
+    arm_timer(SimEventKind::kAutoscale, elastic.autoscale.check_interval);
+  }
 
   while (true) {
     const double t_event = events.NextTime();
@@ -487,6 +1071,12 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
         case SimEventKind::kHandoffArrival:
           handle_handoff_arrival(event);
           break;
+        case SimEventKind::kHealthProbe:
+          handle_probe(event);
+          break;
+        case SimEventKind::kAutoscale:
+          handle_autoscale(event);
+          break;
       }
       continue;
     }
@@ -510,11 +1100,23 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
                      outcome.finish_time);
         continue;
       }
+      if (elastic.autoscale.enabled && outcome.request.target_output_len > 0) {
+        scaler.RecordFinish(outcome.NormalizedLatency());
+      }
       if (options.outcomes != nullptr) {
         options.outcomes->push_back(outcome);
       }
       // Schedule the conversation's next turn after the user's think time.
       arrivals.OnRequestFinished(outcome);
+    }
+    if (elastic.peer_spill.enabled &&
+        replicas[static_cast<size_t>(next_replica)].alive()) {
+      // CPU-pressure drops this step recorded as peer offers: place each on
+      // a peer with idle CPU budget (or let it stay the plain drop it was).
+      Replica& stepped = replicas[static_cast<size_t>(next_replica)];
+      for (const PeerSpillOffer& o : stepped.engine().TakePeerSpillOffers()) {
+        handle_spill_offer(next_replica, o, stepped.now());
+      }
     }
     ++total_steps;
     if (options.max_steps > 0 && total_steps >= options.max_steps) {
@@ -573,6 +1175,14 @@ ClusterSummary RunClusterExperiment(const ReplicaEngineFactory& make_engine,
   summary.faults = faults;
   summary.nic_link_faults = nic_faults.stats();
   summary.handoff = handoff;
+  // Stash segments never fetched back close the peer-spill identity:
+  // spilled == fetched + degraded + invalidated + remaining.
+  for (const auto& [conv, entry] : stash) {
+    spill.remaining_tokens += entry.last_token - entry.first_token;
+  }
+  summary.elastic.health = health.stats();
+  summary.elastic.autoscale = autoscale_stats;
+  summary.elastic.peer_spill = spill;
   if (options.disagg.enabled) {
     summary.prefill_replicas =
         std::min(options.disagg.prefill_replicas, options.num_replicas - 1);

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/cluster/cluster_metrics.h"
+#include "src/cluster/elastic.h"
 #include "src/cluster/router.h"
 #include "src/serving/engine.h"
 #include "src/sim/cluster_link.h"
@@ -81,6 +82,12 @@ struct ClusterOptions {
   LinkFaultProfile nic_fault_profile;
   LinkRetryPolicy fault_retry;
   uint64_t fault_seed = 0;
+  // Elastic-cluster features (DESIGN.md §14): active health probing with
+  // quarantine, queue/latency-driven autoscaling, and cross-replica CPU-tier
+  // spill. All off by default, leaving the run bit-identical to the
+  // inelastic driver. With autoscaling, num_replicas is the slot count
+  // (= max_replicas); only autoscale.min_replicas slots start active.
+  ElasticOptions elastic;
   // Safety valve on total scheduler iterations across all replicas
   // (0 = unlimited).
   int64_t max_steps = 0;

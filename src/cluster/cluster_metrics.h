@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/elastic.h"
 #include "src/common/status.h"
 #include "src/serving/metrics.h"
 #include "src/serving/telemetry.h"
@@ -106,6 +107,9 @@ struct ClusterSummary {
   HandoffStats handoff;
   // Number of prefill-role replicas this run (0 = colocated).
   int32_t prefill_replicas = 0;
+  // Elastic-cluster accounting (health probing, autoscaling, peer spill;
+  // DESIGN.md §14). All zero when the elastic features are off.
+  ElasticStats elastic;
 };
 
 // Field-wise sum of per-replica engine stats.

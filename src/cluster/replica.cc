@@ -81,6 +81,72 @@ Replica::FailureDrain Replica::Fail(double now) {
   return drain;
 }
 
+Replica::LiveDrain Replica::DrainLive(double now, bool keep_state_only) {
+  PENSIEVE_CHECK(alive()) << "live drain on dead replica " << id_;
+  clock_.AdvanceTo(std::max(clock_.now(), now));
+  LiveDrain drain;
+
+  // Undelivered deliveries survive intact: the replica is alive, so nothing
+  // in transit is lost — migrated payloads ride along to the new home. A
+  // delivery's original arrival time is preserved; the driver re-routes at
+  // max(now, d.time).
+  std::vector<Delivery> keep;
+  while (!pending_.empty()) {
+    Delivery d = pending_.top();
+    pending_.pop();
+    if (d.state_only) {
+      if (keep_state_only) {
+        keep.push_back(std::move(d));
+      } else {
+        drain.dropped_state_tokens += d.migrated.resident_tokens;
+      }
+      continue;
+    }
+    drain.deliveries.push_back(std::move(d));
+  }
+  pending_request_tokens_ = 0;
+  for (Delivery& d : keep) {
+    Deliver(std::move(d));
+  }
+
+  DrainedWork work = engine_->DrainForRehome();
+  drain.lost_generated_tokens = work.lost_generated_tokens;
+  for (Request& req : work.requests) {
+    Delivery d;
+    d.time = now;
+    d.request = req;
+    drain.deliveries.push_back(std::move(d));
+  }
+  std::sort(drain.deliveries.begin(), drain.deliveries.end(),
+            [](const Delivery& a, const Delivery& b) {
+              return a.request.request_id < b.request.request_id;
+            });
+  stalled_ = false;
+  return drain;
+}
+
+void Replica::Dormant() {
+  PENSIEVE_CHECK(alive());
+  PENSIEVE_CHECK(pending_.empty())
+      << "replica " << id_ << " made dormant with deliveries pending";
+  PENSIEVE_CHECK(!engine_->HasWork())
+      << "replica " << id_ << " made dormant with work enqueued";
+  engine_.reset();
+}
+
+int64_t Replica::Retire(double now) {
+  PENSIEVE_CHECK(alive()) << "retiring dead replica " << id_;
+  PENSIEVE_CHECK(pending_.empty())
+      << "replica " << id_ << " retired with deliveries pending";
+  clock_.AdvanceTo(std::max(clock_.now(), now));
+  const int64_t released = engine_->TotalCachedTokens();
+  retired_stats_ += engine_->stats();
+  engine_.reset();
+  stalled_ = false;
+  pending_request_tokens_ = 0;
+  return released;
+}
+
 void Replica::Recover(std::unique_ptr<Engine> engine, double now) {
   PENSIEVE_CHECK(!alive()) << "replica " << id_ << " recovered while alive";
   PENSIEVE_CHECK(engine != nullptr);

@@ -55,6 +55,20 @@ class Replica {
     int64_t lost_generated_tokens = 0;
   };
 
+  // What a *live* drain hands back: unlike Fail, the replica (and its engine)
+  // stays up, so in-flight migrated payloads survive inside their deliveries
+  // and the engine's cached KV is still exportable afterwards. Used for
+  // quarantine drains (keep_state_only=true: state-only KV deliveries are
+  // left in place, the replica keeps serving as a cache donor) and for
+  // scale-down retirement (keep_state_only=false: state-only payloads are
+  // dropped and counted, the replica is about to be destroyed).
+  struct LiveDrain {
+    std::vector<Delivery> deliveries;
+    int64_t lost_generated_tokens = 0;
+    // Tokens of state-only KV deliveries discarded (retirement path only).
+    int64_t dropped_state_tokens = 0;
+  };
+
   Replica(int32_t id, std::unique_ptr<Engine> engine);
 
   int32_t id() const { return id_; }
@@ -75,6 +89,23 @@ class Replica {
 
   // Rejoins with a fresh (empty) engine at virtual time `now`.
   void Recover(std::unique_ptr<Engine> engine, double now);
+
+  // Drains every pending request off a replica that stays alive: undelivered
+  // deliveries keep their migrated payloads (the driver re-forwards them),
+  // and the engine's queued/running requests are unpinned and handed back
+  // via DrainForRehome. The engine keeps its cached KV so the driver can
+  // still ExportConversationState from it. With keep_state_only, state-only
+  // KV deliveries are re-queued locally instead of drained.
+  LiveDrain DrainLive(double now, bool keep_state_only);
+
+  // Initial autoscale slot that never served: drops the engine without
+  // retiring stats. Only legal before any work was delivered.
+  void Dormant();
+
+  // Graceful scale-down destruction: requires an already-drained replica
+  // (no pending deliveries). Retires the engine's stats and returns the KV
+  // tokens released with it.
+  int64_t Retire(double now);
 
   void Deliver(Delivery delivery);
 

@@ -33,15 +33,21 @@ bool RouterPolicyByName(const std::string& name, RouterPolicy* policy) {
 
 namespace {
 
-// Alive replica in [pool_begin, pool_end) with the least outstanding work;
-// -1 when the whole pool is dead. Same deterministic tie-breaks as
+// True when a replica may be chosen as a routing target: alive and not
+// pulled from the dispatch set by quarantine / autoscale.
+bool Selectable(const ReplicaView& view) {
+  return view.alive && view.dispatchable;
+}
+
+// Selectable replica in [pool_begin, pool_end) with the least outstanding
+// work; -1 when the whole pool is dead. Same deterministic tie-breaks as
 // LeastLoadedReplica.
 int32_t BestInPool(const std::vector<ReplicaView>& replicas,
                    int32_t pool_begin, int32_t pool_end,
                    bool weight_queued_prefill) {
   int32_t best = -1;
   for (int32_t i = pool_begin; i < pool_end; ++i) {
-    if (!replicas[static_cast<size_t>(i)].alive) {
+    if (!Selectable(replicas[static_cast<size_t>(i)])) {
       continue;
     }
     if (best < 0) {
@@ -73,7 +79,7 @@ int32_t LeastLoadedReplica(const std::vector<ReplicaView>& replicas,
   const int32_t best =
       BestInPool(replicas, 0, static_cast<int32_t>(replicas.size()),
                  weight_queued_prefill);
-  PENSIEVE_CHECK_GE(best, 0) << "no alive replica to route to";
+  PENSIEVE_CHECK_GE(best, 0) << "no dispatchable replica to route to";
   return best;
 }
 
@@ -89,17 +95,17 @@ class RoundRobinRouter final : public Router {
                         const std::vector<ReplicaView>& replicas) override {
     const int32_t n = static_cast<int32_t>(replicas.size());
     RoutingDecision decision;
-    // Rotate past dead replicas; with everyone alive this is the plain
-    // rotation (the 1-replica bit-for-bit case is untouched).
+    // Rotate past dead/undispatchable replicas; with everyone alive this is
+    // the plain rotation (the 1-replica bit-for-bit case is untouched).
     for (int32_t tried = 0; tried < n; ++tried) {
       const int32_t candidate = next_;
       next_ = (next_ + 1) % n;
-      if (replicas[static_cast<size_t>(candidate)].alive) {
+      if (Selectable(replicas[static_cast<size_t>(candidate)])) {
         decision.target = candidate;
         return decision;
       }
     }
-    PENSIEVE_LOG_FATAL << "round-robin: no alive replica to route to";
+    PENSIEVE_LOG_FATAL << "round-robin: no dispatchable replica to route to";
     return decision;
   }
 
@@ -144,6 +150,16 @@ class SessionAffinityRouter final : public Router {
       return decision;
     }
     const int32_t home = it->second;
+    if (!Selectable(replicas[static_cast<size_t>(home)])) {
+      // Home pulled from the dispatch set (NotifyReplicaDown normally erases
+      // these entries first; this is the backstop): re-home as first
+      // contact, without a migration — the driver drains quarantined homes
+      // itself.
+      decision.target = LeastLoadedReplica(replicas);
+      it->second = decision.target;
+      ++counters_.rehomes;
+      return decision;
+    }
     decision.target = home;
     if (!Overloaded(home, replicas)) {
       return decision;
@@ -218,7 +234,7 @@ int32_t RotatedBestInPool(const std::vector<ReplicaView>& replicas,
   int64_t best_tokens = 0;
   for (int32_t k = 0; k < size; ++k) {
     const int32_t i = pool_begin + (*rr + k) % size;
-    if (!replicas[static_cast<size_t>(i)].alive) {
+    if (!Selectable(replicas[static_cast<size_t>(i)])) {
       continue;
     }
     const int64_t tokens =
@@ -263,7 +279,7 @@ class DisaggRouter final : public Router {
     // prompt plus whatever history the home no longer caches.
     const auto it = home_.find(request.conversation_id);
     const int32_t home =
-        (it != home_.end() && replicas[static_cast<size_t>(it->second)].alive)
+        (it != home_.end() && Selectable(replicas[static_cast<size_t>(it->second)]))
             ? it->second
             : -1;
     int64_t cached = 0;
@@ -305,7 +321,7 @@ class DisaggRouter final : public Router {
                        int32_t prefill_n, int32_t n) {
     const auto it = home_.find(conversation_id);
     if (it != home_.end() &&
-        replicas[static_cast<size_t>(it->second)].alive) {
+        Selectable(replicas[static_cast<size_t>(it->second)])) {
       return it->second;
     }
     int32_t target = RotatedBestInPool(replicas, prefill_n, n, &rr_decode_);

@@ -56,11 +56,16 @@ struct RouterOptions {
 
 // What the router may observe about a replica when deciding. A dead replica
 // keeps its index slot (routing decisions index the replica vector) but must
-// never be chosen as a target.
+// never be chosen as a target. A replica can also be alive but not
+// dispatchable (quarantined by the health monitor, or outside the
+// autoscaler's active set, DESIGN.md §14): routers treat it exactly like a
+// dead one when selecting targets, while the driver can still drain work
+// *off* it over the migration path.
 struct ReplicaView {
   const Engine* engine = nullptr;
   EngineLoad load;
   bool alive = true;
+  bool dispatchable = true;
 };
 
 struct RoutingDecision {
@@ -103,8 +108,9 @@ class Router {
 
 std::unique_ptr<Router> MakeRouter(const RouterOptions& options);
 
-// Shared helper: alive replica with the fewest outstanding tokens (ties
-// broken by fewest requests, then lowest id, keeping runs deterministic).
+// Shared helper: dispatchable replica with the fewest outstanding tokens
+// (ties broken by fewest requests, then lowest id, keeping runs
+// deterministic).
 // With `weight_queued_prefill`, the score also counts history tokens that
 // queued-but-unadmitted requests will have to recompute
 // (EngineLoad::WeightedTokens) — without it, prefill-pool dispatch herds

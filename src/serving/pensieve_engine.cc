@@ -65,6 +65,9 @@ CacheCoordinator::Options MakeCoordinatorOptions(const PensieveEngineOptions& op
   coord.swap_out_target = options.swap_out_threshold;
   coord.conversation_granularity =
       options.policy == EvictionPolicyKind::kConversationLru;
+  // Peer spill only ever targets chunk-granularity CPU evictions.
+  coord.peer_spill = options.peer_spill && options.use_cpu_cache &&
+                     !coord.conversation_granularity;
   return coord;
 }
 
@@ -1053,6 +1056,112 @@ DrainedWork PensieveEngine::DrainUnfinished() {
   SyncShareStats();
   SyncQuantStats();
   return drained;
+}
+
+DrainedWork PensieveEngine::DrainForRehome() {
+  // Running requests hold admission state a crash simply discards but a live
+  // drain must unwind: their conversations are pinned (TryAdmit) and may
+  // hold restored-but-unprefilled chunks whose KV is garbage until the
+  // prefill runs. Mirror SuspendRequest: unpin and re-drop those chunks so
+  // ExportConversationState sees a clean, unpinned conversation.
+  for (Running& r : running_) {
+    const int64_t conv_id = r.request.conversation_id;
+    ContextState* conv = cache_.Find(conv_id);
+    PENSIEVE_CHECK(conv != nullptr);
+    conv->Unpin();
+    for (int64_t i = 0; i < r.restored_chunks; ++i) {
+      if (!cache_.DropChunk(conv_id, i).ok()) {
+        break;
+      }
+    }
+    r.restored_chunks = 0;
+  }
+  return DrainUnfinished();
+}
+
+std::vector<PeerSpillOffer> PensieveEngine::TakePeerSpillOffers() {
+  std::vector<PeerSpillOffer> offers;
+  for (const CacheCoordinator::PeerOffer& o : coordinator_.TakePeerOffers()) {
+    PeerSpillOffer out;
+    out.conversation_id = o.conversation;
+    out.first_token = o.first_token;
+    out.num_tokens = o.num_tokens;
+    out.bytes = static_cast<double>(o.num_tokens) *
+                static_cast<double>(KvWireBytesPerToken()) *
+                static_cast<double>(cost_model_.hardware().num_gpus);
+    stats_.peer_spill_out_tokens += o.num_tokens;
+    offers.push_back(out);
+  }
+  return offers;
+}
+
+int64_t PensieveEngine::IdleCpuCacheTokens() const {
+  return cache_.cpu_allocator().num_free() * options_.block_size;
+}
+
+int64_t PensieveEngine::ReserveForeignCpuTokens(int64_t tokens) {
+  PENSIEVE_CHECK_GE(tokens, 0);
+  if (tokens == 0) {
+    return 0;
+  }
+  const int64_t blocks =
+      (tokens + options_.block_size - 1) / options_.block_size;
+  return cache_.ReserveForeignCpuBlocks(blocks) == blocks ? tokens : 0;
+}
+
+void PensieveEngine::ReleaseForeignCpuTokens(int64_t tokens) {
+  PENSIEVE_CHECK_GE(tokens, 0);
+  const int64_t blocks =
+      (tokens + options_.block_size - 1) / options_.block_size;
+  cache_.ReleaseForeignCpuBlocks(blocks);
+}
+
+int64_t PensieveEngine::AcceptPeerPrefix(int64_t conversation_id,
+                                         int64_t first_token,
+                                         int64_t last_token,
+                                         int64_t kv_len_hint, double now) {
+  if (last_token <= first_token) {
+    return 0;
+  }
+  ContextState* conv = cache_.Find(conversation_id);
+  if (conv == nullptr) {
+    // No local bookkeeping: the segment is adoptable only as the trailing
+    // end of the conversation's full history (everything after it would
+    // otherwise be silently forgotten).
+    if (kv_len_hint <= 0 || last_token != kv_len_hint) {
+      return 0;
+    }
+    const int64_t adopted = cache_.ImportCpuResident(
+        conversation_id, kv_len_hint, last_token - first_token);
+    if (adopted > 0) {
+      cache_.Find(conversation_id)->set_last_active(now);
+      stats_.peer_spill_in_tokens += adopted;
+    }
+    return adopted;
+  }
+  if (inflight_.find(conversation_id) != inflight_.end()) {
+    // A racing request is already recomputing locally; never clobber it.
+    return 0;
+  }
+  if (conv->LeadingDroppedTokens() != last_token) {
+    // The stash no longer lines up with the dropped frontier (the local
+    // copy was dropped deeper or restored past it); adopting would leave a
+    // hole in the prefix.
+    return 0;
+  }
+  int64_t adopted = 0;
+  for (int64_t chunk = conv->LeadingDroppedChunks() - 1;
+       chunk >= 0 && conv->ChunkStartToken(chunk) >= first_token; --chunk) {
+    if (!cache_.RestoreDroppedToCpu(conversation_id, chunk).ok()) {
+      break;  // CPU tier full (or flash run below): keep what landed
+    }
+    adopted += conv->chunk(chunk).num_tokens;
+  }
+  if (adopted > 0) {
+    conv->set_last_active(now);
+    stats_.peer_spill_in_tokens += adopted;
+  }
+  return adopted;
 }
 
 int64_t PensieveEngine::TotalCachedTokens() const {

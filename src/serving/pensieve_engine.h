@@ -79,6 +79,10 @@ struct PensieveEngineOptions {
   // promote, migration — is priced at the compressed size. Off by default;
   // when off the engine is bit-identical to the unquantized build.
   bool kv_quant = false;
+  // Cross-replica CPU-tier spill (DESIGN.md §14): record CPU-pressure drops
+  // as peer offers instead of discarding them silently. Off by default; the
+  // local eviction sequence is identical either way.
+  bool peer_spill = false;
 };
 
 class PensieveEngine final : public Engine {
@@ -104,6 +108,20 @@ class PensieveEngine final : public Engine {
   // Fault injection: hand back all queued/running requests (crash path).
   DrainedWork DrainUnfinished() override;
   int64_t TotalCachedTokens() const override;
+
+  // Live-drain variant (quarantine / scale-down, DESIGN.md §14): unpins the
+  // running requests' conversations and re-drops their restored chunks so
+  // every drained conversation is immediately exportable.
+  DrainedWork DrainForRehome() override;
+
+  // Cross-replica CPU-tier spill (DESIGN.md §14).
+  std::vector<PeerSpillOffer> TakePeerSpillOffers() override;
+  int64_t IdleCpuCacheTokens() const override;
+  int64_t ReserveForeignCpuTokens(int64_t tokens) override;
+  void ReleaseForeignCpuTokens(int64_t tokens) override;
+  int64_t AcceptPeerPrefix(int64_t conversation_id, int64_t first_token,
+                           int64_t last_token, int64_t kv_len_hint,
+                           double now) override;
 
   // Introspection for tests.
   const TwoTierKvCache& cache() const { return cache_; }

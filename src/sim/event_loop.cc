@@ -14,6 +14,10 @@ const char* SimEventKindName(SimEventKind kind) {
       return "recover";
     case SimEventKind::kHandoffArrival:
       return "handoff";
+    case SimEventKind::kHealthProbe:
+      return "probe";
+    case SimEventKind::kAutoscale:
+      return "autoscale";
   }
   return "?";
 }

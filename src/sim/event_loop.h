@@ -14,6 +14,7 @@
 #ifndef PENSIEVE_SRC_SIM_EVENT_LOOP_H_
 #define PENSIEVE_SRC_SIM_EVENT_LOOP_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <queue>
@@ -32,7 +33,15 @@ enum class SimEventKind : int32_t {
   // the exact instant its destination dies (or rejoins) observes the final
   // replica state.
   kHandoffArrival = 3,
+  // Recurring control-plane timers (elastic replica set, DESIGN.md §14).
+  // They rank after every workload/fault event at the same instant so the
+  // health monitor and autoscaler observe the settled cluster state.
+  kHealthProbe = 4,   // one probe round across the replica set
+  kAutoscale = 5,     // one autoscaler evaluation
 };
+
+// Number of distinct SimEventKind values (for per-kind bookkeeping).
+inline constexpr int32_t kNumSimEventKinds = 6;
 
 const char* SimEventKindName(SimEventKind kind);
 
@@ -60,13 +69,23 @@ class EventQueue {
 
   void Push(SimEvent event) {
     event.seq = next_seq_++;
+    ++kind_counts_[static_cast<size_t>(event.kind)];
     heap_.push(event);
   }
 
   SimEvent Pop() {
     SimEvent event = heap_.top();
     heap_.pop();
+    --kind_counts_[static_cast<size_t>(event.kind)];
     return event;
+  }
+
+  // Pending events of one kind. Recurring timer events (probe/autoscale)
+  // use this to decide whether re-arming themselves could still matter: when
+  // every remaining event is a timer and all replicas are quiescent, the
+  // timer lets itself lapse so the run can terminate.
+  int64_t PendingOfKind(SimEventKind kind) const {
+    return kind_counts_[static_cast<size_t>(kind)];
   }
 
  private:
@@ -84,6 +103,7 @@ class EventQueue {
 
   std::priority_queue<SimEvent, std::vector<SimEvent>, Later> heap_;
   int64_t next_seq_ = 0;
+  std::array<int64_t, kNumSimEventKinds> kind_counts_{};
 };
 
 }  // namespace pensieve

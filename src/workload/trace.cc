@@ -86,4 +86,22 @@ int64_t WorkloadTrace::TotalRequests() const {
   return total;
 }
 
+void WorkloadTrace::WarpFirstArrivals(
+    const std::function<double(double)>& warp) {
+  double prev_old = -1.0;
+  double prev_new = -1.0;
+  for (TraceConversation& conv : conversations_) {
+    const double warped = warp(conv.first_arrival);
+    PENSIEVE_CHECK_GE(warped, 0.0);
+    // Arrivals are generated in nondecreasing order; the warp must keep
+    // them that way or the drivers' event interleaving loses determinism.
+    if (prev_old >= 0.0 && conv.first_arrival >= prev_old) {
+      PENSIEVE_CHECK_GE(warped, prev_new);
+    }
+    prev_old = conv.first_arrival;
+    prev_new = warped;
+    conv.first_arrival = warped;
+  }
+}
+
 }  // namespace pensieve

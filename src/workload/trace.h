@@ -12,6 +12,7 @@
 #define PENSIEVE_SRC_WORKLOAD_TRACE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/workload/dataset.h"
@@ -62,6 +63,17 @@ class WorkloadTrace {
   const DatasetProfile& profile() const { return profile_; }
 
   int64_t TotalRequests() const;
+
+  // Applies a monotone time-warp to the pre-sampled first arrivals
+  // (new_first_arrival = warp(first_arrival)), leaving conversation bodies
+  // and think times untouched. Benchmarks use this to superimpose diurnal or
+  // flash-crowd intensity on a stationary Poisson trace: compressing a span
+  // of arrival time raises the instantaneous rate there, stretching lowers
+  // it, and because the map is the same for every variant the warped trace
+  // is still a deterministic function of the seed. `warp` must be
+  // non-decreasing and map non-negative times to non-negative times
+  // (CHECKed).
+  void WarpFirstArrivals(const std::function<double(double)>& warp);
 
  private:
   void BuildTimeline(std::vector<ConversationSpec> specs, Rng* rng);

@@ -10,6 +10,7 @@
 //   pensieve_sim --model=opt-66b --system=vllm --rate=0.4
 //                --outcomes_csv=/tmp/outcomes.csv --steps_csv=/tmp/steps.csv
 
+#include <algorithm>
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -23,6 +24,40 @@
 
 namespace pensieve {
 namespace {
+
+// Parses a sick-window list of the form "ID@T1:T2[,ID@T1:T2...]" (replica
+// id, window begin/end in virtual seconds) into SickWindow entries.
+bool ParseSickList(const std::string& spec, std::vector<SickWindow>* out) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    const std::string item = spec.substr(pos, comma - pos);
+    const size_t at = item.find('@');
+    const size_t colon = item.find(':', at == std::string::npos ? 0 : at + 1);
+    if (at == std::string::npos || at == 0 || colon == std::string::npos ||
+        colon <= at + 1 || colon + 1 >= item.size()) {
+      return false;
+    }
+    SickWindow window;
+    try {
+      window.replica_id = static_cast<int32_t>(std::stol(item.substr(0, at)));
+      window.begin = std::stod(item.substr(at + 1, colon - at - 1));
+      window.end = std::stod(item.substr(colon + 1));
+    } catch (...) {
+      return false;
+    }
+    if (window.replica_id < 0 || window.begin < 0.0 ||
+        window.end <= window.begin) {
+      return false;
+    }
+    out->push_back(window);
+    pos = comma + 1;
+  }
+  return true;
+}
 
 // Parses a fault list of the form "ID@T[,ID@T...]" (replica id, virtual
 // time in seconds) into ReplicaFault events.
@@ -119,6 +154,60 @@ int Run(int argc, char** argv) {
   flags.AddInt("disagg-min-prefill", 64,
                "minimum pending prefill tokens (prompt + uncached history) "
                "for a turn to be handed to the prefill pool");
+  flags.AddString("health-probe", "off",
+                  "active health probing (DESIGN.md §14): on runs a seeded "
+                  "probe loop over every active replica and quarantines "
+                  "replicas that fail consecutive probes — routers stop "
+                  "dispatching to them and their conversations drain to "
+                  "healthy peers; off is bit-identical to the unprobed "
+                  "cluster");
+  flags.AddDouble("probe-interval", 1.0,
+                  "virtual seconds between health-probe rounds");
+  flags.AddDouble("probe-timeout-ms", 50.0,
+                  "probe round-trips slower than this count as failed");
+  flags.AddInt("probe-quarantine-after", 4,
+               "consecutive probe failures before quarantine (a replica "
+               "turns suspect at half this count)");
+  flags.AddInt("probe-healthy-after", 3,
+               "consecutive probe successes a quarantined replica needs to "
+               "rejoin the dispatch set");
+  flags.AddDouble("probe-loss", 0.0,
+                  "ambient probe-loss probability on the probe link "
+                  "(independent seeded stream; models a flaky control plane)");
+  flags.AddString("sick-replica", "",
+                  "force probes of replica ID to fail during [T1, T2): "
+                  "ID@T1:T2[,ID@T1:T2...]; models a degraded replica that "
+                  "probing can catch before it hard-fails");
+  flags.AddString("autoscale", "off",
+                  "queue/latency-driven autoscaling (DESIGN.md §14): on "
+                  "starts --min-replicas active out of --replicas slots and "
+                  "grows/shrinks the active set mid-run; retiring replicas "
+                  "drain before destruction. off is bit-identical to the "
+                  "fixed-size cluster");
+  flags.AddInt("min-replicas", 1,
+               "autoscaling floor: active replicas never drop below this");
+  flags.AddInt("max-replicas", 0,
+               "autoscaling ceiling (0 = --replicas); must not exceed "
+               "--replicas, which sizes the slot vector");
+  flags.AddDouble("scale-interval", 2.0,
+                  "virtual seconds between autoscaler evaluations");
+  flags.AddDouble("scale-cooldown", 10.0,
+                  "minimum virtual seconds between two scale actions");
+  flags.AddInt("scale-up-tokens", 4096,
+               "grow when mean outstanding weighted tokens per active "
+               "replica exceeds this");
+  flags.AddInt("scale-down-tokens", 512,
+               "shrink when mean outstanding weighted tokens per active "
+               "replica falls below this (and the latency signal is calm)");
+  flags.AddDouble("scale-up-p99-ms", 0.0,
+                  "also grow when the p99 normalized latency (ms/token) of "
+                  "recently finished requests exceeds this (0 = queue-depth "
+                  "signal only)");
+  flags.AddString("peer-spill", "off",
+                  "cross-replica CPU-tier spill (DESIGN.md §14): on offers "
+                  "an overloaded replica's CPU-tier evictions to a peer with "
+                  "idle CPU budget over the NIC instead of dropping them; "
+                  "off is bit-identical to the unshared tiers");
   flags.AddString("fail-replica", "",
                   "kill replica ID at virtual time T: ID@T[,ID@T...]; its KV "
                   "is lost and its requests re-route to surviving replicas");
@@ -288,9 +377,130 @@ int Run(int argc, char** argv) {
                  "--disagg=on needs --replicas>=2 (one prefill + one decode)\n");
     return 2;
   }
-  // Fault injection and disaggregation run through the cluster layer even
-  // with one replica.
-  if (replicas > 1 || !fault_events.empty()) {
+  const int64_t prefill_replicas = flags.GetInt("prefill-replicas");
+  if (disagg == "on" &&
+      (prefill_replicas < 1 || prefill_replicas >= replicas)) {
+    std::fprintf(stderr,
+                 "--prefill-replicas=%ld out of range: --disagg=on needs "
+                 "1 <= prefill-replicas <= replicas-1 (= %ld) so at least "
+                 "one decode replica remains\n",
+                 static_cast<long>(prefill_replicas),
+                 static_cast<long>(replicas - 1));
+    return 2;
+  }
+
+  ElasticOptions elastic;
+  const std::string health_probe = flags.GetString("health-probe");
+  if (health_probe != "on" && health_probe != "off") {
+    std::fprintf(stderr, "unknown health-probe '%s' (on or off)\n",
+                 health_probe.c_str());
+    return 2;
+  }
+  elastic.health.enabled = health_probe == "on";
+  elastic.health.probe_interval = flags.GetDouble("probe-interval");
+  elastic.health.probe_timeout = flags.GetDouble("probe-timeout-ms") / 1e3;
+  elastic.health.quarantine_after =
+      static_cast<int32_t>(flags.GetInt("probe-quarantine-after"));
+  elastic.health.suspect_after =
+      std::max<int32_t>(1, elastic.health.quarantine_after / 2);
+  elastic.health.healthy_after =
+      static_cast<int32_t>(flags.GetInt("probe-healthy-after"));
+  elastic.health.probe_faults.timeout_rate = flags.GetDouble("probe-loss");
+  if (!ParseSickList(flags.GetString("sick-replica"), &elastic.health.sick)) {
+    std::fprintf(stderr,
+                 "malformed sick spec (expected ID@T1:T2[,ID@T1:T2...]): "
+                 "--sick-replica='%s'\n",
+                 flags.GetString("sick-replica").c_str());
+    return 2;
+  }
+  for (const SickWindow& window : elastic.health.sick) {
+    if (window.replica_id >= replicas) {
+      std::fprintf(stderr,
+                   "sick window names replica %d but only %ld configured\n",
+                   window.replica_id, static_cast<long>(replicas));
+      return 2;
+    }
+  }
+  if (elastic.health.enabled &&
+      (elastic.health.probe_interval <= 0.0 ||
+       elastic.health.probe_timeout <= 0.0 ||
+       elastic.health.quarantine_after < 1 ||
+       elastic.health.healthy_after < 1)) {
+    std::fprintf(stderr,
+                 "--health-probe=on needs positive --probe-interval, "
+                 "--probe-timeout-ms, --probe-quarantine-after and "
+                 "--probe-healthy-after\n");
+    return 2;
+  }
+  const std::string autoscale = flags.GetString("autoscale");
+  if (autoscale != "on" && autoscale != "off") {
+    std::fprintf(stderr, "unknown autoscale '%s' (on or off)\n",
+                 autoscale.c_str());
+    return 2;
+  }
+  elastic.autoscale.enabled = autoscale == "on";
+  elastic.autoscale.min_replicas =
+      static_cast<int32_t>(flags.GetInt("min-replicas"));
+  elastic.autoscale.max_replicas =
+      flags.GetInt("max-replicas") == 0
+          ? static_cast<int32_t>(replicas)
+          : static_cast<int32_t>(flags.GetInt("max-replicas"));
+  elastic.autoscale.check_interval = flags.GetDouble("scale-interval");
+  elastic.autoscale.cooldown = flags.GetDouble("scale-cooldown");
+  elastic.autoscale.up_queue_tokens = flags.GetInt("scale-up-tokens");
+  elastic.autoscale.down_queue_tokens = flags.GetInt("scale-down-tokens");
+  elastic.autoscale.up_p99_latency = flags.GetDouble("scale-up-p99-ms") / 1e3;
+  if (elastic.autoscale.enabled) {
+    if (elastic.autoscale.min_replicas < 1 ||
+        elastic.autoscale.min_replicas > elastic.autoscale.max_replicas ||
+        elastic.autoscale.max_replicas > replicas) {
+      std::fprintf(stderr,
+                   "--autoscale=on needs 1 <= min-replicas <= max-replicas "
+                   "<= replicas (got min=%d max=%d replicas=%ld)\n",
+                   elastic.autoscale.min_replicas,
+                   elastic.autoscale.max_replicas,
+                   static_cast<long>(replicas));
+      return 2;
+    }
+    if (elastic.autoscale.up_queue_tokens <=
+        elastic.autoscale.down_queue_tokens) {
+      std::fprintf(stderr,
+                   "--scale-up-tokens (%ld) must exceed --scale-down-tokens "
+                   "(%ld): the gap is the hysteresis band\n",
+                   static_cast<long>(elastic.autoscale.up_queue_tokens),
+                   static_cast<long>(elastic.autoscale.down_queue_tokens));
+      return 2;
+    }
+    if (elastic.autoscale.check_interval <= 0.0 ||
+        elastic.autoscale.cooldown < 0.0) {
+      std::fprintf(stderr,
+                   "--autoscale=on needs positive --scale-interval and "
+                   "non-negative --scale-cooldown\n");
+      return 2;
+    }
+    if (disagg == "on") {
+      std::fprintf(stderr,
+                   "--autoscale=on is incompatible with --disagg=on (the "
+                   "prefill/decode role split assumes a fixed replica set)\n");
+      return 2;
+    }
+  }
+  const std::string peer_spill = flags.GetString("peer-spill");
+  if (peer_spill != "on" && peer_spill != "off") {
+    std::fprintf(stderr, "unknown peer-spill '%s' (on or off)\n",
+                 peer_spill.c_str());
+    return 2;
+  }
+  elastic.peer_spill.enabled = peer_spill == "on";
+  if (elastic.peer_spill.enabled && replicas < 2) {
+    std::fprintf(stderr, "--peer-spill=on needs --replicas>=2\n");
+    return 2;
+  }
+  overrides.peer_spill = elastic.peer_spill.enabled;
+
+  // Fault injection, disaggregation, and the elastic features all run
+  // through the cluster layer even with one replica.
+  if (replicas > 1 || !fault_events.empty() || elastic.Enabled()) {
     ClusterOptions cluster_options;
     cluster_options.num_replicas = static_cast<int32_t>(replicas);
     cluster_options.router.policy = router_policy;
@@ -300,10 +510,11 @@ int Run(int argc, char** argv) {
     cluster_options.nic_fault_profile = fault_config.nic;
     cluster_options.fault_retry = fault_config.retry;
     cluster_options.fault_seed = fault_config.seed;
+    cluster_options.elastic = elastic;
     if (disagg == "on") {
       cluster_options.disagg.enabled = true;
       cluster_options.disagg.prefill_replicas =
-          static_cast<int32_t>(flags.GetInt("prefill-replicas"));
+          static_cast<int32_t>(prefill_replicas);
       cluster_options.disagg.min_handoff_tokens =
           flags.GetInt("disagg-min-prefill");
       cluster_options.disagg.stream_layers = model.num_layers;
@@ -375,6 +586,8 @@ int Run(int argc, char** argv) {
     // Empty unless the run actually handed off, so colocated output is
     // bit-identical to pre-disaggregation builds.
     std::printf("%s", FormatHandoffSummary(cs.handoff).c_str());
+    // Likewise empty when no probing, scaling, or spill happened.
+    std::printf("%s", FormatElasticSummary(cs.elastic).c_str());
     std::printf("%s", FormatKvFaultSummary(s.engine_stats).c_str());
     std::printf("%s", FormatSsdTierSummary(s.engine_stats).c_str());
     std::printf("%s", FormatPrefixSharingSummary(s.engine_stats).c_str());
